@@ -1,0 +1,32 @@
+"""Shared fixtures for the experiment-regeneration benches.
+
+Each bench regenerates one table or figure of the paper on a reduced
+suite (sizes chosen so the whole ``pytest benchmarks/`` run finishes in
+minutes) and asserts the paper's qualitative findings.  For larger,
+publication-style runs use the CLI (``facile table2 --size 300``) or set
+``REPRO_BENCH_SUITE_SIZE``.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+from repro.bhive.suite import BenchmarkSuite
+
+SUITE_SIZE = int(os.environ.get("REPRO_BENCH_SUITE_SIZE", "60"))
+SUITE_SEED = int(os.environ.get("REPRO_BENCH_SUITE_SEED", "2023"))
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The benchmark suite shared by all benches."""
+    return BenchmarkSuite.generate(SUITE_SIZE, SUITE_SEED)
+
+
+@pytest.fixture(scope="session")
+def small_suite():
+    """A smaller suite for the expensive timing benches."""
+    return BenchmarkSuite.generate(max(20, SUITE_SIZE // 3), SUITE_SEED)

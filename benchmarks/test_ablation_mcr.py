@@ -1,0 +1,50 @@
+"""Ablation: Howard's algorithm vs. Lawler's for the Precedence bound.
+
+The paper uses Howard's value iteration [16, 18]; this bench confirms it
+agrees with the parametric-search reference on the full suite and
+quantifies the speed difference that motivates the choice.
+"""
+
+import time
+
+import pytest
+
+from repro.graph.depgraph import build_dependence_graph
+from repro.graph.howard import howard_max_cycle_ratio
+from repro.graph.lawler import lawler_max_cycle_ratio
+from repro.uarch import uarch_by_name
+from repro.uops.database import UopsDatabase
+
+
+@pytest.fixture(scope="module")
+def graphs(suite):
+    db = UopsDatabase(uarch_by_name("SKL"))
+    return [build_dependence_graph(b.block_l, db) for b in suite]
+
+
+def test_algorithms_agree(graphs):
+    for graph in graphs:
+        howard = howard_max_cycle_ratio(graph)[0]
+        lawler = lawler_max_cycle_ratio(graph)
+        assert howard == lawler
+
+
+def test_howard_speed(benchmark, graphs):
+    benchmark(lambda: [howard_max_cycle_ratio(g)[0] for g in graphs])
+
+
+def test_howard_vs_lawler_speed(graphs):
+    start = time.perf_counter()
+    for graph in graphs:
+        howard_max_cycle_ratio(graph)
+    howard_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for graph in graphs:
+        lawler_max_cycle_ratio(graph)
+    lawler_time = time.perf_counter() - start
+
+    print(f"\nHoward {1000 * howard_time:.1f} ms vs "
+          f"Lawler {1000 * lawler_time:.1f} ms "
+          f"({lawler_time / max(howard_time, 1e-9):.0f}x)")
+    assert howard_time < lawler_time

@@ -1,0 +1,51 @@
+"""Ablation: pairwise port-combination heuristic vs. the exact LP bound.
+
+§4.8 claims the heuristic gives the same bound as the uops.info LP on all
+BHive benchmarks, while being much cheaper.  Both claims are checked.
+"""
+
+import time
+
+import pytest
+
+from repro.core.ports import ports_bound, ports_bound_lp
+from repro.uarch import uarch_by_name
+from repro.uops.blockinfo import analyze_block, macro_ops
+from repro.uops.database import UopsDatabase
+
+
+@pytest.fixture(scope="module")
+def prepared_ops(suite):
+    cfg = uarch_by_name("SKL")
+    db = UopsDatabase(cfg)
+    return [macro_ops(analyze_block(b.block_l, cfg, db), cfg)
+            for b in suite]
+
+
+def test_heuristic_equals_lp_on_suite(prepared_ops):
+    for ops in prepared_ops:
+        assert ports_bound(ops).bound == ports_bound_lp(ops)
+
+
+def test_heuristic_speed(benchmark, prepared_ops):
+    def run_heuristic():
+        return [ports_bound(ops).bound for ops in prepared_ops]
+
+    benchmark(run_heuristic)
+
+
+def test_heuristic_faster_than_lp(prepared_ops):
+    start = time.perf_counter()
+    for ops in prepared_ops:
+        ports_bound(ops)
+    heuristic_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for ops in prepared_ops:
+        ports_bound_lp(ops)
+    lp_time = time.perf_counter() - start
+
+    print(f"\nheuristic {1000 * heuristic_time:.1f} ms vs "
+          f"LP {1000 * lp_time:.1f} ms "
+          f"({lp_time / heuristic_time:.0f}x)")
+    assert heuristic_time < lp_time

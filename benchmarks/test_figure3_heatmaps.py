@@ -1,0 +1,47 @@
+"""Figure 3: measured-vs-predicted heatmaps on Rocket Lake (BHiveL).
+
+Paper findings checked here:
+
+* Facile and uiCA concentrate on the diagonal;
+* llvm-mca and CQA scatter well off it;
+* Facile is always optimistic (predicted <= measured).
+"""
+
+import pytest
+
+from repro.eval import figures
+
+
+@pytest.fixture(scope="module")
+def heatmaps(suite):
+    return {h.predictor: h
+            for h in figures.figure3_heatmaps(suite, uarch="RKL")}
+
+
+def test_figure3(benchmark, suite, heatmaps):
+    def facile_heatmap():
+        return figures.figure3_heatmaps(suite, uarch="RKL",
+                                        predictors=("Facile",))
+
+    benchmark.pedantic(facile_heatmap, rounds=1, iterations=1)
+    print()
+    for name, heatmap in heatmaps.items():
+        print(f"{name:<13} diagonal fraction: "
+              f"{heatmap.diagonal_fraction:.2f}")
+
+
+def test_accurate_tools_sit_on_diagonal(heatmaps):
+    assert heatmaps["Facile"].diagonal_fraction > 0.75
+    assert heatmaps["uiCA"].diagonal_fraction > 0.85
+
+
+def test_inaccurate_tools_scatter(heatmaps):
+    assert heatmaps["llvm-mca-15"].diagonal_fraction < \
+        heatmaps["Facile"].diagonal_fraction
+    assert heatmaps["CQA"].diagonal_fraction < \
+        heatmaps["Facile"].diagonal_fraction
+
+
+def test_facile_always_optimistic(suite):
+    fraction = figures.optimism_fraction(suite, uarch="RKL")
+    assert fraction == pytest.approx(1.0)

@@ -1,0 +1,53 @@
+"""Figure 4: distribution of Facile's per-component execution times.
+
+Paper findings checked here:
+
+* the shared overhead (parsing/disassembly) plus Precedence dominate the
+  total runtime (≈90% in the paper);
+* Predec and Dec cost less under TPL than TPU (they are skipped for
+  loops served from the DSB/LSD).
+"""
+
+import pytest
+
+from repro.eval import figures
+
+
+@pytest.fixture(scope="module")
+def component_times(small_suite):
+    return figures.figure4_component_times(small_suite, uarch="SKL")
+
+
+def test_figure4(benchmark, small_suite, component_times):
+    from repro.eval.timing import time_facile_components
+    from repro.core.components import ThroughputMode
+    from repro.uarch import uarch_by_name
+
+    def tpu_timing():
+        return time_facile_components(uarch_by_name("SKL"), small_suite,
+                                      ThroughputMode.UNROLLED)
+
+    benchmark.pedantic(tpu_timing, rounds=1, iterations=1)
+    print()
+    for mode, results in component_times.items():
+        print(f"-- {mode}")
+        for name, timing in results.items():
+            print(f"   {name:<11} mean {timing.mean_ms:7.3f} ms")
+
+
+def test_overhead_and_precedence_dominate(component_times):
+    for mode in ("TPU", "TPL"):
+        results = component_times[mode]
+        total = results["FACILE"].mean_ms
+        dominant = (results["Overhead"].mean_ms
+                    + results["Precedence"].mean_ms)
+        assert dominant > 0.5 * total
+
+
+def test_components_cheaper_than_whole_model(component_times):
+    for mode in ("TPU", "TPL"):
+        results = component_times[mode]
+        for name, timing in results.items():
+            if name in ("FACILE", "Overhead"):
+                continue
+            assert timing.mean_ms <= results["FACILE"].mean_ms * 1.10, name

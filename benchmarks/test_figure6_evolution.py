@@ -1,0 +1,47 @@
+"""Figure 6: evolution of bottlenecks across microarchitectures (TPU).
+
+Paper findings checked here:
+
+* the share of Predec-bound benchmarks increases from SNB to RKL;
+* the share of Ports-bound benchmarks decreases;
+* flows are conserved (every benchmark appears in every generation).
+"""
+
+import pytest
+
+from repro.eval import figures
+
+
+@pytest.fixture(scope="module")
+def flows(suite):
+    return figures.figure6_bottleneck_evolution(suite)
+
+
+def test_figure6(benchmark, suite, flows):
+    def one_transition():
+        return figures.figure6_bottleneck_evolution(
+            suite, uarch_names=("SNB", "RKL"))
+
+    benchmark.pedantic(one_transition, rounds=1, iterations=1)
+    print()
+    print(figures.render_figure6(flows))
+
+
+def test_predec_share_grows(flows):
+    first = flows[0]["from_shares"]   # SNB
+    last = flows[-1]["to_shares"]     # RKL
+    assert last["Predec"] > first["Predec"]
+
+
+def test_ports_share_shrinks(flows):
+    first = flows[0]["from_shares"]
+    last = flows[-1]["to_shares"]
+    assert last["Ports"] < first["Ports"]
+
+
+def test_flow_conservation(flows, suite):
+    for flow in flows:
+        outgoing = sum(sum(row.values()) for row in flow["matrix"].values())
+        assert outgoing == len(suite)
+        assert sum(flow["from_shares"].values()) == len(suite)
+        assert sum(flow["to_shares"].values()) == len(suite)

@@ -1,0 +1,12 @@
+"""Table 1: the evaluated microarchitectures."""
+
+from repro.eval import tables
+
+
+def test_table1(benchmark):
+    rows = benchmark(tables.table1)
+    assert len(rows) == 9
+    assert [r["abbr"] for r in rows] == [
+        "RKL", "TGL", "ICL", "CLX", "SKL", "BDW", "HSW", "IVB", "SNB"]
+    print()
+    print(tables.render_table1())

@@ -1,0 +1,63 @@
+"""Table 2: predictor accuracy comparison (MAPE + Kendall's tau).
+
+Paper findings checked here:
+
+* Facile performs similarly to uiCA and significantly better than all
+  other predictors, on both BHiveU and BHiveL;
+* predictors committed to the other throughput notion degrade on the
+  mismatched suite (e.g. CQA on BHiveU, TPU-trained learned models on
+  BHiveL).
+"""
+
+import pytest
+
+from repro.eval import tables
+from repro.uarch import uarch_by_name
+
+#: Reduced µarch set for the bench: newest, the JCC-erratum generation,
+#: and the oldest.
+BENCH_UARCHS = ("RKL", "SKL", "SNB")
+
+
+@pytest.fixture(scope="module")
+def table2_rows(suite):
+    return tables.table2(suite,
+                         [uarch_by_name(u) for u in BENCH_UARCHS])
+
+
+def test_table2(benchmark, suite, table2_rows):
+    # The heavy lifting is cached by the fixture; benchmark the Facile
+    # evaluation pass itself (prediction + metrics on one µarch).
+    cfg = uarch_by_name("SKL")
+
+    def facile_pass():
+        return tables.table2(suite, [cfg], ["Facile"])
+
+    rows = benchmark.pedantic(facile_pass, rounds=1, iterations=1)
+    assert rows[0].mape_u < 0.05
+
+    print()
+    print(tables.render_table2(table2_rows))
+
+
+@pytest.mark.parametrize("uarch", BENCH_UARCHS)
+def test_facile_matches_uica_and_beats_others(table2_rows, uarch):
+    rows = {r.predictor: r for r in table2_rows if r.uarch == uarch}
+    facile, uica = rows["Facile"], rows["uiCA"]
+    assert facile.mape_u < 0.05 and facile.mape_l < 0.05
+    assert uica.mape_u < 0.02 and uica.mape_l < 0.02
+    for name, row in rows.items():
+        if name in ("Facile", "uiCA"):
+            continue
+        assert row.mape_u > facile.mape_u, name
+        assert row.mape_l > facile.mape_l, name
+        assert row.kendall_u < facile.kendall_u, name
+
+
+def test_notion_mismatch_shapes(table2_rows):
+    rows = {r.predictor: r for r in table2_rows if r.uarch == "SKL"}
+    # CQA (loop notion) is much better on BHiveL than on BHiveU.
+    assert rows["CQA"].mape_l < rows["CQA"].mape_u
+    # TPU-trained learned models collapse on BHiveL.
+    assert rows["Ithemal"].mape_l > 2 * rows["Ithemal"].mape_u
+    assert rows["learning-bl"].mape_l > rows["learning-bl"].mape_u

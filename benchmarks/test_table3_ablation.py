@@ -1,0 +1,67 @@
+"""Table 3: influence of Facile's components on accuracy.
+
+Paper findings checked here (for Rocket Lake):
+
+* replacing Predec with SimplePredec significantly hurts accuracy;
+* no single component predicts throughput accurately on its own
+  ("only X" rows), and "only DSB" under TPU yields 100% MAPE;
+* excluding Predec, Ports, or Precedence hurts notably; excluding Issue
+  or DSB barely matters on RKL.
+"""
+
+import pytest
+
+from repro.eval import tables
+
+
+@pytest.fixture(scope="module")
+def table3_rows(suite):
+    return tables.table3(suite, uarch_names=("RKL", "SKL", "SNB"))
+
+
+def test_table3(benchmark, suite, table3_rows):
+    def rkl_ablation():
+        return tables.table3(suite, uarch_names=("RKL",))
+
+    rows = benchmark.pedantic(rkl_ablation, rounds=1, iterations=1)
+    assert rows
+    print()
+    print(tables.render_table3(table3_rows))
+
+
+def _rows_for(table3_rows, uarch):
+    return {r.variant: r for r in table3_rows if r.uarch == uarch}
+
+
+def test_simple_predec_hurts(table3_rows):
+    rkl = _rows_for(table3_rows, "RKL")
+    assert rkl["Facile w/ SimplePredec"].mape_u > 2 * rkl["Facile"].mape_u
+
+
+def test_single_components_insufficient(table3_rows):
+    rkl = _rows_for(table3_rows, "RKL")
+    for variant in ("only Predec", "only Dec", "only Issue", "only Ports",
+                    "only Precedence"):
+        assert rkl[variant].mape_u > 2 * rkl["Facile"].mape_u, variant
+
+
+def test_only_dsb_is_all_zeros_under_tpu(table3_rows):
+    rkl = _rows_for(table3_rows, "RKL")
+    assert rkl["only DSB"].mape_u == pytest.approx(1.0)
+
+
+def test_composite_pairs_better_than_singles(table3_rows):
+    rkl = _rows_for(table3_rows, "RKL")
+    assert rkl["only Precedence+Ports"].mape_l < \
+        rkl["only Precedence"].mape_l
+    assert rkl["only Predec+Ports"].mape_u < rkl["only Predec"].mape_u
+
+
+def test_exclusions_hurt_where_paper_says(table3_rows):
+    rkl = _rows_for(table3_rows, "RKL")
+    full = rkl["Facile"]
+    assert rkl["Facile w/o Predec"].mape_u > 2 * full.mape_u
+    assert rkl["Facile w/o Ports"].mape_u > full.mape_u
+    assert rkl["Facile w/o Precedence"].mape_l > full.mape_l
+    # Excluding Issue has almost no effect on RKL (paper: 0.42 -> 0.43).
+    assert rkl["Facile w/o Issue"].mape_u < full.mape_u + 0.02

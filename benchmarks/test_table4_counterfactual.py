@@ -1,0 +1,51 @@
+"""Table 4: speedup when idealizing a single component (TPU).
+
+Paper findings checked here:
+
+* the Predec improvement potential grows from SNB to RKL;
+* the Ports potential shrinks over the same span;
+* idealizing Issue alone yields (almost) nothing;
+* designs are balanced: no component offers a dramatic average speedup.
+"""
+
+import pytest
+
+from repro.eval import tables
+
+
+@pytest.fixture(scope="module")
+def table4_data(suite):
+    return tables.table4(suite)
+
+
+def test_table4(benchmark, suite, table4_data):
+    def one_uarch():
+        from repro.core.counterfactual import speedup_table
+        from repro.core.components import Component
+        from repro.uarch import uarch_by_name
+        return speedup_table(uarch_by_name("RKL"),
+                             suite.blocks(loop=False),
+                             (Component.PREDEC, Component.PORTS))
+
+    benchmark.pedantic(one_uarch, rounds=1, iterations=1)
+    print()
+    print(tables.render_table4(table4_data))
+
+
+def test_predec_potential_grows_over_generations(table4_data):
+    assert table4_data["RKL"]["Predec"] > table4_data["SNB"]["Predec"]
+
+
+def test_ports_potential_shrinks_over_generations(table4_data):
+    assert table4_data["RKL"]["Ports"] < table4_data["SNB"]["Ports"]
+
+
+def test_issue_idealization_is_nearly_free(table4_data):
+    for row in table4_data.values():
+        assert row["Issue"] < 1.05
+
+
+def test_balanced_designs(table4_data):
+    for uarch, row in table4_data.items():
+        for component, speedup in row.items():
+            assert 1.0 <= speedup < 3.0, (uarch, component)

@@ -1,0 +1,57 @@
+"""Cross-generation bottleneck analysis of a numerical kernel.
+
+Analyzes a dot-product-style loop on every microarchitecture from Sandy
+Bridge to Rocket Lake, exploiting Facile's interpretability: where the
+bottleneck sits, and what idealizing each pipeline component would buy
+(the per-block version of the paper's Table 4).
+
+Run:
+    python examples/bottleneck_analysis.py
+"""
+
+from repro.core import Component, Facile, ThroughputMode
+from repro.core.counterfactual import idealized_speedup
+from repro.isa import BasicBlock
+from repro.uarch import UARCH_ORDER
+
+KERNEL = """
+    movaps xmm0, xmmword ptr [rsi+rcx*8]
+    movaps xmm1, xmmword ptr [rdi+rcx*8]
+    mulps xmm0, xmm1
+    addps xmm2, xmm0
+    add rcx, 2
+    cmp rcx, rdx
+    jl -26
+"""
+
+
+def main() -> None:
+    block = BasicBlock.from_asm(KERNEL)
+    print("Kernel (packed dot product):")
+    for line in block.text().splitlines():
+        print(f"    {line}")
+
+    print(f"\n{'µArch':<6} {'TPL':>6}  {'bottleneck':<12} "
+          f"{'FE path':<8} {'ideal-Ports':>12} {'ideal-Prec':>11}")
+    for cfg in UARCH_ORDER:
+        model = Facile(cfg)
+        prediction = model.predict(block, ThroughputMode.LOOP)
+        ports = idealized_speedup(prediction, Component.PORTS) or 1.0
+        precedence = idealized_speedup(
+            prediction, Component.PRECEDENCE) or 1.0
+        fe = prediction.fe_component.value if prediction.fe_component \
+            else "-"
+        print(f"{cfg.abbrev:<6} {prediction.cycles:6.2f}  "
+              f"{prediction.bottlenecks[0].value:<12} {fe:<8} "
+              f"{ports:>11.2f}x {precedence:>10.2f}x")
+
+    print("\nReading the table: the accumulator dependence chain (addps "
+          "into xmm2)\nbounds every generation; its latency grows from 3 "
+          "to 4 cycles at Skylake,\nwhere FP adds moved onto the FMA "
+          "units. Idealizing Precedence (e.g. by\nsumming into multiple "
+          "accumulators) is worth 1.5-2.7x — exactly the kind\nof "
+          "counterfactual a Facile-guided optimizer can read off directly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Throughput of a loop with internal control flow (future-work §7).
+
+The paper names handling branches as future work; `repro.core.trace`
+provides the first-order extension: frequency-weighted per-block
+prediction with trace-wide bottleneck attribution.  This example models
+a loop whose body takes a cheap or an expensive arm depending on data.
+
+Run:
+    python examples/branchy_loop.py
+"""
+
+from repro.core import Component
+from repro.core.trace import TraceFacile
+from repro.isa import BasicBlock
+from repro.uarch import uarch_by_name
+
+# while (i < n) { acc = f(a[i]); if (a[i] < 0) acc = expensive(acc); ... }
+PROLOGUE = """
+    mov rax, qword ptr [rsi+rcx*8]
+    add rcx, 1
+    test rax, rax
+"""
+
+FAST_ARM = """
+    add rbx, rax
+"""
+
+SLOW_ARM = """
+    imul rax, rax
+    imul rax, rdx
+    add rbx, rax
+"""
+
+
+def main() -> None:
+    cfg = uarch_by_name("SKL")
+    tracer = TraceFacile(cfg)
+    prologue = BasicBlock.from_asm(PROLOGUE)
+    fast = BasicBlock.from_asm(FAST_ARM)
+    slow = BasicBlock.from_asm(SLOW_ARM)
+
+    print(f"{'P(slow arm)':>12} {'cycles/iter':>12} {'bottleneck':>12} "
+          f"{'ideal-Precedence':>17}")
+    for p_slow in (0.01, 0.10, 0.50, 0.90):
+        trace = tracer.predict_branchy_loop(
+            prologue, [(fast, 1.0 - p_slow), (slow, p_slow)])
+        speedup = trace.idealized_speedup(Component.PRECEDENCE) or 1.0
+        bottleneck = trace.bottleneck.value if trace.bottleneck else "-"
+        print(f"{p_slow:>12.2f} {trace.cycles:>12.2f} {bottleneck:>12} "
+              f"{speedup:>16.2f}x")
+
+    print("\nAs the slow arm gets hotter, the trace bottleneck shifts "
+          "from the\nfront end to the imul dependence chain — and the "
+          "counterfactual says\nbreaking that chain is the optimization "
+          "worth doing first.")
+
+
+if __name__ == "__main__":
+    main()

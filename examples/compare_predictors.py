@@ -1,0 +1,54 @@
+"""Compare all throughput predictors on one microarchitecture.
+
+A miniature of the paper's Table 2: accuracy (MAPE, Kendall's tau) and
+speed of every predictor analog against the measurement oracle.
+
+Run:
+    python examples/compare_predictors.py [uarch] [suite_size]
+"""
+
+import sys
+import time
+
+from repro.baselines import all_predictors
+from repro.bhive import default_suite
+from repro.core import ThroughputMode
+from repro.eval.runner import evaluate_predictor, measured_suite
+from repro.uarch import uarch_by_name
+from repro.uops.database import UopsDatabase
+
+
+def main() -> None:
+    uarch = sys.argv[1] if len(sys.argv) > 1 else "SKL"
+    size = int(sys.argv[2]) if len(sys.argv) > 2 else 80
+
+    cfg = uarch_by_name(uarch)
+    db = UopsDatabase(cfg)
+    suite = default_suite(size)
+
+    print(f"Measuring {size} benchmarks on the {cfg.name} oracle...")
+    measured = {
+        mode: measured_suite(suite, cfg, mode, db)
+        for mode in (ThroughputMode.UNROLLED, ThroughputMode.LOOP)
+    }
+
+    print(f"\n{'predictor':<13} {'U-MAPE':>8} {'U-tau':>7} "
+          f"{'L-MAPE':>8} {'L-tau':>7} {'ms/block':>9}")
+    for predictor in all_predictors(cfg, db):
+        predictor.prepare()
+        start = time.perf_counter()
+        result_u = evaluate_predictor(
+            predictor, suite, ThroughputMode.UNROLLED,
+            measured[ThroughputMode.UNROLLED])
+        result_l = evaluate_predictor(
+            predictor, suite, ThroughputMode.LOOP,
+            measured[ThroughputMode.LOOP])
+        per_block_ms = (1000 * (time.perf_counter() - start)
+                        / (2 * len(suite)))
+        print(f"{predictor.name:<13} {100 * result_u.mape:7.2f}% "
+              f"{result_u.kendall:7.3f} {100 * result_l.mape:7.2f}% "
+              f"{result_l.kendall:7.3f} {per_block_ms:9.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: predict the throughput of a basic block.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.core import Component, Facile, ThroughputMode
+from repro.core.counterfactual import idealized_speedup
+from repro.isa import BasicBlock
+from repro.uarch import uarch_by_name
+
+
+def main() -> None:
+    # A small reduction loop: multiply-accumulate with a loop counter.
+    block = BasicBlock.from_asm("""
+        mov rax, qword ptr [rsi+rcx*8]
+        imul rax, rdx
+        add rbx, rax
+        dec rcx
+        jne -17
+    """)
+
+    print("Block:")
+    for line in block.text().splitlines():
+        print(f"    {line}")
+
+    skylake = uarch_by_name("SKL")
+    model = Facile(skylake)
+
+    # TPL: the block executes as a loop (it ends in a branch).
+    prediction = model.predict(block, ThroughputMode.LOOP)
+    print(f"\nSkylake, loop mode: {prediction.cycles:.2f} cycles/iteration")
+
+    # Facile is compositional: every component bound is available, and
+    # the argmax components *are* the bottleneck report.
+    print("\nComponent bounds:")
+    for component, bound in prediction.bounds.items():
+        marker = "  <-- bottleneck" if component in prediction.bottlenecks \
+            else ""
+        print(f"    {component.value:<11} {float(bound):6.2f}{marker}")
+
+    if prediction.critical_instruction_indices:
+        print("\nCritical instructions:")
+        for index in prediction.critical_instruction_indices:
+            print(f"    [{index}] {block[index].text()}")
+
+    # Counterfactual reasoning: what if a component were infinitely fast?
+    print("\nIdealization speedups:")
+    for component in (Component.PORTS, Component.PRECEDENCE):
+        speedup = idealized_speedup(prediction, component)
+        if speedup is not None:
+            print(f"    {component.value:<11} {speedup:.2f}x")
+
+    # The same block, unrolled instead of looped (TPU notion).
+    unrolled = model.predict(block.without_final_branch(),
+                             ThroughputMode.UNROLLED)
+    print(f"\nUnrolled (TPU): {unrolled.cycles:.2f} cycles/iteration, "
+          f"bottleneck: {unrolled.bottlenecks[0].value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Bottleneck evolution across Intel generations (paper Figure 6).
+
+Generates a benchmark suite and tracks how the primary TPU bottleneck of
+each block shifts from Sandy Bridge through Haswell and Cascade Lake to
+Rocket Lake — the Sankey-diagram data of the paper, rendered as text.
+
+Run:
+    python examples/uarch_evolution.py [suite_size]
+"""
+
+import sys
+
+from repro.bhive import default_suite
+from repro.eval.figures import figure6_bottleneck_evolution, render_figure6
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    suite = default_suite(size)
+    print(f"Analyzing {len(suite)} benchmarks "
+          f"(SNB -> HSW -> CLX -> RKL, TPU)\n")
+
+    flows = figure6_bottleneck_evolution(suite)
+    print(render_figure6(flows))
+
+    first = flows[0]["from_shares"]
+    last = flows[-1]["to_shares"]
+    print("\nSummary (share of benchmarks):")
+    for component in ("Predec", "Ports"):
+        direction = "+" if last[component] >= first[component] else "-"
+        print(f"    {component:<11} SNB {100 * first[component] / size:4.0f}%"
+              f"  ->  RKL {100 * last[component] / size:4.0f}%  ({direction})")
+
+
+if __name__ == "__main__":
+    main()

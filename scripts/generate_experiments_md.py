@@ -1,0 +1,222 @@
+"""Regenerate EXPERIMENTS.md from a full evaluation run.
+
+Usage:
+    python scripts/generate_experiments_md.py [suite_size]
+
+Writes paper-vs-measured records for every table and figure.
+"""
+
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+from repro.bhive.suite import BenchmarkSuite
+from repro.eval import figures, tables
+from repro.uarch import ALL_UARCHS
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    suite = BenchmarkSuite.generate(size, 2023)
+    timing_suite = BenchmarkSuite.generate(min(40, size), 2023)
+    started = time.time()
+
+    sections = []
+
+    sections.append(f"""# EXPERIMENTS — paper vs. reproduction
+
+All numbers below were produced by this repository's harness on the
+synthetic measurement substrate (see DESIGN.md §2 for the substitutions).
+Suite: {size} benchmarks, seed 2023, in BHiveU and BHiveL variants.
+
+Absolute values are not expected to match the paper (our "hardware" is a
+simulator, our suite is synthetic); the *shape* — which predictor wins,
+by roughly what factor, where the notions diverge — is the reproduction
+target and is checked automatically by `pytest benchmarks/`.
+
+Regenerate with `python scripts/generate_experiments_md.py {size}`.
+""")
+
+    # Table 1 -----------------------------------------------------------
+    sections.append("## Table 1 — microarchitectures\n\n"
+                    "Identical to the paper by construction "
+                    "(configuration data):\n\n```\n"
+                    + tables.render_table1() + "\n```\n")
+
+    # Table 2 -----------------------------------------------------------
+    print("table2 ...", flush=True)
+    rows = tables.table2(suite)
+    sections.append("""## Table 2 — predictor comparison (MAPE / Kendall's tau)
+
+Paper: Facile 0.42-1.95% MAPE, uiCA 0.38-1.91%, all other tools 5-138%;
+TPU-based tools degrade on BHiveL and vice versa.
+
+Reproduction:
+
+```
+""" + tables.render_table2(rows) + "\n```\n")
+
+    facile_rows = [r for r in rows if r.predictor == "Facile"]
+    worst_u = max(r.mape_u for r in facile_rows)
+    worst_l = max(r.mape_l for r in facile_rows)
+    sections.append(f"Facile's worst-case MAPE across the nine "
+                    f"microarchitectures: {100 * worst_u:.2f}% (BHiveU), "
+                    f"{100 * worst_l:.2f}% (BHiveL) — the same band as "
+                    f"the paper's 1.95%/1.62%.\n")
+
+    # Table 3 -----------------------------------------------------------
+    print("table3 ...", flush=True)
+    rows3 = tables.table3(suite)
+    sections.append("""## Table 3 — component ablations (RKL, SKL, SNB)
+
+Paper: SimplePredec costs ~10x accuracy on RKL; no single component
+suffices ("only DSB" = 100% MAPE under TPU); excluding Predec/Ports/
+Precedence hurts most.
+
+Reproduction:
+
+```
+""" + tables.render_table3(rows3) + "\n```\n")
+
+    # Table 4 -----------------------------------------------------------
+    print("table4 ...", flush=True)
+    data4 = tables.table4(suite)
+    sections.append("""## Table 4 — speedup when idealizing one component (TPU)
+
+Paper: Predec potential grows 1.04 -> 1.12 from SNB to RKL; Ports
+shrinks 1.17 -> 1.10; Issue ~1.00.  Our synthetic suite stresses the
+front end harder, so the absolute potentials are larger, but the trends
+(Predec grows, Ports shrinks, Issue nil, designs balanced) match.
+
+Reproduction:
+
+```
+""" + tables.render_table4(data4) + "\n```\n")
+
+    # Figure 3 ----------------------------------------------------------
+    print("figure3 ...", flush=True)
+    heatmaps = figures.figure3_heatmaps(suite, uarch="RKL")
+    optimism = figures.optimism_fraction(suite, uarch="RKL")
+    lines = [f"{h.predictor:<13} diagonal fraction "
+             f"{h.diagonal_fraction:.2f}" for h in heatmaps]
+    sections.append("""## Figure 3 — measured vs. predicted heatmaps (RKL, BHiveL)
+
+Paper: Facile and uiCA concentrate on the diagonal; llvm-mca and CQA
+scatter; Facile is always optimistic.
+
+Reproduction (fraction of benchmarks in the diagonal bin):
+
+```
+""" + "\n".join(lines) + f"""
+```
+
+Fraction of blocks where Facile's prediction <= measurement:
+{100 * optimism:.1f}% (paper: 100%).
+""")
+
+    # Figure 4 ----------------------------------------------------------
+    print("figure4 ...", flush=True)
+    comp_times = figures.figure4_component_times(timing_suite,
+                                                 uarch="SKL")
+    lines = []
+    for mode, results in comp_times.items():
+        lines.append(f"-- {mode}")
+        for name, timing in results.items():
+            lines.append(f"   {name:<11} mean {timing.mean_ms:7.3f} ms  "
+                         f"median {timing.median_ms:7.3f} ms")
+    facile_tpu = comp_times["TPU"]["FACILE"].mean_ms
+    dominant = (comp_times["TPU"]["Overhead"].mean_ms
+                + comp_times["TPU"]["Precedence"].mean_ms)
+    sections.append("""## Figure 4 — Facile component-time distributions
+
+Paper: overhead (parsing/disassembly) + Precedence account for ~90% of
+the runtime; Predec/Dec cost less under TPL (often skipped).
+
+Reproduction:
+
+```
+""" + "\n".join(lines) + f"""
+```
+
+Overhead+Precedence share of total (TPU): """
+                    f"{100 * dominant / facile_tpu:.0f}%.\n")
+
+    # Figure 5 ----------------------------------------------------------
+    print("figure5 ...", flush=True)
+    tool_times = figures.figure5_tool_times(timing_suite, uarch="SKL")
+    lines = [f"{name:<13} TPU {times['TPU']:8.3f} ms   "
+             f"TPL {times['TPL']:8.3f} ms"
+             for name, times in tool_times.items()]
+    ratio = tool_times["uiCA"]["TPU"] / tool_times["Facile"]["TPU"]
+    sections.append("""## Figure 5 — per-benchmark prediction time
+
+Paper: Facile ~0.1 ms/benchmark, ~100x faster than uiCA and ~70x faster
+than Ithemal (an LSTM).  Our Ithemal analog is a linear model, so it is
+*faster* than the paper's Ithemal — an expected deviation recorded here;
+the simulation-based uiCA analog shows the paper's orders-of-magnitude
+gap.
+
+Reproduction:
+
+```
+""" + "\n".join(lines) + f"""
+```
+
+uiCA-to-Facile time ratio: {ratio:.0f}x.
+""")
+
+    # Figure 6 ----------------------------------------------------------
+    print("figure6 ...", flush=True)
+    flows = figures.figure6_bottleneck_evolution(suite)
+    first = flows[0]["from_shares"]
+    last = flows[-1]["to_shares"]
+    sections.append("""## Figure 6 — bottleneck evolution (TPU, SNB -> HSW -> CLX -> RKL)
+
+Paper: the Predec-bound share grows over the decade, the Ports-bound
+share shrinks.
+
+Reproduction:
+
+```
+""" + figures.render_figure6(flows) + f"""
+```
+
+Predec share: SNB {100 * first['Predec'] / size:.0f}% -> RKL \
+{100 * last['Predec'] / size:.0f}%;  Ports share: SNB \
+{100 * first['Ports'] / size:.0f}% -> RKL \
+{100 * last['Ports'] / size:.0f}%.
+""")
+
+    # Known deviations ---------------------------------------------------
+    sections.append("""## Known deviations from the paper
+
+1. **Absolute MAPE values of the weaker baselines** depend on the
+   synthetic suite's bottleneck mix; they land in the paper's 10-40%
+   band but do not match per-tool magnitudes (our analogs replicate
+   modeling *scope*, not each tool's exact heuristics).
+2. **Ithemal/learning-bl degrade more on BHiveL** than in the paper
+   (their L-mode errors are larger here): our loop variants diverge from
+   the unrolled ones more strongly than BHive's, because the synthetic
+   front-end-stressed blocks gain more from the DSB/LSD.
+3. **Ithemal analog speed**: a feature regression instead of an LSTM, so
+   Figure 5 shows it close to the analytical tools rather than 10 ms.
+4. **Facile can be marginally pessimistic (<1%)** on blocks where the
+   predecoder and decoder interact (IQ starvation realigns decode
+   groups); documented in DESIGN.md §5, visible only beyond the paper's
+   2-decimal rounding.
+5. **Table 4 magnitudes** are larger than the paper's (synthetic suite
+   stresses the predecoder harder); trends match.
+""")
+
+    elapsed = time.time() - started
+    sections.append(f"---\nGenerated in {elapsed:.0f} s "
+                    f"on the default offline substrate.\n")
+
+    with open("EXPERIMENTS.md", "w") as handle:
+        handle.write("\n".join(sections))
+    print(f"EXPERIMENTS.md written ({elapsed:.0f} s)")
+
+
+if __name__ == "__main__":
+    main()

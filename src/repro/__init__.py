@@ -1,0 +1,15 @@
+"""Reproduction of "Facile: Fast, Accurate, and Interpretable Basic-Block
+Throughput Prediction" (Abel, Sharma, Reineke — IISWC 2023).
+
+Public entry points:
+
+* :class:`repro.core.Facile` — the analytical throughput model.
+* :class:`repro.core.TraceFacile` — multi-block traces (§7 extension).
+* :class:`repro.isa.BasicBlock` — parse/assemble basic blocks.
+* :mod:`repro.uarch` — the nine microarchitecture configurations.
+* :mod:`repro.sim` — the cycle-level measurement substrate.
+* :mod:`repro.baselines` — comparison-predictor analogs.
+* :mod:`repro.eval` — tables and figures of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"

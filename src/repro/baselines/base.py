@@ -1,0 +1,62 @@
+"""The predictor interface and registry."""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional
+
+from repro.core.components import ThroughputMode
+from repro.isa.block import BasicBlock
+from repro.uarch.config import MicroArchConfig
+from repro.uops.database import UopsDatabase
+
+
+class Predictor(abc.ABC):
+    """A basic-block throughput predictor for one microarchitecture.
+
+    Args:
+        cfg: the target microarchitecture.
+        db: optionally shared uops database (predictors that, like the
+            real tools, read the uops.info data).
+    """
+
+    #: Display name used in tables (override in subclasses).
+    name: str = "predictor"
+    #: The throughput notion the tool is designed for ("unrolled",
+    #: "loop", or "both"); predictions for the other notion are still
+    #: produced (as the paper does "for completeness").
+    native_mode: str = "both"
+
+    def __init__(self, cfg: MicroArchConfig,
+                 db: Optional[UopsDatabase] = None):
+        self.cfg = cfg
+        self.db = db or UopsDatabase(cfg)
+
+    @abc.abstractmethod
+    def predict(self, block: BasicBlock, mode: ThroughputMode) -> float:
+        """Predicted cycles per iteration (rounded to 2 decimals)."""
+
+    def prepare(self, train_oracle=None) -> None:
+        """Hook for predictors that need training (learned analogs)."""
+
+
+_REGISTRY: Dict[str, Callable[..., Predictor]] = {}
+
+
+def register(factory: Callable[..., Predictor]) -> Callable[..., Predictor]:
+    """Class decorator adding a predictor to the registry."""
+    _REGISTRY[factory.name] = factory
+    return factory
+
+
+def predictor_names() -> List[str]:
+    """Names of all registered predictors (table order)."""
+    return list(_REGISTRY)
+
+
+def all_predictors(cfg: MicroArchConfig,
+                   db: Optional[UopsDatabase] = None,
+                   names: Optional[List[str]] = None) -> List[Predictor]:
+    """Instantiate registered predictors for *cfg*."""
+    chosen = names if names is not None else predictor_names()
+    return [_REGISTRY[name](cfg, db) for name in chosen]

@@ -1,0 +1,43 @@
+"""CQA analog: detailed front end and static port tables, no scheduler.
+
+CQA models the front end of the pipeline in detail and reports static
+per-port pressure from MAQAO's tables, but "does not model the back end
+[scheduler] because of its complexity and lack of documentation" (§2) —
+in particular it performs no dependence analysis.  It is committed to the
+loop (TPL) notion of throughput: evaluated against unrolled (BHiveU)
+measurements it keeps using its loop-mode front-end model, which
+reproduces the paper's large BHiveU errors next to its competitive
+BHiveL numbers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro.baselines.base import Predictor, register
+from repro.core.components import ThroughputMode
+from repro.core.dsb import dsb_bound
+from repro.core.issue import issue_bound
+from repro.core.lsd import lsd_bound, lsd_fits
+from repro.core.ports import ports_bound
+from repro.isa.block import BasicBlock
+from repro.uops.blockinfo import analyze_block, macro_ops
+
+
+@register
+class CqaAnalog(Predictor):
+    name = "CQA"
+    native_mode = "loop"
+
+    def predict(self, block: BasicBlock, mode: ThroughputMode) -> float:
+        del mode  # CQA always analyzes under the loop notion
+        analyzed = analyze_block(block, self.cfg, self.db)
+        ops = macro_ops(analyzed, self.cfg)
+        if lsd_fits(ops, self.cfg):
+            front_end = lsd_bound(ops, self.cfg)
+        else:
+            front_end = dsb_bound(ops, block.num_bytes, self.cfg)
+        issue = issue_bound(ops, self.cfg)
+        ports = ports_bound(ops).bound
+        return round(float(max(front_end, issue, ports)), 2)

@@ -1,0 +1,115 @@
+"""DiffTune analog: llvm-mca-shaped model with learned parameters.
+
+DiffTune learns llvm-mca's per-instruction scheduling parameters from
+unrolled-mode measurements via a differentiable surrogate.  The analog
+keeps the structure (a dispatch-width term, a port-pressure term, and a
+latency/chain term over per-class parameters) and fits the parameters to
+TPU measurements by random local search.  As in the paper, training on
+TPU only makes the model collapse on BHiveL benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import Predictor, register
+from repro.baselines.features import chain_depth, class_counts, MNEMONIC_CLASSES
+from repro.baselines.training import training_data
+from repro.core.components import ThroughputMode
+from repro.isa.block import BasicBlock
+from repro.uarch.config import MicroArchConfig
+from repro.uops.database import UopsDatabase
+
+_PARAM_CACHE: Dict[str, Tuple[np.ndarray, np.ndarray, float]] = {}
+
+_N = len(MNEMONIC_CLASSES)
+
+
+def _predict_raw(counts: np.ndarray, depth: float, width: int,
+                 uops: np.ndarray, rtp: np.ndarray,
+                 lat_scale: float) -> float:
+    dispatch = float(counts @ uops) / width
+    pressure = float(counts @ rtp)
+    chain = lat_scale * depth
+    return max(dispatch, pressure, chain, 0.25)
+
+
+def _loss(xs, depths, ys, width, uops, rtp, lat_scale) -> float:
+    total = 0.0
+    for counts, depth, y in zip(xs, depths, ys):
+        pred = _predict_raw(counts, depth, width, uops, rtp, lat_scale)
+        total += abs(y - pred) / max(y, 0.01)
+    return total / len(ys)
+
+
+def _train(cfg: MicroArchConfig,
+           iterations: int = 400) -> Tuple[np.ndarray, np.ndarray, float]:
+    blocks, values = training_data(cfg)
+    xs = [class_counts(b) for b in blocks]
+    depths = [chain_depth(b, weighted=True) for b in blocks]
+    rng = random.Random(42)
+    width = cfg.issue_width
+
+    uops = np.ones(_N)
+    rtp = np.full(_N, 0.3)
+    lat_scale = 1.0
+    best = _loss(xs, depths, values, width, uops, rtp, lat_scale)
+    for _ in range(iterations):
+        kind = rng.randrange(3)
+        if kind == 0:
+            idx = rng.randrange(_N)
+            old = uops[idx]
+            uops[idx] = max(0.0, old + rng.uniform(-0.5, 0.5))
+            cand = _loss(xs, depths, values, width, uops, rtp, lat_scale)
+            if cand < best:
+                best = cand
+            else:
+                uops[idx] = old
+        elif kind == 1:
+            idx = rng.randrange(_N)
+            old = rtp[idx]
+            rtp[idx] = max(0.0, old + rng.uniform(-0.25, 0.25))
+            cand = _loss(xs, depths, values, width, uops, rtp, lat_scale)
+            if cand < best:
+                best = cand
+            else:
+                rtp[idx] = old
+        else:
+            old = lat_scale
+            lat_scale = max(0.0, old + rng.uniform(-0.3, 0.3))
+            cand = _loss(xs, depths, values, width, uops, rtp, lat_scale)
+            if cand < best:
+                best = cand
+            else:
+                lat_scale = old
+    return uops, rtp, lat_scale
+
+
+@register
+class DiffTuneAnalog(Predictor):
+    name = "DiffTune"
+    native_mode = "unrolled"
+
+    def __init__(self, cfg: MicroArchConfig,
+                 db: Optional[UopsDatabase] = None):
+        super().__init__(cfg, db)
+        self._params: Optional[Tuple[np.ndarray, np.ndarray, float]] = None
+
+    def prepare(self, train_oracle=None) -> None:
+        if self._params is None:
+            key = self.cfg.abbrev
+            if key not in _PARAM_CACHE:
+                _PARAM_CACHE[key] = _train(self.cfg)
+            self._params = _PARAM_CACHE[key]
+
+    def predict(self, block: BasicBlock, mode: ThroughputMode) -> float:
+        del mode
+        self.prepare()
+        uops, rtp, lat_scale = self._params
+        value = _predict_raw(class_counts(block),
+                     chain_depth(block, weighted=True),
+                             self.cfg.issue_width, uops, rtp, lat_scale)
+        return round(value, 2)

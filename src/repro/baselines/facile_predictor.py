@@ -1,0 +1,28 @@
+"""Facile wrapped in the common predictor interface."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import Predictor, register
+from repro.core.components import ThroughputMode
+from repro.core.model import Facile
+from repro.isa.block import BasicBlock
+from repro.uarch.config import MicroArchConfig
+from repro.uops.database import UopsDatabase
+
+
+@register
+class FacilePredictor(Predictor):
+    """The paper's contribution, for side-by-side comparison."""
+
+    name = "Facile"
+    native_mode = "both"
+
+    def __init__(self, cfg: MicroArchConfig,
+                 db: Optional[UopsDatabase] = None, **facile_kwargs):
+        super().__init__(cfg, db)
+        self.model = Facile(cfg, db=self.db, **facile_kwargs)
+
+    def predict(self, block: BasicBlock, mode: ThroughputMode) -> float:
+        return self.model.predict(block, mode).cycles

@@ -1,0 +1,130 @@
+"""Token-level block features for the learned-predictor analogs.
+
+The features deliberately use only information a learned model could
+extract from the assembly tokens (mnemonics, operand shapes, register
+reuse) — no microarchitectural data — mirroring how Ithemal consumes
+token streams rather than uops.info.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.isa.block import BasicBlock
+
+#: Mnemonic classes (anything unlisted falls into the last bucket).
+MNEMONIC_CLASSES: List[str] = [
+    "add", "sub", "and", "or", "xor", "cmp", "test", "inc", "dec",
+    "mov", "movzx", "movsxd", "lea", "shl", "shr", "sar", "imul", "mul",
+    "div", "adc", "sbb", "neg", "not", "xchg", "push", "pop", "nop",
+    "setcc", "cmov", "jcc", "jmp", "bswap", "popcnt", "bitscan",
+    "sse_add", "sse_mul", "sse_div", "vec_int", "vec_logic", "vec_mov",
+    "other",
+]
+
+_CLASS_INDEX: Dict[str, int] = {c: i for i, c in enumerate(MNEMONIC_CLASSES)}
+
+_DIRECT = {m: m for m in (
+    "add", "sub", "and", "or", "xor", "cmp", "test", "inc", "dec",
+    "mov", "movzx", "movsxd", "lea", "shl", "shr", "sar", "imul", "mul",
+    "div", "adc", "sbb", "neg", "not", "xchg", "push", "pop", "jmp",
+    "bswap", "popcnt",
+)}
+
+
+def classify(mnemonic: str) -> str:
+    """Map an assembly mnemonic to its feature class."""
+    if mnemonic in _DIRECT:
+        return _DIRECT[mnemonic]
+    if mnemonic.startswith("nop"):
+        return "nop"
+    if mnemonic.startswith("set"):
+        return "setcc"
+    if mnemonic.startswith("cmov"):
+        return "cmov"
+    if mnemonic.startswith("j"):
+        return "jcc"
+    if mnemonic in ("lzcnt", "tzcnt", "bsf", "bsr"):
+        return "bitscan"
+    if mnemonic in ("addps", "addpd", "addss", "addsd", "subps", "minps",
+                    "maxps", "vaddps", "vsubps"):
+        return "sse_add"
+    if mnemonic in ("mulps", "mulpd", "mulss", "mulsd", "vmulps",
+                    "pmulld"):
+        return "sse_mul"
+    if mnemonic in ("divps", "divss", "sqrtps", "vdivps"):
+        return "sse_div"
+    if mnemonic in ("paddd", "psubd", "paddq", "vpaddd"):
+        return "vec_int"
+    if mnemonic in ("pxor", "pand", "por", "vpxor"):
+        return "vec_logic"
+    if mnemonic in ("movaps", "vmovaps"):
+        return "vec_mov"
+    return "other"
+
+
+def class_counts(block: BasicBlock) -> np.ndarray:
+    """Counts per mnemonic class."""
+    counts = np.zeros(len(MNEMONIC_CLASSES))
+    for instr in block:
+        counts[_CLASS_INDEX[classify(instr.mnemonic)]] += 1
+    return counts
+
+
+#: Token-level latency prior for the weighted chain feature — the kind of
+#: regularity a sequence model learns from data without microarchitectural
+#: input (multiplies are slower than adds, divides much slower).
+_LATENCY_PRIOR = {
+    "imul": 3.0, "mul": 3.0, "div": 25.0, "popcnt": 3.0, "bitscan": 3.0,
+    "sse_add": 3.5, "sse_mul": 4.0, "sse_div": 12.0, "bswap": 2.0,
+}
+
+
+def chain_depth(block: BasicBlock, weighted: bool = False) -> float:
+    """Longest register-reuse chain.
+
+    A token-level proxy for the dependence structure: depth increases
+    along write-read register reuse within one pass over the block, plus
+    one wrap-around pass to expose loop carrying.  The *weighted* variant
+    applies the latency prior; the unweighted one counts instructions.
+    """
+    depth: Dict[str, float] = {}
+    longest = 0.0
+    for _round in range(2):
+        for instr in block:
+            cost = 1.0
+            if weighted:
+                cost = _LATENCY_PRIOR.get(classify(instr.mnemonic), 1.0)
+                if instr.template.loads:
+                    cost += 4.0
+            sources = [depth.get(r.name, 0.0) for r in instr.regs_read()]
+            d = (max(sources) if sources else 0.0) + cost
+            for reg in instr.regs_written():
+                depth[reg.name] = d
+            longest = max(longest, d)
+    return longest / 2.0
+
+
+def feature_vector(block: BasicBlock) -> np.ndarray:
+    """The full feature vector (bias last)."""
+    counts = class_counts(block)
+    n_loads = sum(1 for i in block if i.template.loads)
+    n_stores = sum(1 for i in block if i.template.stores)
+    n_lcp = sum(1 for i in block if i.has_lcp)
+    extra = np.array([
+        len(block),
+        block.num_bytes / 16.0,
+        n_loads,
+        n_stores,
+        n_lcp,
+        chain_depth(block),
+        chain_depth(block, weighted=True),
+        1.0,  # bias
+    ])
+    return np.concatenate([counts, extra])
+
+
+#: Total feature dimension.
+DIM = len(MNEMONIC_CLASSES) + 8

@@ -1,0 +1,56 @@
+"""IACA analog: issue width and port contention, no dependence analysis.
+
+IACA's throughput analysis models allocation width and execution-port
+pressure including macro/micro fusion, but does not account for
+loop-carried dependence chains, so it is systematically optimistic on
+latency-bound blocks.  IACA 2.3 and 3.0 are registered separately: the
+older version distributes port pressure slightly differently (it predates
+the port-assignment rework), modeled here as ignoring the restriction of
+stores with indexed addresses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.baselines.base import Predictor, register
+from repro.core.components import ThroughputMode
+from repro.core.issue import issue_bound
+from repro.core.ports import ports_bound
+from repro.isa.block import BasicBlock
+from repro.uarch.config import MicroArchConfig
+from repro.uops.blockinfo import analyze_block, macro_ops
+from repro.uops.database import UopsDatabase
+
+
+@register
+class IacaAnalog(Predictor):
+    name = "IACA 3.0"
+    native_mode = "loop"
+
+    def predict(self, block: BasicBlock, mode: ThroughputMode) -> float:
+        del mode
+        ops = macro_ops(analyze_block(block, self.cfg, self.db), self.cfg)
+        return round(float(max(issue_bound(ops, self.cfg),
+                               ports_bound(ops).bound)), 2)
+
+
+@register
+class Iaca23Analog(Predictor):
+    name = "IACA 2.3"
+    native_mode = "loop"
+
+    def __init__(self, cfg: MicroArchConfig,
+                 db: Optional[UopsDatabase] = None):
+        # Pre-rework port model: indexed stores keep the full AGU set.
+        port_map = dict(cfg.port_map)
+        port_map["store_agu_indexed"] = port_map["store_agu"]
+        relaxed = dataclasses.replace(cfg, port_map=port_map)
+        super().__init__(relaxed, UopsDatabase(relaxed))
+
+    def predict(self, block: BasicBlock, mode: ThroughputMode) -> float:
+        del mode
+        ops = macro_ops(analyze_block(block, self.cfg, self.db), self.cfg)
+        return round(float(max(issue_bound(ops, self.cfg),
+                               ports_bound(ops).bound)), 2)

@@ -1,0 +1,60 @@
+"""The simple learned baseline of [7] ("learning-bl" in Table 2).
+
+[7] showed that a trivial model — a learned additive cost per opcode —
+is competitive with DiffTune.  The analog fits non-negative per-class
+costs to TPU measurements by alternating least squares and clipping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.baselines.base import Predictor, register
+from repro.baselines.features import class_counts, MNEMONIC_CLASSES
+from repro.baselines.training import training_data
+from repro.core.components import ThroughputMode
+from repro.isa.block import BasicBlock
+from repro.uarch.config import MicroArchConfig
+from repro.uops.database import UopsDatabase
+
+_COST_CACHE: Dict[str, np.ndarray] = {}
+
+
+def _train(cfg: MicroArchConfig) -> np.ndarray:
+    blocks, values = training_data(cfg)
+    x = np.array([class_counts(b) for b in blocks])
+    y = np.array(values)
+    costs, *_ = np.linalg.lstsq(x, y, rcond=None)
+    for _ in range(4):
+        costs = np.clip(costs, 0.0, None)
+        # One refinement pass with ridge regularization toward the
+        # clipped values keeps the solution non-negative and stable.
+        gram = x.T @ x + 0.5 * np.eye(x.shape[1])
+        costs = np.linalg.solve(gram, x.T @ y + 0.5 * costs)
+    return np.clip(costs, 0.0, None)
+
+
+@register
+class LearningBaseline(Predictor):
+    name = "learning-bl"
+    native_mode = "unrolled"
+
+    def __init__(self, cfg: MicroArchConfig,
+                 db: Optional[UopsDatabase] = None):
+        super().__init__(cfg, db)
+        self._costs: Optional[np.ndarray] = None
+
+    def prepare(self, train_oracle=None) -> None:
+        if self._costs is None:
+            key = self.cfg.abbrev
+            if key not in _COST_CACHE:
+                _COST_CACHE[key] = _train(self.cfg)
+            self._costs = _COST_CACHE[key]
+
+    def predict(self, block: BasicBlock, mode: ThroughputMode) -> float:
+        del mode
+        self.prepare()
+        value = float(class_counts(block) @ self._costs)
+        return round(max(0.25, value), 2)

@@ -1,0 +1,83 @@
+"""llvm-mca analog: back-end-only timeline analysis.
+
+llvm-mca builds on LLVM scheduling models: it sees instruction latencies
+and port usage, but models neither the front end (predecoder, decoders,
+DSB, LSD) nor macro/micro fusion — the omissions the paper calls out
+(§2).  Two versions are registered, mirroring the paper's llvm-mca-8 and
+llvm-mca-15 columns: the older one additionally lacks zero-idiom
+elimination.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+from typing import List, Optional
+
+from repro.baselines.base import Predictor, register
+from repro.core.components import ThroughputMode
+from repro.core.ports import ports_bound
+from repro.core.precedence import precedence_bound
+from repro.isa.block import BasicBlock
+from repro.uarch.config import MicroArchConfig
+from repro.uops.blockinfo import MacroOp, analyze_block
+from repro.uops.database import UopsDatabase
+
+
+def _no_elimination_db(cfg: MicroArchConfig) -> UopsDatabase:
+    """A database view without move elimination (tools that predate or
+    ignore it)."""
+    return UopsDatabase(dataclasses.replace(
+        cfg, gpr_move_elim=False, vec_move_elim=False))
+
+
+class _BackEndOnly(Predictor):
+    """Shared scaffolding for back-end-only analogs."""
+
+    model_zero_idioms = True
+
+    def __init__(self, cfg: MicroArchConfig,
+                 db: Optional[UopsDatabase] = None):
+        super().__init__(cfg, db)
+        self._db = _no_elimination_db(cfg)
+
+    def _unfused_ops(self, block: BasicBlock) -> List[MacroOp]:
+        """Per-instruction macro-ops without fusion or elimination."""
+        ops = []
+        for idx, instr in enumerate(block):
+            info = self._db.info(instr)
+            if not self.model_zero_idioms and info.eliminated:
+                # Treat the idiom as a plain ALU µop.
+                info = dataclasses.replace(
+                    info, eliminated=False,
+                    port_sets=(self.cfg.ports_for(
+                        "vec_logic" if instr.template.slots
+                        and instr.template.slots[0].regclass == "vec"
+                        else "int_alu"),))
+            ops.append(MacroOp((instr,), info, idx))
+        return ops
+
+    def predict(self, block: BasicBlock, mode: ThroughputMode) -> float:
+        del mode  # no front end: both notions are predicted identically
+        ops = self._unfused_ops(block)
+        dispatch = Fraction(
+            sum(op.info.dispatched_uops or op.info.issued_uops
+                for op in ops),
+            self.cfg.issue_width)
+        ports = ports_bound(ops).bound
+        precedence = precedence_bound(block, self._db).bound
+        return round(float(max(dispatch, ports, precedence)), 2)
+
+
+@register
+class LlvmMcaAnalog(_BackEndOnly):
+    name = "llvm-mca-15"
+    native_mode = "loop"
+    model_zero_idioms = True
+
+
+@register
+class LlvmMca8Analog(_BackEndOnly):
+    name = "llvm-mca-8"
+    native_mode = "loop"
+    model_zero_idioms = False

@@ -1,0 +1,41 @@
+"""OSACA analog: optimal port distribution plus critical-path analysis.
+
+OSACA reports per-port pressure assuming an optimal distribution and the
+loop-carried dependency path, but models neither the front end nor macro
+or micro fusion.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.base import Predictor, register
+from repro.baselines.llvm_mca import _no_elimination_db
+from repro.core.components import ThroughputMode
+from repro.core.ports import ports_bound
+from repro.core.precedence import precedence_bound
+from repro.isa.block import BasicBlock
+from repro.uarch.config import MicroArchConfig
+from repro.uops.blockinfo import MacroOp
+from repro.uops.database import UopsDatabase
+
+
+@register
+class OsacaAnalog(Predictor):
+    name = "OSACA"
+    native_mode = "loop"
+
+    def __init__(self, cfg: MicroArchConfig,
+                 db: Optional[UopsDatabase] = None):
+        super().__init__(cfg, db)
+        self._db = _no_elimination_db(cfg)
+
+    def predict(self, block: BasicBlock, mode: ThroughputMode) -> float:
+        del mode
+        ops: List[MacroOp] = [
+            MacroOp((instr,), self._db.info(instr), idx)
+            for idx, instr in enumerate(block)
+        ]
+        ports = ports_bound(ops).bound
+        critical_path = precedence_bound(block, self._db).bound
+        return round(float(max(ports, critical_path)), 2)

@@ -1,0 +1,39 @@
+"""Shared training infrastructure for the learned-predictor analogs.
+
+Like the real Ithemal/DiffTune, the analogs are trained on *unrolled*
+(TPU) measurements — which is precisely why they degrade on BHiveL in
+Table 2.  Training data comes from the oracle simulator (the measurement
+substrate) on a dedicated suite disjoint from the evaluation suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bhive.suite import BenchmarkSuite
+from repro.core.components import ThroughputMode
+from repro.isa.block import BasicBlock
+from repro.sim.measure import measure
+from repro.uarch.config import MicroArchConfig
+from repro.uops.database import UopsDatabase
+
+TRAIN_SEED = 7777
+TRAIN_SIZE = 150
+
+_DATA_CACHE: Dict[Tuple[str, int, int],
+                  Tuple[List[BasicBlock], List[float]]] = {}
+
+
+def training_data(cfg: MicroArchConfig, size: int = TRAIN_SIZE,
+                  seed: int = TRAIN_SEED,
+                  ) -> Tuple[List[BasicBlock], List[float]]:
+    """(blocks, TPU measurements) for training, cached per µarch."""
+    key = (cfg.abbrev, size, seed)
+    if key not in _DATA_CACHE:
+        suite = BenchmarkSuite.generate(size, seed)
+        db = UopsDatabase(cfg)
+        blocks = suite.blocks(loop=False)
+        values = [measure(b, cfg, ThroughputMode.UNROLLED, db)
+                  for b in blocks]
+        _DATA_CACHE[key] = (blocks, values)
+    return _DATA_CACHE[key]

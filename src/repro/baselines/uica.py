@@ -1,0 +1,36 @@
+"""uiCA analog: detailed cycle-level simulation.
+
+uiCA models the front end, the back end, fusion and move elimination at a
+high level of detail — like our oracle.  The analog shares the oracle's
+pipeline model but, like the real tool, does not model the retirement
+width or scheduler/ROB capacities exactly (Intel does not document them
+for all generations), which is what separates its predictions from the
+"hardware" by a fraction of a percent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import Predictor, register
+from repro.core.components import ThroughputMode
+from repro.isa.block import BasicBlock
+from repro.sim.backend import SimOptions
+from repro.sim.simulator import Simulator
+from repro.uarch.config import MicroArchConfig
+from repro.uops.database import UopsDatabase
+
+
+@register
+class UicaAnalog(Predictor):
+    name = "uiCA"
+    native_mode = "both"
+
+    def __init__(self, cfg: MicroArchConfig,
+                 db: Optional[UopsDatabase] = None):
+        super().__init__(cfg, db)
+        self.simulator = Simulator(
+            cfg, SimOptions(model_resources=False), self.db)
+
+    def predict(self, block: BasicBlock, mode: ThroughputMode) -> float:
+        return round(self.simulator.throughput(block, mode), 2)

@@ -1,0 +1,35 @@
+"""BHive substrate: a synthetic basic-block benchmark suite.
+
+The original evaluation uses (a filtered version of) the BHive suite —
+300k+ basic blocks extracted from real applications in numerical
+computing, databases, compilers, machine learning and cryptography.  The
+suite is not redistributable offline, so this package generates a
+*synthetic* suite with the property that actually matters for the
+evaluation: a diverse, reproducible distribution of blocks whose
+bottlenecks span the predecoder, the decoders, the issue stage, the
+execution ports, and loop-carried dependence chains.
+
+Every benchmark comes in two variants, mirroring the paper's §6.1:
+
+* **BHiveU**: the plain block (no branch) — measured under the unrolled
+  (TPU) notion of throughput.
+* **BHiveL**: the same block ending in a backward conditional branch —
+  measured under the loop (TPL) notion.
+
+All generated blocks conform to the modeling assumptions of §3.3 by
+construction (no unaligned accesses modeled, no branch bodies, register
+and L1-resident memory traffic only).
+"""
+
+from repro.bhive.categories import CATEGORIES, Category
+from repro.bhive.generator import BlockGenerator
+from repro.bhive.suite import Benchmark, BenchmarkSuite, default_suite
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkSuite",
+    "BlockGenerator",
+    "CATEGORIES",
+    "Category",
+    "default_suite",
+]

@@ -1,0 +1,71 @@
+"""Benchmark categories mirroring BHive's application domains."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Category:
+    """One workload category.
+
+    Attributes:
+        name: identifier used in reports.
+        weight: sampling weight in the default suite.
+        min_instructions / max_instructions: block size range.
+        chain_probability: probability that an instruction extends an
+            existing dependence chain rather than starting a fresh one
+            (higher values produce Precedence-bound blocks).
+        description: what the category stands in for.
+    """
+
+    name: str
+    weight: float
+    min_instructions: int
+    max_instructions: int
+    chain_probability: float
+    description: str
+
+
+#: The default category mix.  Weights are tuned so that the bottleneck
+#: distribution over the generated suite is diverse (cf. Figure 6 of the
+#: paper, where Predec/Dec/Issue/Ports/Precedence all appear).
+CATEGORIES: Tuple[Category, ...] = (
+    Category(
+        name="scalar_int", weight=0.26,
+        min_instructions=2, max_instructions=14, chain_probability=0.15,
+        description="compiler/database scalar code: ALU, lea, mov, "
+                    "cmp/test, shifts, an occasional imul",
+    ),
+    Category(
+        name="numerical", weight=0.20,
+        min_instructions=3, max_instructions=16, chain_probability=0.10,
+        description="numerical kernels: SSE/AVX floating point with "
+                    "loads and independent accumulator streams",
+    ),
+    Category(
+        name="memory", weight=0.16,
+        min_instructions=2, max_instructions=12, chain_probability=0.15,
+        description="pointer-rich database-style code: loads, stores, "
+                    "read-modify-write, address arithmetic",
+    ),
+    Category(
+        name="crypto", weight=0.08,
+        min_instructions=4, max_instructions=18, chain_probability=0.55,
+        description="cryptography-style long dependence chains: xor, "
+                    "shifts, rotates-by-shift, bswap, popcnt",
+    ),
+    Category(
+        name="mov_heavy", weight=0.12,
+        min_instructions=3, max_instructions=12, chain_probability=0.10,
+        description="register shuffles and spills: mov r,r / push / pop "
+                    "/ stack traffic (move-elimination sensitive)",
+    ),
+    Category(
+        name="front_end", weight=0.18,
+        min_instructions=4, max_instructions=16, chain_probability=0.05,
+        description="front-end stressors: long-encoding instructions, "
+                    "multi-byte NOPs, 16-bit immediates (LCP stalls)",
+    ),
+)

@@ -1,0 +1,296 @@
+"""Seeded random generation of benchmark basic blocks."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bhive.categories import CATEGORIES, Category
+from repro.isa.assembler import assemble
+from repro.isa.block import BasicBlock
+
+#: Data registers (64-bit roots) the generator cycles through.
+_DATA_REGS = ("rax", "rbx", "rcx", "rdx", "r8", "r9", "r10", "r11")
+#: Pointer registers used as bases of memory operands.
+_PTR_REGS = ("rsi", "rdi", "r12", "r13", "r14", "r15", "rbp")
+#: 16-bit views of the data registers (for LCP instructions).
+_REG16 = {"rax": "ax", "rbx": "bx", "rcx": "cx", "rdx": "dx",
+          "r8": "r8w", "r9": "r9w", "r10": "r10w", "r11": "r11w"}
+
+_ALU_MNEMONICS = ("add", "sub", "and", "or", "xor")
+
+
+class _GenState:
+    """Mutable per-block generation state (register chains)."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.last_gpr: Optional[str] = None
+        self.last_vec: Optional[str] = None
+        self._gpr_cursor = rng.randrange(len(_DATA_REGS))
+        self._vec_cursor = rng.randrange(8)
+
+    def fresh_gpr(self) -> str:
+        self._gpr_cursor = (self._gpr_cursor + 1) % len(_DATA_REGS)
+        return _DATA_REGS[self._gpr_cursor]
+
+    def gpr_dest(self, chain: bool) -> str:
+        if chain and self.last_gpr is not None:
+            return self.last_gpr
+        reg = self.fresh_gpr()
+        self.last_gpr = reg
+        return reg
+
+    def gpr_src(self, chain: bool) -> str:
+        if chain and self.last_gpr is not None:
+            return self.last_gpr
+        return self.rng.choice(_DATA_REGS)
+
+    def fresh_vec(self, width: str = "xmm") -> str:
+        self._vec_cursor = (self._vec_cursor + 1) % 16
+        return f"{width}{self._vec_cursor}"
+
+    def vec_dest(self, chain: bool, width: str = "xmm") -> str:
+        if chain and self.last_vec is not None \
+                and self.last_vec.startswith(width):
+            return self.last_vec
+        reg = self.fresh_vec(width)
+        self.last_vec = reg
+        return reg
+
+    def vec_src(self, width: str = "xmm") -> str:
+        return f"{width}{self.rng.randrange(16)}"
+
+    def ptr(self) -> str:
+        return self.rng.choice(_PTR_REGS)
+
+    def disp(self) -> int:
+        return self.rng.choice((0, 8, 16, 24, 32, 64, 128, 256))
+
+
+_Builder = Callable[[_GenState, bool], str]
+
+
+def _alu_rr(state: _GenState, chain: bool) -> str:
+    mnem = state.rng.choice(_ALU_MNEMONICS)
+    dst = state.gpr_dest(chain)
+    src = state.gpr_src(False)
+    return f"{mnem} {dst}, {src}"
+
+def _alu_ri(state: _GenState, chain: bool) -> str:
+    mnem = state.rng.choice(_ALU_MNEMONICS + ("cmp",))
+    dst = state.gpr_dest(chain)
+    imm = state.rng.choice((1, 7, 100, 5000, 1 << 20))
+    return f"{mnem} {dst}, {imm}"
+
+def _mov_ri(state: _GenState, chain: bool) -> str:
+    del chain
+    return f"mov {state.fresh_gpr()}, {state.rng.randrange(1, 1 << 30)}"
+
+def _mov_rr(state: _GenState, chain: bool) -> str:
+    return f"mov {state.fresh_gpr()}, {state.gpr_src(chain)}"
+
+def _lea(state: _GenState, chain: bool) -> str:
+    dst = state.gpr_dest(chain)
+    base = state.gpr_src(chain)
+    index = state.gpr_src(False)
+    scale = state.rng.choice((1, 2, 4, 8))
+    if state.rng.random() < 0.5:
+        return f"lea {dst}, [{base}+{index}*{scale}]"
+    return f"lea {dst}, [{base}+{index}*{scale}+{state.disp() or 8}]"
+
+def _imul(state: _GenState, chain: bool) -> str:
+    return f"imul {state.gpr_dest(chain)}, {state.gpr_src(False)}"
+
+def _shift(state: _GenState, chain: bool) -> str:
+    mnem = state.rng.choice(("shl", "shr", "sar"))
+    return f"{mnem} {state.gpr_dest(chain)}, {state.rng.randrange(1, 32)}"
+
+def _movzx(state: _GenState, chain: bool) -> str:
+    del chain
+    lo = {"rax": "al", "rbx": "bl", "rcx": "cl", "rdx": "dl",
+          "r8": "r8b", "r9": "r9b", "r10": "r10b", "r11": "r11b"}
+    src = state.rng.choice(list(lo.values()))
+    dst32 = {"rax": "eax", "rbx": "ebx", "rcx": "ecx", "rdx": "edx",
+             "r8": "r8d", "r9": "r9d", "r10": "r10d",
+             "r11": "r11d"}[state.fresh_gpr()]
+    return f"movzx {dst32}, {src}"
+
+def _cmp_setcc(state: _GenState, chain: bool) -> str:
+    del chain
+    return f"set{state.rng.choice(('e', 'ne', 'l', 'ge'))} al"
+
+def _cmov(state: _GenState, chain: bool) -> str:
+    cond = state.rng.choice(("e", "ne", "l", "ge"))
+    return f"cmov{cond} {state.gpr_dest(chain)}, {state.gpr_src(False)}"
+
+def _load(state: _GenState, chain: bool) -> str:
+    dst = state.gpr_dest(chain)
+    base = state.ptr()
+    if state.rng.random() < 0.3:
+        index = state.gpr_src(False)
+        return f"mov {dst}, qword ptr [{base}+{index}*8+{state.disp()}]"
+    return f"mov {dst}, qword ptr [{base}+{state.disp()}]"
+
+def _store(state: _GenState, chain: bool) -> str:
+    src = state.gpr_src(chain)
+    base = state.ptr()
+    if state.rng.random() < 0.25:
+        index = state.gpr_src(False)
+        return f"mov qword ptr [{base}+{index}*8+{state.disp()}], {src}"
+    return f"mov qword ptr [{base}+{state.disp()}], {src}"
+
+def _rmw(state: _GenState, chain: bool) -> str:
+    mnem = state.rng.choice(("add", "sub", "and", "or"))
+    return (f"{mnem} qword ptr [{state.ptr()}+{state.disp()}], "
+            f"{state.gpr_src(chain)}")
+
+def _alu_load(state: _GenState, chain: bool) -> str:
+    mnem = state.rng.choice(("add", "sub", "and", "xor"))
+    dst = state.gpr_dest(chain)
+    return f"{mnem} {dst}, qword ptr [{state.ptr()}+{state.disp()}]"
+
+def _push_pop(state: _GenState, chain: bool) -> str:
+    del chain
+    if state.rng.random() < 0.5:
+        return f"push {state.gpr_src(False)}"
+    return f"pop {state.fresh_gpr()}"
+
+def _bswap(state: _GenState, chain: bool) -> str:
+    return f"bswap {state.gpr_dest(chain)}"
+
+def _popcnt(state: _GenState, chain: bool) -> str:
+    mnem = state.rng.choice(("popcnt", "lzcnt", "tzcnt"))
+    return f"{mnem} {state.gpr_dest(chain)}, {state.gpr_src(chain)}"
+
+def _lcp(state: _GenState, chain: bool) -> str:
+    reg = _REG16[state.gpr_dest(chain)]
+    mnem = state.rng.choice(("add", "mov", "cmp"))
+    return f"{mnem} {reg}, {state.rng.randrange(300, 30000)}"
+
+def _nop(state: _GenState, chain: bool) -> str:
+    del chain
+    length = state.rng.choice((1, 4, 5, 7, 8, 9, 10, 15))
+    return "nop" if length == 1 else f"nop{length}"
+
+def _sse_fp(state: _GenState, chain: bool) -> str:
+    mnem = state.rng.choice(("addps", "mulps", "subps", "minps", "maxps",
+                             "addss", "mulsd", "addpd"))
+    dst = state.vec_dest(chain)
+    return f"{mnem} {dst}, {state.vec_src()}"
+
+def _sse_int(state: _GenState, chain: bool) -> str:
+    mnem = state.rng.choice(("paddd", "psubd", "pxor", "pand", "por",
+                             "paddq"))
+    return f"{mnem} {state.vec_dest(chain)}, {state.vec_src()}"
+
+def _vec_mov(state: _GenState, chain: bool) -> str:
+    del chain
+    return f"movaps {state.fresh_vec()}, {state.vec_src()}"
+
+def _vec_load(state: _GenState, chain: bool) -> str:
+    del chain
+    return (f"movaps {state.fresh_vec()}, "
+            f"xmmword ptr [{state.ptr()}+{state.disp()}]")
+
+def _vec_store(state: _GenState, chain: bool) -> str:
+    del chain
+    return (f"movaps xmmword ptr [{state.ptr()}+{state.disp()}], "
+            f"{state.vec_src()}")
+
+def _avx_fp(state: _GenState, chain: bool) -> str:
+    mnem = state.rng.choice(("vaddps", "vmulps", "vsubps"))
+    width = state.rng.choice(("xmm", "ymm"))
+    dst = state.vec_dest(chain, width)
+    return f"{mnem} {dst}, {state.vec_src(width)}, {state.vec_src(width)}"
+
+def _fp_div(state: _GenState, chain: bool) -> str:
+    return f"divps {state.vec_dest(chain)}, {state.vec_src()}"
+
+def _fp_load(state: _GenState, chain: bool) -> str:
+    mnem = state.rng.choice(("addps", "mulps"))
+    dst = state.vec_dest(chain)
+    return f"{mnem} {dst}, xmmword ptr [{state.ptr()}+{state.disp()}]"
+
+
+#: Per-category weighted instruction menus.
+_MENUS: Dict[str, List[Tuple[float, _Builder]]] = {
+    "scalar_int": [
+        (0.26, _alu_rr), (0.15, _alu_ri), (0.13, _lea), (0.11, _mov_rr),
+        (0.08, _mov_ri), (0.07, _shift), (0.03, _imul), (0.06, _load),
+        (0.04, _cmov), (0.04, _movzx), (0.02, _cmp_setcc), (0.01, _lcp),
+    ],
+    "numerical": [
+        (0.22, _sse_fp), (0.13, _avx_fp), (0.14, _fp_load),
+        (0.15, _vec_load), (0.08, _sse_int), (0.10, _vec_store),
+        (0.05, _alu_rr), (0.04, _lea), (0.08, _vec_mov), (0.01, _fp_div),
+    ],
+    "memory": [
+        (0.28, _load), (0.20, _store), (0.14, _alu_load), (0.12, _rmw),
+        (0.10, _lea), (0.10, _alu_rr), (0.06, _mov_rr),
+    ],
+    "crypto": [
+        (0.28, _alu_rr), (0.20, _shift), (0.14, _popcnt), (0.10, _bswap),
+        (0.10, _alu_ri), (0.08, _imul), (0.06, _load), (0.04, _mov_rr),
+    ],
+    "mov_heavy": [
+        (0.34, _mov_rr), (0.18, _push_pop), (0.14, _store), (0.12, _load),
+        (0.12, _vec_mov), (0.10, _alu_rr),
+    ],
+    "front_end": [
+        (0.30, _nop), (0.20, _lcp), (0.18, _alu_rr), (0.12, _mov_ri),
+        (0.10, _lea), (0.10, _vec_mov),
+    ],
+}
+
+
+class BlockGenerator:
+    """Deterministic benchmark generator.
+
+    Args:
+        seed: RNG seed; suites are fully reproducible from it.
+
+    The generator emits only instructions available on *all* evaluated
+    microarchitectures (SSE + 128/256-bit AVX1), like the original BHive
+    suite, so the same benchmarks can be measured on every generation
+    from Sandy Bridge to Rocket Lake.
+    """
+
+    def __init__(self, seed: int = 2023):
+        self.rng = random.Random(seed)
+
+    def body(self, category: Category) -> List[str]:
+        """Generate the assembly lines of one block body."""
+        rng = self.rng
+        state = _GenState(rng)
+        menu = _MENUS[category.name]
+        weights = [w for w, _ in menu]
+        builders = [b for _, b in menu]
+        n = rng.randint(category.min_instructions,
+                        category.max_instructions)
+        lines = []
+        for _ in range(n):
+            builder = rng.choices(builders, weights=weights)[0]
+            chain = rng.random() < category.chain_probability
+            lines.append(builder(state, chain))
+        return lines
+
+    def block_pair(self, category: Category
+                   ) -> Tuple[BasicBlock, BasicBlock]:
+        """Generate the (BHiveU, BHiveL) variants of one benchmark."""
+        lines = self.body(category)
+        block_u = BasicBlock(assemble("\n".join(lines)))
+
+        loop_lines = list(lines)
+        cond = self.rng.choice(("ne", "e", "l", "ge"))
+        if self.rng.random() < 0.5:
+            loop_lines.append(f"cmp {_DATA_REGS[self.rng.randrange(8)]}, "
+                              f"{_DATA_REGS[self.rng.randrange(8)]}")
+        body_len = BasicBlock(assemble("\n".join(loop_lines))).num_bytes
+        if body_len + 2 <= 128:
+            disp = -(body_len + 2)
+        else:
+            disp = -(body_len + 6)
+        loop_lines.append(f"j{cond} {disp}")
+        block_l = BasicBlock(assemble("\n".join(loop_lines)))
+        return block_u, block_l

@@ -1,0 +1,172 @@
+"""Command-line front end (the reproduction's ``facile.py`` equivalent).
+
+Examples::
+
+    facile predict --uarch SKL --mode loop --asm "add rax, rbx\\njne -5"
+    facile predict --uarch RKL --hex 4801d875f4
+    facile table1
+    facile table2 --size 50 --uarch SKL
+    facile table4 --size 50
+    facile figure6 --size 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bhive.suite import default_suite
+from repro.core.components import Component, ThroughputMode
+from repro.core.counterfactual import idealized_speedup
+from repro.core.model import Facile
+from repro.eval import figures, tables
+from repro.isa.block import BasicBlock
+from repro.uarch import ALL_UARCHS, uarch_by_name
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    cfg = uarch_by_name(args.uarch)
+    if args.hex:
+        block = BasicBlock.from_bytes(bytes.fromhex(args.hex))
+    elif args.asm:
+        block = BasicBlock.from_asm(args.asm.replace("\\n", "\n"))
+    elif args.file:
+        with open(args.file) as handle:
+            block = BasicBlock.from_asm(handle.read())
+    else:
+        print("one of --asm/--hex/--file is required", file=sys.stderr)
+        return 2
+    mode = (ThroughputMode.LOOP if args.mode == "loop"
+            else ThroughputMode.UNROLLED)
+    prediction = Facile(cfg).predict(block, mode)
+
+    print(f"block ({len(block)} instructions, {block.num_bytes} bytes):")
+    for line in block.text().splitlines():
+        print(f"    {line}")
+    print(f"µarch: {cfg.name} ({cfg.abbrev});  mode: {mode.value}")
+    print(f"predicted throughput: {prediction.cycles:.2f} cycles/iteration")
+    print("component bounds:")
+    for comp, bound in prediction.bounds.items():
+        marker = "  <-- bottleneck" if comp in prediction.bottlenecks else ""
+        print(f"    {comp.value:<11} {float(bound):8.2f}{marker}")
+    if prediction.fe_component is not None:
+        print(f"front-end path: {prediction.fe_component.value}"
+              + ("  (JCC erratum)" if prediction.jcc_affected else ""))
+    if prediction.critical_instruction_indices:
+        print("critical instructions: "
+              f"{prediction.critical_instruction_indices}")
+    print("counterfactual speedups (component idealized):")
+    for comp in prediction.bounds:
+        speedup = idealized_speedup(prediction, comp)
+        if speedup is not None:
+            print(f"    {comp.value:<11} {speedup:8.2f}x")
+    return 0
+
+
+def _suite(args: argparse.Namespace):
+    return default_suite(args.size, args.seed)
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    del args
+    print(tables.render_table1())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    uarchs = ([uarch_by_name(args.uarch)] if args.uarch
+              else list(ALL_UARCHS))
+    rows = tables.table2(_suite(args), uarchs)
+    print(tables.render_table2(rows))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    rows = tables.table3(_suite(args))
+    print(tables.render_table3(rows))
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    print(tables.render_table4(tables.table4(_suite(args))))
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    for heatmap in figures.figure3_heatmaps(_suite(args)):
+        print(f"== {heatmap.predictor} "
+              f"(diagonal fraction {heatmap.diagonal_fraction:.2f})")
+        for i, row in enumerate(heatmap.counts):
+            if any(row):
+                print(f"  measured [{heatmap.bins[i]:.2f},"
+                      f"{heatmap.bins[i + 1]:.2f}): {row}")
+    return 0
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    data = figures.figure4_component_times(_suite(args))
+    for mode, results in data.items():
+        print(f"== {mode}")
+        for name, timing in results.items():
+            print(f"  {name:<11} mean {timing.mean_ms:7.3f} ms   "
+                  f"median {timing.median_ms:7.3f} ms")
+    return 0
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    data = figures.figure5_tool_times(_suite(args))
+    print(f"{'tool':<13} {'TPU ms':>10} {'TPL ms':>10}")
+    for name, times in data.items():
+        print(f"{name:<13} {times['TPU']:>10.3f} {times['TPL']:>10.3f}")
+    return 0
+
+
+def _cmd_figure6(args: argparse.Namespace) -> int:
+    print(figures.render_figure6(
+        figures.figure6_bottleneck_evolution(_suite(args))))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="facile",
+        description="Facile reproduction: analytical basic-block "
+                    "throughput prediction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    predict = sub.add_parser("predict", help="predict one block")
+    predict.add_argument("--uarch", default="SKL")
+    predict.add_argument("--mode", choices=("unrolled", "loop"),
+                         default="loop")
+    predict.add_argument("--asm", help="assembly text (\\n separated)")
+    predict.add_argument("--hex", help="raw block bytes in hex")
+    predict.add_argument("--file", help="file with assembly text")
+    predict.set_defaults(func=_cmd_predict)
+
+    for name, func, extra_uarch in (
+            ("table1", _cmd_table1, False), ("table2", _cmd_table2, True),
+            ("table3", _cmd_table3, False), ("table4", _cmd_table4, False),
+            ("figure3", _cmd_figure3, False),
+            ("figure4", _cmd_figure4, False),
+            ("figure5", _cmd_figure5, False),
+            ("figure6", _cmd_figure6, False)):
+        cmd = sub.add_parser(name, help=f"regenerate {name}")
+        cmd.add_argument("--size", type=int, default=50,
+                         help="benchmark suite size")
+        cmd.add_argument("--seed", type=int, default=2023)
+        if extra_uarch:
+            cmd.add_argument("--uarch", default=None,
+                             help="restrict to one microarchitecture")
+        cmd.set_defaults(func=func)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Facile: the analytical basic-block throughput model (paper §4).
+
+The model rests on two hypotheses: (1) the throughput of a basic block is
+determined by its slowest pipeline component or by dependency chains, and
+(2) pipeline components can be analyzed independently because buffers
+decouple the stages.  Accordingly the model is the maximum of a small set
+of per-component bounds, each computed by a closed-form or small fixpoint
+analysis — no cycle-by-cycle simulation.
+
+Entry point: :class:`~repro.core.model.Facile`.
+"""
+
+from repro.core.components import Component, ThroughputMode
+from repro.core.model import Facile, Prediction
+from repro.core.counterfactual import idealized_speedup, speedup_table
+from repro.core.trace import TraceFacile, TracePrediction, TraceSegment
+
+__all__ = [
+    "Component",
+    "Facile",
+    "Prediction",
+    "ThroughputMode",
+    "TraceFacile",
+    "TracePrediction",
+    "TraceSegment",
+    "idealized_speedup",
+    "speedup_table",
+]

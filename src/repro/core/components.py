@@ -1,0 +1,49 @@
+"""Component and mode enumerations shared across the model."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Component(enum.Enum):
+    """The potential bottleneck components of the pipeline model.
+
+    Order matters: when several components induce the same bound, the one
+    closest to the front end is reported as *the* bottleneck (the paper's
+    convention for Figure 6): Predec > Dec > DSB > LSD > Issue > Ports >
+    Precedence.
+    """
+
+    PREDEC = "Predec"
+    DEC = "Dec"
+    DSB = "DSB"
+    LSD = "LSD"
+    ISSUE = "Issue"
+    PORTS = "Ports"
+    PRECEDENCE = "Precedence"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Components participating in the TPU bound (paper Eq. 1).
+UNROLLED_COMPONENTS = (
+    Component.PREDEC, Component.DEC, Component.ISSUE, Component.PORTS,
+    Component.PRECEDENCE,
+)
+
+#: Components that may participate in the TPL bound (paper Eq. 2/3).
+LOOP_COMPONENTS = (
+    Component.PREDEC, Component.DEC, Component.DSB, Component.LSD,
+    Component.ISSUE, Component.PORTS, Component.PRECEDENCE,
+)
+
+
+class ThroughputMode(enum.Enum):
+    """The two throughput notions of §3.1."""
+
+    UNROLLED = "unrolled"  # TPU: block repeated without a branch
+    LOOP = "loop"          # TPL: block ends in a branch to its start
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,74 @@
+"""The decoder throughput bound (paper §4.4, Algorithm 1).
+
+The decoding unit has one complex decoder (instructions with up to four
+µops) and n-1 simple decoders (single-µop instructions only); the complex
+decoder always handles the first instruction fetched in a cycle.  The
+bound is obtained by simulating the allocation of instructions to decoders
+until the first instruction of the block lands on the same decoder a
+second time — at that point the allocation is periodic and the steady-state
+cost per iteration is known.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence
+
+from repro.uarch.config import MicroArchConfig
+from repro.uops.blockinfo import MacroOp
+
+
+def dec_bound(ops: Sequence[MacroOp], cfg: MicroArchConfig) -> Fraction:
+    """The Dec throughput bound in cycles per iteration (Algorithm 1).
+
+    *ops* is the macro-op stream: macro-fused pairs count as a single
+    instruction, exactly as the decoders see them after the IQ.
+    """
+    n_decoders = cfg.n_decoders
+    cur_dec = n_decoders - 1
+    n_available_simple = 0
+    complex_in_iteration: List[int] = [0]  # index 0 unused
+    first_instr_on_dec = [-1] * n_decoders
+    iteration = 0
+
+    # Termination: the first instruction lands on one of n_decoders
+    # decoders each iteration, so a repeat occurs within n_decoders + 1
+    # iterations by pigeonhole.
+    while True:
+        iteration += 1
+        complex_in_iteration.append(0)
+        for op in ops:
+            if op.info.requires_complex_decoder:
+                cur_dec = 0
+                n_available_simple = op.info.n_available_simple_decoders
+            else:
+                blocked_on_last = (
+                    cur_dec + 1 == n_decoders - 1
+                    and op.is_macro_fusible
+                    and not cfg.macro_fusible_on_last_decoder)
+                if n_available_simple == 0 or blocked_on_last:
+                    cur_dec = 0
+                    n_available_simple = n_decoders - 1
+                else:
+                    cur_dec += 1
+                    n_available_simple -= 1
+            if op.is_branch:
+                n_available_simple = 0
+            if cur_dec == 0:
+                complex_in_iteration[iteration] += 1
+            if op.first_index == 0:
+                first = first_instr_on_dec[cur_dec]
+                if first >= 0:
+                    unroll = iteration - first
+                    cycles = sum(complex_in_iteration[first:iteration])
+                    return Fraction(cycles, unroll)
+                first_instr_on_dec[cur_dec] = iteration
+
+
+def simple_dec_bound(ops: Sequence[MacroOp],
+                     cfg: MicroArchConfig) -> Fraction:
+    """SimpleDec = max(n/d, c): instruction count over decoder count, or
+    the number of complex-decoder instructions (paper §4.4)."""
+    n = len(ops)
+    c = sum(1 for op in ops if op.info.requires_complex_decoder)
+    return max(Fraction(n, cfg.n_decoders), Fraction(c))

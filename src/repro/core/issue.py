@@ -1,0 +1,15 @@
+"""The issue-width bound (paper §4.7)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.uarch.config import MicroArchConfig
+from repro.uops.blockinfo import MacroOp
+
+
+def issue_bound(ops: Sequence[MacroOp], cfg: MicroArchConfig) -> Fraction:
+    """Issued µops (fused-domain, after unlamination) over issue width."""
+    n = sum(op.info.issued_uops for op in ops)
+    return Fraction(n, cfg.issue_width)

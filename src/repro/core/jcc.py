@@ -1,0 +1,44 @@
+"""JCC-erratum detection (paper §4.2, footnote 1).
+
+As a mitigation for the Jump Conditional Code erratum, Skylake-family CPUs
+do not cache (in the DSB) 32-byte regions containing a jump that crosses
+or ends on a 32-byte boundary.  Affected loops fall back to the legacy
+decode pipeline, so their front-end bound is max(Predec, Dec).
+
+Blocks are assumed to start at a 32-byte-aligned address (the measurement
+harness of the BHive substrate places them there).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.isa.block import BasicBlock
+from repro.uarch.config import MicroArchConfig
+from repro.uops.blockinfo import AnalyzedInstruction
+
+_REGION = 32
+
+
+def affected_by_jcc_erratum(block: BasicBlock, cfg: MicroArchConfig,
+                            analyzed: Sequence[AnalyzedInstruction],
+                            ) -> bool:
+    """True when the JCC-erratum mitigation forces legacy decoding.
+
+    A jump "instruction" includes macro-fused pairs: the fused flag
+    producer and branch form a single jump for the purposes of the
+    mitigation.
+    """
+    if not cfg.jcc_erratum:
+        return False
+    offsets = block.instruction_offsets()
+    for entry in analyzed:
+        if not entry.instr.is_branch:
+            continue
+        end = offsets[entry.index] + entry.instr.length - 1
+        start = offsets[entry.index]
+        if entry.fused_into_prev:
+            start = offsets[entry.index - 1]
+        if start // _REGION != end // _REGION or (end + 1) % _REGION == 0:
+            return True
+    return False

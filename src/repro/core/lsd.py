@@ -1,0 +1,44 @@
+"""The loop-stream-detector bound (paper §4.6)."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Sequence
+
+from repro.uarch.config import MicroArchConfig
+from repro.uops.blockinfo import MacroOp
+
+
+def lsd_fits(ops: Sequence[MacroOp], cfg: MicroArchConfig) -> bool:
+    """True when the loop's µops fit into the IDQ (LSD applicability)."""
+    n = sum(op.info.fused_uops for op in ops)
+    return cfg.lsd_enabled and n <= cfg.idq_size
+
+
+def lsd_unroll_count(n_uops: int, cfg: MicroArchConfig) -> int:
+    """How many times the LSD unrolls a loop of *n_uops* µops.
+
+    On microarchitectures with LSD unrolling (ICL and later), small loops
+    are unrolled so that close to a full issue group can be streamed per
+    cycle.  The rule used here — unroll until two issue groups' worth of
+    µops are in flight, bounded by the IDQ capacity — approximates the
+    behaviour reverse-engineered in the uiCA paper (see DESIGN.md).
+    """
+    if not cfg.lsd_unrolls or n_uops == 0:
+        return 1
+    target = math.ceil(2 * cfg.issue_width / n_uops)
+    capacity = max(1, cfg.idq_size // n_uops)
+    return max(1, min(target, capacity))
+
+
+def lsd_bound(ops: Sequence[MacroOp], cfg: MicroArchConfig) -> Fraction:
+    """Cycles per iteration when µops stream from the LSD.
+
+    The last µop of an iteration and the first µop of the next cannot be
+    streamed in the same cycle, hence the ceiling; LSD unrolling amortizes
+    that ceiling over several logical iterations.
+    """
+    n = sum(op.info.fused_uops for op in ops)
+    unroll = lsd_unroll_count(n, cfg)
+    return Fraction(math.ceil(Fraction(n * unroll, cfg.issue_width)), unroll)

@@ -1,0 +1,156 @@
+"""The execution-port contention bound (paper §4.8).
+
+Assuming the renamer distributes µops optimally across their allowed
+ports, the throughput is bounded, for every port combination *pc*, by
+``u/|pc|`` where *u* is the number of µops that can only execute on ports
+within *pc*.  Rather than considering every one of the exponentially many
+port combinations, the paper's heuristic only considers combinations
+arising as the union of the port sets of *pairs* of µops — which it found
+to give the same bound as the exact LP of uops.info on all of BHive.
+
+Both the pairwise heuristic and the exact LP (used by the ablation bench
+``benchmarks/test_ablation_ports_lp.py``) are implemented here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.uops.blockinfo import MacroOp
+
+PortSet = FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class PortsResult:
+    """The bound plus the data needed for interpretable feedback.
+
+    Attributes:
+        bound: the Ports throughput bound (cycles/iteration).
+        critical_combination: the port combination attaining the bound.
+        critical_uops: number of µops confined to that combination.
+    """
+
+    bound: Fraction
+    critical_combination: Optional[PortSet]
+    critical_uops: int
+
+
+def _uop_port_multiset(ops: Sequence[MacroOp]) -> Counter:
+    """Count dispatched µops by port set.
+
+    Eliminated µops and NOPs have no port sets and are excluded, as are
+    macro-fused branches' flag-producer halves (already merged into one
+    µop by the macro-op construction) — matching §4.8's exclusions.
+    """
+    counts: Counter = Counter()
+    for op in ops:
+        for ports in op.info.port_sets:
+            counts[ports] += 1
+    return counts
+
+
+def ports_bound(ops: Sequence[MacroOp]) -> PortsResult:
+    """The pairwise port-combination heuristic of §4.8."""
+    counts = _uop_port_multiset(ops)
+    if not counts:
+        return PortsResult(Fraction(0), None, 0)
+
+    combos = list(counts)
+    pair_unions = {pc | pc2 for pc in combos for pc2 in combos}
+
+    best = Fraction(0)
+    best_combo: Optional[PortSet] = None
+    best_uops = 0
+    for pc in pair_unions:
+        u = sum(cnt for ports, cnt in counts.items() if ports <= pc)
+        bound = Fraction(u, len(pc))
+        if bound > best:
+            best, best_combo, best_uops = bound, pc, u
+    return PortsResult(best, best_combo, best_uops)
+
+
+def critical_instructions(ops: Sequence[MacroOp],
+                          result: PortsResult) -> List[int]:
+    """Indices of instructions whose µops experience the maximal
+    contention (interpretable feedback when Ports is the bottleneck)."""
+    if result.critical_combination is None:
+        return []
+    pc = result.critical_combination
+    indices = []
+    for op in ops:
+        if any(ports <= pc for ports in op.info.port_sets):
+            indices.append(op.first_index)
+    return indices
+
+
+def ports_bound_lp(ops: Sequence[MacroOp]) -> Fraction:
+    """The exact LP bound of [8] (uops.info), via scipy.
+
+    Minimize T subject to: each µop class distributes its count across its
+    allowed ports, and every port receives at most T µops per iteration.
+    The pairwise heuristic is a lower bound of this LP value; the paper
+    reports they coincide on all BHive benchmarks.
+    """
+    from scipy.optimize import linprog
+
+    counts = _uop_port_multiset(ops)
+    if not counts:
+        return Fraction(0)
+
+    classes = sorted(counts.items(), key=lambda kv: sorted(kv[0]))
+    all_ports = sorted({p for ports, _ in classes for p in ports})
+    port_index = {p: i for i, p in enumerate(all_ports)}
+
+    # Variables: x[c,p] for each class c and allowed port p, then T last.
+    var_index: Dict[Tuple[int, int], int] = {}
+    for c, (ports, _count) in enumerate(classes):
+        for p in sorted(ports):
+            var_index[(c, p)] = len(var_index)
+    t_index = len(var_index)
+    n_vars = t_index + 1
+
+    objective = [0.0] * n_vars
+    objective[t_index] = 1.0
+
+    # Equality: sum_p x[c,p] == count_c.
+    a_eq = []
+    b_eq = []
+    for c, (ports, count) in enumerate(classes):
+        row = [0.0] * n_vars
+        for p in ports:
+            row[var_index[(c, p)]] = 1.0
+        a_eq.append(row)
+        b_eq.append(float(count))
+
+    # Inequality: sum_c x[c,p] - T <= 0 for each port p.
+    a_ub = []
+    b_ub = []
+    for p in all_ports:
+        row = [0.0] * n_vars
+        for c, (ports, _count) in enumerate(classes):
+            if p in ports:
+                row[var_index[(c, p)]] = 1.0
+        row[t_index] = -1.0
+        a_ub.append(row)
+        b_ub.append(0.0)
+
+    res = linprog(objective, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+                  bounds=[(0, None)] * n_vars, method="highs")
+    if not res.success:
+        raise RuntimeError(f"port LP failed: {res.message}")
+    # The optimum is rational with a small denominator (≤ lcm of subset
+    # sizes); snap the float solution back to it.
+    max_den = 1
+    for k in range(1, len(all_ports) + 1):
+        max_den = max_den * k // _gcd(max_den, k)
+    return Fraction(res.x[t_index]).limit_denominator(max_den)
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a

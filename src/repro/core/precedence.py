@@ -1,0 +1,53 @@
+"""The precedence-constraint bound (paper §4.9).
+
+Builds the weighted dependence graph of the block and computes the
+maximum cycle ratio — the recurrence-constrained minimum initiation
+interval, in modulo-scheduling terms — with Howard's algorithm, falling
+back to Lawler's parametric search in the (never observed) event that
+policy iteration fails to converge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional
+
+from repro.graph.depgraph import DependenceGraphBuilder
+from repro.graph.howard import howard_max_cycle_ratio
+from repro.graph.lawler import lawler_max_cycle_ratio
+from repro.isa.block import BasicBlock
+from repro.uops.database import UopsDatabase
+
+
+@dataclass(frozen=True)
+class PrecedenceResult:
+    """The bound plus the critical dependency chain.
+
+    Attributes:
+        bound: maximum cycle ratio (0 when the graph is acyclic).
+        critical_chain: instruction indices on a critical cycle, for
+            interpretable feedback when Precedence is the bottleneck.
+    """
+
+    bound: Fraction
+    critical_chain: List[int]
+
+
+def precedence_bound(block: BasicBlock,
+                     db: UopsDatabase) -> PrecedenceResult:
+    """The Precedence throughput bound of *block*."""
+    builder = DependenceGraphBuilder(db)
+    graph = builder.build(block)
+    ratio, cycle = howard_max_cycle_ratio(graph)
+    if ratio is None:
+        return PrecedenceResult(Fraction(0), [])
+    return PrecedenceResult(ratio, builder.cycle_instructions(cycle))
+
+
+def precedence_bound_lawler(block: BasicBlock,
+                            db: UopsDatabase) -> Fraction:
+    """Reference implementation using Lawler's algorithm (ablation)."""
+    graph = DependenceGraphBuilder(db).build(block)
+    ratio = lawler_max_cycle_ratio(graph)
+    return ratio if ratio is not None else Fraction(0)

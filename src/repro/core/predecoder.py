@@ -1,0 +1,90 @@
+"""The predecoder throughput bound (paper §4.3).
+
+The predecoder fetches aligned 16-byte blocks and finds instruction
+boundaries, predecoding up to five instructions per cycle.  Crossing a
+16-byte boundary can cost an extra cycle depending on where the nominal
+opcode lies, and length-changing prefixes (LCP) cost three cycles each,
+partially hidden behind the predecode of the previous block.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import List, Tuple
+
+from repro.core.components import ThroughputMode
+from repro.isa.block import BasicBlock
+from repro.uarch.config import MicroArchConfig
+
+_BLOCK = 16
+
+
+def _unroll_factor(length: int, mode: ThroughputMode) -> int:
+    """Iterations after which the predecoder's behaviour repeats.
+
+    Under unrolling, copies of the block tile the 16-byte grid with period
+    lcm(l, 16)/l; a loop restarts at the same address every iteration.
+    """
+    if mode is ThroughputMode.LOOP:
+        return 1
+    return math.lcm(length, _BLOCK) // length
+
+
+def _instruction_events(block: BasicBlock,
+                        unroll: int) -> Tuple[List[int], List[int],
+                                              List[int], int]:
+    """Per-16-byte-block event counts over *unroll* copies of the block.
+
+    Returns:
+        (L, O, LCP, n) where, following the paper's notation, L[b] counts
+        instruction instances whose last byte is in block b, O[b] those
+        whose first nominal-opcode byte is in block b but whose last byte
+        is not, LCP[b] those with a length-changing prefix whose nominal
+        opcode starts in block b, and n is the number of 16-byte blocks.
+    """
+    length = block.num_bytes
+    n = math.ceil(unroll * length / _BLOCK)
+    counts_l = [0] * n
+    counts_o = [0] * n
+    counts_lcp = [0] * n
+    offsets = block.instruction_offsets()
+    for copy in range(unroll):
+        base = copy * length
+        for instr, offset in zip(block, offsets):
+            start = base + offset
+            opcode_byte = start + instr.opcode_offset
+            last_byte = start + instr.length - 1
+            opcode_block = opcode_byte // _BLOCK
+            last_block = last_byte // _BLOCK
+            counts_l[last_block] += 1
+            if opcode_block != last_block:
+                counts_o[opcode_block] += 1
+            if instr.has_lcp:
+                counts_lcp[opcode_block] += 1
+    return counts_l, counts_o, counts_lcp, n
+
+
+def predec_bound(block: BasicBlock, cfg: MicroArchConfig,
+                 mode: ThroughputMode) -> Fraction:
+    """The Predec throughput bound in cycles per iteration."""
+    width = cfg.predecode_width
+    unroll = _unroll_factor(block.num_bytes, mode)
+    counts_l, counts_o, counts_lcp, n = _instruction_events(block, unroll)
+
+    cycles_nlcp = [
+        math.ceil((counts_l[b] + counts_o[b]) / width) for b in range(n)]
+
+    total = 0
+    for b in range(n):
+        prev = cycles_nlcp[b - 1]  # b == 0 wraps to block n-1 (steady state)
+        penalty = max(0, 3 * counts_lcp[b] - max(0, prev - 1))
+        total += cycles_nlcp[b] + penalty
+    return Fraction(total, unroll)
+
+
+def simple_predec_bound(block: BasicBlock, cfg: MicroArchConfig,
+                        mode: ThroughputMode) -> Fraction:
+    """SimplePredec: one 16-byte block per cycle (paper §4.3)."""
+    del cfg, mode
+    return Fraction(block.num_bytes, _BLOCK)

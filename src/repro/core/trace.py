@@ -1,0 +1,153 @@
+"""Trace throughput prediction: Facile beyond single basic blocks.
+
+The paper's §7 names handling "more complex code, e.g., involving
+branches" as future work.  This module implements the natural first-order
+extension: a *trace* is a set of basic blocks with execution frequencies
+(e.g. from a profile), and its steady-state cost per trace iteration is
+the frequency-weighted sum of per-block throughputs.
+
+The extension stays compositional: per-component cycle attribution is
+aggregated across blocks, so the bottleneck report and counterfactual
+("what if component X were infinitely fast, across the whole trace")
+remain available — the property that makes Facile useful inside
+optimizers that operate on whole loops with internal control flow.
+
+Two modeling assumptions, both first-order and documented:
+
+* each block runs in its steady state (transitions between blocks are
+  not modeled — reasonable when blocks iterate or frequencies are high);
+* branches are predicted correctly (the paper's §3.3 assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.components import Component, ThroughputMode
+from repro.core.model import Facile, Prediction
+from repro.isa.block import BasicBlock
+from repro.uarch.config import MicroArchConfig
+from repro.uops.database import UopsDatabase
+
+
+@dataclass(frozen=True)
+class TraceSegment:
+    """One basic block of a trace.
+
+    Attributes:
+        block: the basic block.
+        frequency: average executions per trace iteration (e.g. 1.0 for
+            an always-taken path, 0.5 for one arm of a balanced branch,
+            10.0 for an inner loop body running ten times).
+        mode: the throughput notion for this block; blocks ending in a
+            branch default to loop mode, others to unrolled mode.
+        name: optional label for reports.
+    """
+
+    block: BasicBlock
+    frequency: float = 1.0
+    mode: Optional[ThroughputMode] = None
+    name: str = ""
+
+    def resolved_mode(self) -> ThroughputMode:
+        if self.mode is not None:
+            return self.mode
+        return (ThroughputMode.LOOP if self.block.ends_in_branch
+                else ThroughputMode.UNROLLED)
+
+
+@dataclass
+class TracePrediction:
+    """The aggregated prediction for a trace.
+
+    Attributes:
+        cycles: predicted cycles per trace iteration.
+        segments: (segment, per-block prediction, contributed cycles).
+        component_cycles: cycles attributed to each component being the
+            per-block bottleneck, aggregated over the trace.
+        bottleneck: the component dominating the attribution.
+    """
+
+    cycles: float
+    segments: List[Tuple[TraceSegment, Prediction, float]]
+    component_cycles: Dict[Component, float]
+    bottleneck: Optional[Component]
+
+    def idealized_cycles(self, component: Component) -> float:
+        """Trace cycles if *component* were infinitely fast everywhere."""
+        total = 0.0
+        enabled = set(Component) - {component}
+        for segment, prediction, _contribution in self.segments:
+            ideal = prediction.recombined(enabled)
+            if ideal.throughput is not None:
+                total += segment.frequency * float(ideal.throughput)
+        return total
+
+    def idealized_speedup(self, component: Component) -> Optional[float]:
+        ideal = self.idealized_cycles(component)
+        if ideal <= 0:
+            return None
+        return self.cycles / ideal
+
+
+class TraceFacile:
+    """Frequency-weighted Facile over multi-block traces."""
+
+    def __init__(self, cfg: MicroArchConfig,
+                 db: Optional[UopsDatabase] = None):
+        self.cfg = cfg
+        self.model = Facile(cfg, db=db)
+
+    def predict(self, segments: Iterable[TraceSegment]) -> TracePrediction:
+        """Predict the cost of one trace iteration.
+
+        Raises:
+            ValueError: for empty traces or non-positive frequencies.
+        """
+        segments = list(segments)
+        if not segments:
+            raise ValueError("trace must contain at least one segment")
+        results: List[Tuple[TraceSegment, Prediction, float]] = []
+        component_cycles: Dict[Component, float] = {}
+        total = 0.0
+        for segment in segments:
+            if segment.frequency <= 0:
+                raise ValueError(
+                    f"segment frequency must be positive, got "
+                    f"{segment.frequency}")
+            prediction = self.model.predict(segment.block,
+                                            segment.resolved_mode())
+            contribution = segment.frequency * prediction.cycles
+            total += contribution
+            results.append((segment, prediction, contribution))
+            if prediction.bottlenecks:
+                primary = prediction.bottlenecks[0]
+                component_cycles[primary] = (
+                    component_cycles.get(primary, 0.0) + contribution)
+        bottleneck = None
+        if component_cycles:
+            bottleneck = max(component_cycles, key=component_cycles.get)
+        return TracePrediction(
+            cycles=round(total, 2),
+            segments=results,
+            component_cycles=component_cycles,
+            bottleneck=bottleneck,
+        )
+
+    def predict_branchy_loop(self, prologue: BasicBlock,
+                             arms: Sequence[Tuple[BasicBlock, float]],
+                             ) -> TracePrediction:
+        """Convenience wrapper for a loop with a two-or-more-way branch.
+
+        Args:
+            prologue: the part of the body executed every iteration.
+            arms: (block, probability) pairs; probabilities should sum to
+                one but are used as given.
+        """
+        segments = [TraceSegment(prologue, 1.0, name="prologue")]
+        segments.extend(
+            TraceSegment(block, probability, name=f"arm{i}")
+            for i, (block, probability) in enumerate(arms))
+        return self.predict(segments)

@@ -1,0 +1,15 @@
+"""Evaluation harness: metrics, table and figure regeneration (paper §6)."""
+
+from repro.eval.metrics import kendall_tau, mape
+from repro.eval.runner import EvaluationResult, evaluate_predictor
+from repro.eval import tables
+from repro.eval import figures
+
+__all__ = [
+    "EvaluationResult",
+    "evaluate_predictor",
+    "figures",
+    "kendall_tau",
+    "mape",
+    "tables",
+]

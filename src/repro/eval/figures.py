@@ -1,0 +1,222 @@
+"""Regeneration of the paper's figures as machine-readable data.
+
+No plotting backend is available offline, so each figure is emitted as
+the numeric content a plot would render: 2-D histogram counts (Fig. 3),
+timing quantiles (Figs. 4 and 5), and bottleneck transition matrices
+(Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines import all_predictors
+from repro.bhive.suite import BenchmarkSuite
+from repro.core.components import Component, ThroughputMode
+from repro.core.model import Facile
+from repro.eval.runner import evaluate_predictor, measured_suite
+from repro.eval.timing import (
+    TimingResult,
+    time_facile_components,
+    time_predictor,
+)
+from repro.uarch import uarch_by_name
+from repro.uarch.config import MicroArchConfig
+from repro.uops.database import UopsDatabase
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: measured-vs-predicted heatmaps
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Heatmap:
+    """2-D histogram of (measured, predicted) pairs.
+
+    Attributes:
+        predictor: tool name.
+        bins: bin edges (shared by both axes).
+        counts: counts[i][j] pairs with measured in bin i, predicted in
+            bin j; out-of-range pairs are clamped to the last bin.
+    """
+
+    predictor: str
+    bins: List[float]
+    counts: List[List[int]]
+
+    @property
+    def diagonal_fraction(self) -> float:
+        """Fraction of pairs on the diagonal (equal bins)."""
+        total = sum(sum(row) for row in self.counts)
+        diag = sum(self.counts[i][i] for i in range(len(self.counts)))
+        return diag / total if total else 0.0
+
+
+_FIG3_PREDICTORS = ("Facile", "uiCA", "llvm-mca-15", "CQA")
+
+
+def figure3_heatmaps(suite: BenchmarkSuite, uarch: str = "RKL",
+                     max_cycles: float = 10.0, bin_width: float = 0.5,
+                     predictors: Sequence[str] = _FIG3_PREDICTORS,
+                     ) -> List[Heatmap]:
+    """Heatmaps for BHiveL blocks with measured throughput < max_cycles."""
+    cfg = uarch_by_name(uarch)
+    db = UopsDatabase(cfg)
+    mode = ThroughputMode.LOOP
+    measured = measured_suite(suite, cfg, mode, db)
+    keep = [i for i, m in enumerate(measured) if 0 < m < max_cycles]
+
+    n_bins = int(max_cycles / bin_width)
+    edges = [i * bin_width for i in range(n_bins + 1)]
+
+    def bin_index(value: float) -> int:
+        return min(n_bins - 1, max(0, int(value / bin_width)))
+
+    heatmaps = []
+    for predictor in all_predictors(cfg, db, list(predictors)):
+        result = evaluate_predictor(predictor, suite, mode, measured)
+        counts = [[0] * n_bins for _ in range(n_bins)]
+        for i in keep:
+            counts[bin_index(result.measured[i])][
+                bin_index(result.predicted[i])] += 1
+        heatmaps.append(Heatmap(predictor.name, edges, counts))
+    return heatmaps
+
+
+def optimism_fraction(suite: BenchmarkSuite, uarch: str = "RKL",
+                      mode: ThroughputMode = ThroughputMode.LOOP) -> float:
+    """Fraction of blocks where Facile predicts at most the measurement
+    (the paper's observation that Facile is always optimistic)."""
+    cfg = uarch_by_name(uarch)
+    db = UopsDatabase(cfg)
+    measured = measured_suite(suite, cfg, mode, db)
+    model = Facile(cfg, db=db)
+    loop = mode is ThroughputMode.LOOP
+    good = 0
+    for bench, m in zip(suite, measured):
+        if model.predict(bench.block(loop), mode).cycles <= m + 1e-9:
+            good += 1
+    return good / len(suite)
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: Facile component-time distributions
+# ---------------------------------------------------------------------------
+
+def figure4_component_times(suite: BenchmarkSuite, uarch: str = "SKL",
+                            ) -> Dict[str, Dict[str, TimingResult]]:
+    """Per-component execution-time distributions under TPU and TPL."""
+    cfg = uarch_by_name(uarch)
+    db = UopsDatabase(cfg)
+    return {
+        "TPU": time_facile_components(cfg, suite,
+                                      ThroughputMode.UNROLLED, db),
+        "TPL": time_facile_components(cfg, suite, ThroughputMode.LOOP, db),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: tool efficiency
+# ---------------------------------------------------------------------------
+
+def figure5_tool_times(suite: BenchmarkSuite, uarch: str = "SKL",
+                       predictor_names: Optional[List[str]] = None,
+                       ) -> Dict[str, Dict[str, float]]:
+    """Mean per-benchmark prediction time (ms) per tool, TPU and TPL."""
+    cfg = uarch_by_name(uarch)
+    db = UopsDatabase(cfg)
+    result: Dict[str, Dict[str, float]] = {}
+    for predictor in all_predictors(cfg, db, predictor_names):
+        result[predictor.name] = {
+            "TPU": time_predictor(predictor, suite,
+                                  ThroughputMode.UNROLLED).mean_ms,
+            "TPL": time_predictor(predictor, suite,
+                                  ThroughputMode.LOOP).mean_ms,
+        }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: bottleneck evolution
+# ---------------------------------------------------------------------------
+
+#: Bottleneck priority for reporting (front end first), paper §6.4.
+_PRIORITY = (Component.PREDEC, Component.DEC, Component.ISSUE,
+             Component.PORTS, Component.PRECEDENCE)
+
+
+def primary_bottleneck(prediction) -> Component:
+    """The bottleneck closest to the front end among the argmax set."""
+    for comp in _PRIORITY:
+        if comp in prediction.bottlenecks:
+            return comp
+    return prediction.bottlenecks[0]
+
+
+def bottleneck_shares(suite: BenchmarkSuite,
+                      cfg: MicroArchConfig) -> Dict[str, int]:
+    """TPU bottleneck counts per component."""
+    model = Facile(cfg)
+    counts = {comp.value: 0 for comp in _PRIORITY}
+    for bench in suite:
+        prediction = model.predict_unrolled(bench.block_u)
+        counts[primary_bottleneck(prediction).value] += 1
+    return counts
+
+
+def figure6_bottleneck_evolution(
+        suite: BenchmarkSuite,
+        uarch_names: Sequence[str] = ("SNB", "HSW", "CLX", "RKL"),
+) -> List[Dict[str, object]]:
+    """Sankey data: bottleneck transition matrices between generations.
+
+    Each entry covers one adjacent µarch pair and contains the transition
+    counts ``matrix[from_component][to_component]`` plus the marginal
+    shares on both sides.
+    """
+    assignments: Dict[str, List[Component]] = {}
+    for abbr in uarch_names:
+        cfg = uarch_by_name(abbr)
+        model = Facile(cfg)
+        assignments[abbr] = [
+            primary_bottleneck(model.predict_unrolled(bench.block_u))
+            for bench in suite
+        ]
+
+    flows = []
+    for src, dst in zip(uarch_names, uarch_names[1:]):
+        matrix = {a.value: {b.value: 0 for b in _PRIORITY}
+                  for a in _PRIORITY}
+        for from_comp, to_comp in zip(assignments[src], assignments[dst]):
+            matrix[from_comp.value][to_comp.value] += 1
+        flows.append({
+            "from_uarch": src,
+            "to_uarch": dst,
+            "matrix": matrix,
+            "from_shares": _marginals(assignments[src]),
+            "to_shares": _marginals(assignments[dst]),
+        })
+    return flows
+
+
+def _marginals(components: List[Component]) -> Dict[str, int]:
+    counts = {comp.value: 0 for comp in _PRIORITY}
+    for comp in components:
+        counts[comp.value] += 1
+    return counts
+
+
+def render_figure6(flows: List[Dict[str, object]]) -> str:
+    lines = []
+    for flow in flows:
+        lines.append(f"{flow['from_uarch']} -> {flow['to_uarch']}")
+        lines.append(f"  shares {flow['from_uarch']}: "
+                     f"{flow['from_shares']}")
+        lines.append(f"  shares {flow['to_uarch']}:  {flow['to_shares']}")
+        matrix = flow["matrix"]
+        for src, row in matrix.items():
+            moved = {dst: n for dst, n in row.items() if n}
+            if moved:
+                lines.append(f"  {src:<11} -> {moved}")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Accuracy metrics: MAPE and Kendall's tau (paper §6.2)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+def mape(measured: Sequence[float], predicted: Sequence[float]) -> float:
+    """Mean absolute percentage error relative to measurements.
+
+    Pairs with a zero measurement are skipped (cannot be normalized);
+    the paper's measurements are strictly positive.
+    """
+    if len(measured) != len(predicted):
+        raise ValueError("length mismatch")
+    total = 0.0
+    count = 0
+    for m, p in zip(measured, predicted):
+        if m == 0:
+            continue
+        total += abs(m - p) / m
+        count += 1
+    if count == 0:
+        raise ValueError("no valid pairs")
+    return total / count
+
+
+def kendall_tau(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Kendall's tau-b rank correlation (tie-corrected).
+
+    The O(n²) pair enumeration is exact and fast enough for suite sizes
+    in the thousands; tests cross-check against scipy's implementation.
+    """
+    n = len(xs)
+    if n != len(ys):
+        raise ValueError("length mismatch")
+    if n < 2:
+        raise ValueError("need at least two samples")
+    concordant = discordant = 0
+    ties_x = ties_y = 0
+    for i in range(n):
+        xi, yi = xs[i], ys[i]
+        for j in range(i + 1, n):
+            dx = xi - xs[j]
+            dy = yi - ys[j]
+            if dx == 0 and dy == 0:
+                ties_x += 1
+                ties_y += 1
+            elif dx == 0:
+                ties_x += 1
+            elif dy == 0:
+                ties_y += 1
+            elif (dx > 0) == (dy > 0):
+                concordant += 1
+            else:
+                discordant += 1
+    n0 = n * (n - 1) // 2
+    denom = ((n0 - ties_x) * (n0 - ties_y)) ** 0.5
+    if denom == 0:
+        return 0.0
+    return (concordant - discordant) / denom

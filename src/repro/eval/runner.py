@@ -1,0 +1,71 @@
+"""Measurement/prediction collection shared by all tables and figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bhive.suite import BenchmarkSuite
+from repro.core.components import ThroughputMode
+from repro.eval.metrics import kendall_tau, mape
+from repro.isa.block import BasicBlock
+from repro.sim.measure import measure
+from repro.uarch.config import MicroArchConfig
+from repro.uops.database import UopsDatabase
+
+
+@dataclass
+class EvaluationResult:
+    """Accuracy of one predictor on one (µarch, mode) combination."""
+
+    predictor: str
+    uarch: str
+    mode: ThroughputMode
+    measured: List[float]
+    predicted: List[float]
+
+    @property
+    def mape(self) -> float:
+        return mape(self.measured, self.predicted)
+
+    @property
+    def kendall(self) -> float:
+        return kendall_tau(self.measured, self.predicted)
+
+
+def measured_suite(suite: BenchmarkSuite, cfg: MicroArchConfig,
+                   mode: ThroughputMode,
+                   db: Optional[UopsDatabase] = None) -> List[float]:
+    """Oracle measurements for the whole suite (cached per block)."""
+    db = db or UopsDatabase(cfg)
+    loop = mode is ThroughputMode.LOOP
+    return [measure(b.block(loop), cfg, mode, db) for b in suite]
+
+
+def evaluate_predictor(predictor, suite: BenchmarkSuite,
+                       mode: ThroughputMode,
+                       measured: Optional[List[float]] = None,
+                       ) -> EvaluationResult:
+    """Run one predictor over the suite and pair it with measurements."""
+    cfg = predictor.cfg
+    loop = mode is ThroughputMode.LOOP
+    if measured is None:
+        measured = measured_suite(suite, cfg, mode, predictor.db)
+    predictor.prepare()
+    predicted = [predictor.predict(b.block(loop), mode) for b in suite]
+    return EvaluationResult(predictor.name, cfg.abbrev, mode,
+                            measured, predicted)
+
+
+def evaluate_callable(name: str, fn: Callable[[BasicBlock], float],
+                      suite: BenchmarkSuite, cfg: MicroArchConfig,
+                      mode: ThroughputMode,
+                      measured: Optional[List[float]] = None,
+                      db: Optional[UopsDatabase] = None,
+                      ) -> EvaluationResult:
+    """Evaluate a bare prediction function (used for model variants)."""
+    loop = mode is ThroughputMode.LOOP
+    if measured is None:
+        measured = measured_suite(suite, cfg, mode, db)
+    predicted = [fn(b.block(loop)) for b in suite]
+    return EvaluationResult(name, cfg.abbrev, mode, measured, predicted)

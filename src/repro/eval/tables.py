@@ -1,0 +1,228 @@
+"""Regeneration of the paper's tables.
+
+Every function returns structured data plus a ``render_*`` helper that
+prints rows in the paper's layout, so benches can both assert on the
+numbers and emit human-readable output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines import all_predictors
+from repro.bhive.suite import BenchmarkSuite
+from repro.core.components import Component, ThroughputMode
+from repro.core.counterfactual import speedup_table
+from repro.core.model import Facile
+from repro.eval.metrics import kendall_tau, mape
+from repro.eval.runner import (
+    EvaluationResult,
+    evaluate_callable,
+    evaluate_predictor,
+    measured_suite,
+)
+from repro.uarch import ALL_UARCHS, UARCH_ORDER, uarch_by_name
+from repro.uarch.config import MicroArchConfig
+from repro.uops.database import UopsDatabase
+
+_MODES = (ThroughputMode.UNROLLED, ThroughputMode.LOOP)
+
+
+# ---------------------------------------------------------------------------
+# Table 1: microarchitectures
+# ---------------------------------------------------------------------------
+
+def table1() -> List[Dict[str, object]]:
+    """The evaluated microarchitectures (paper Table 1)."""
+    return [
+        {"uarch": u.name, "abbr": u.abbrev, "released": u.released,
+         "cpu": u.cpu}
+        for u in ALL_UARCHS
+    ]
+
+
+def render_table1() -> str:
+    lines = [f"{'µArch':<14} {'Abbr.':<6} {'Released':<9} CPU"]
+    for row in table1():
+        lines.append(f"{row['uarch']:<14} {row['abbr']:<6} "
+                     f"{row['released']:<9} {row['cpu']}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table 2: predictor comparison
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table2Row:
+    uarch: str
+    predictor: str
+    mape_u: float
+    kendall_u: float
+    mape_l: float
+    kendall_l: float
+
+
+def table2(suite: BenchmarkSuite,
+           uarchs: Optional[Sequence[MicroArchConfig]] = None,
+           predictor_names: Optional[List[str]] = None) -> List[Table2Row]:
+    """MAPE and Kendall's tau of every predictor on BHiveU and BHiveL."""
+    uarchs = list(uarchs) if uarchs is not None else list(ALL_UARCHS)
+    rows: List[Table2Row] = []
+    for cfg in uarchs:
+        db = UopsDatabase(cfg)
+        measured = {mode: measured_suite(suite, cfg, mode, db)
+                    for mode in _MODES}
+        for predictor in all_predictors(cfg, db, predictor_names):
+            results = {
+                mode: evaluate_predictor(predictor, suite, mode,
+                                         measured[mode])
+                for mode in _MODES
+            }
+            rows.append(Table2Row(
+                uarch=cfg.abbrev,
+                predictor=predictor.name,
+                mape_u=results[ThroughputMode.UNROLLED].mape,
+                kendall_u=results[ThroughputMode.UNROLLED].kendall,
+                mape_l=results[ThroughputMode.LOOP].mape,
+                kendall_l=results[ThroughputMode.LOOP].kendall,
+            ))
+    return rows
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    lines = [f"{'µArch':<6} {'Predictor':<13} "
+             f"{'U-MAPE':>8} {'U-Kendall':>10} "
+             f"{'L-MAPE':>8} {'L-Kendall':>10}"]
+    last_uarch = None
+    for row in rows:
+        label = row.uarch if row.uarch != last_uarch else ""
+        last_uarch = row.uarch
+        lines.append(
+            f"{label:<6} {row.predictor:<13} "
+            f"{100 * row.mape_u:7.2f}% {row.kendall_u:10.4f} "
+            f"{100 * row.mape_l:7.2f}% {row.kendall_l:10.4f}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table 3: component ablations
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table3Row:
+    uarch: str
+    variant: str
+    mape_u: Optional[float]
+    kendall_u: Optional[float]
+    mape_l: Optional[float]
+    kendall_l: Optional[float]
+
+
+def _variant_models(cfg: MicroArchConfig, db: UopsDatabase):
+    """(name, Facile instance or ("only", components)) in paper order."""
+    composite_only = {
+        "only Predec+Ports": (Component.PREDEC, Component.PORTS),
+        "only Precedence+Ports": (Component.PRECEDENCE, Component.PORTS),
+    }
+    variants: List[Tuple[str, object]] = [
+        ("Facile", Facile(cfg, db=db)),
+        ("Facile w/ SimplePredec", Facile(cfg, db=db, simple_predec=True)),
+        ("Facile w/ SimpleDec", Facile(cfg, db=db, simple_dec=True)),
+    ]
+    for comp in Component:
+        variants.append((f"only {comp.value}",
+                         Facile(cfg, db=db, components={comp})))
+    for name, comps in composite_only.items():
+        variants.append((name, Facile(cfg, db=db, components=set(comps))))
+    for comp in Component:
+        variants.append((f"Facile w/o {comp.value}",
+                         Facile(cfg, db=db, exclude={comp})))
+    return variants
+
+
+def table3(suite: BenchmarkSuite,
+           uarch_names: Sequence[str] = ("RKL", "SKL", "SNB"),
+           ) -> List[Table3Row]:
+    """Influence of components on accuracy (paper Table 3).
+
+    Cells that are not meaningful (e.g. "only DSB" under TPU, where the
+    DSB plays no role) are None, matching the paper's empty cells.
+    """
+    rows: List[Table3Row] = []
+    for abbr in uarch_names:
+        cfg = uarch_by_name(abbr)
+        db = UopsDatabase(cfg)
+        measured = {mode: measured_suite(suite, cfg, mode, db)
+                    for mode in _MODES}
+        for name, model in _variant_models(cfg, db):
+            cells: Dict[ThroughputMode, Tuple[Optional[float],
+                                              Optional[float]]] = {}
+            for mode in _MODES:
+                loop = mode is ThroughputMode.LOOP
+                # Variants that cannot bound a block predict 0 cycles,
+                # like a crashed/timed-out tool in the paper's protocol
+                # (this is what produces the "only DSB" 100%-MAPE row).
+                predictions = [
+                    model.predict(bench.block(loop), mode).cycles
+                    for bench in suite
+                ]
+                cells[mode] = (mape(measured[mode], predictions),
+                               kendall_tau(measured[mode], predictions))
+            rows.append(Table3Row(
+                uarch=abbr, variant=name,
+                mape_u=cells[ThroughputMode.UNROLLED][0],
+                kendall_u=cells[ThroughputMode.UNROLLED][1],
+                mape_l=cells[ThroughputMode.LOOP][0],
+                kendall_l=cells[ThroughputMode.LOOP][1],
+            ))
+    return rows
+
+
+def render_table3(rows: List[Table3Row]) -> str:
+    def fmt(value: Optional[float], pct: bool) -> str:
+        if value is None:
+            return "      —"
+        return f"{100 * value:6.2f}%" if pct else f"{value:7.4f}"
+
+    lines = [f"{'µArch':<6} {'Variant':<26} "
+             f"{'U-MAPE':>8} {'U-Kendall':>9} {'L-MAPE':>8} {'L-Kendall':>9}"]
+    last = None
+    for row in rows:
+        label = row.uarch if row.uarch != last else ""
+        last = row.uarch
+        lines.append(f"{label:<6} {row.variant:<26} "
+                     f"{fmt(row.mape_u, True):>8} {fmt(row.kendall_u, False):>9} "
+                     f"{fmt(row.mape_l, True):>8} {fmt(row.kendall_l, False):>9}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table 4: counterfactual speedups
+# ---------------------------------------------------------------------------
+
+_TABLE4_COMPONENTS = (Component.PREDEC, Component.DEC, Component.ISSUE,
+                      Component.PORTS, Component.PRECEDENCE)
+
+
+def table4(suite: BenchmarkSuite) -> Dict[str, Dict[str, float]]:
+    """Speedup when idealizing a single component, TPU (paper Table 4)."""
+    blocks = suite.blocks(loop=False)
+    result: Dict[str, Dict[str, float]] = {}
+    for cfg in UARCH_ORDER:
+        speedups = speedup_table(cfg, blocks, _TABLE4_COMPONENTS)
+        result[cfg.abbrev] = {c.value: round(v, 2)
+                              for c, v in speedups.items()}
+    return result
+
+
+def render_table4(data: Dict[str, Dict[str, float]]) -> str:
+    components = [c.value for c in _TABLE4_COMPONENTS]
+    header = f"{'µArch':<6}" + "".join(f"{c:>12}" for c in components)
+    lines = [header]
+    for uarch, row in data.items():
+        lines.append(f"{uarch:<6}"
+                     + "".join(f"{row[c]:>12.2f}" for c in components))
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Wall-clock timing of predictors and of Facile's components (§6.3).
+
+The original experiments measure tool runtime on the BHive benchmarks;
+here we time the analogs the same way: per-benchmark prediction time,
+with Facile's per-component cost obtained by running single-component
+variants and deducting the shared overhead (input parsing and
+disassembly), exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bhive.suite import BenchmarkSuite
+from repro.core.components import (
+    Component,
+    LOOP_COMPONENTS,
+    ThroughputMode,
+    UNROLLED_COMPONENTS,
+)
+from repro.core.model import Facile
+from repro.isa.block import BasicBlock
+from repro.uarch.config import MicroArchConfig
+from repro.uops.database import UopsDatabase
+
+
+@dataclass
+class TimingResult:
+    """Per-benchmark execution times (milliseconds)."""
+
+    name: str
+    samples_ms: List[float]
+
+    @property
+    def mean_ms(self) -> float:
+        return sum(self.samples_ms) / len(self.samples_ms)
+
+    @property
+    def median_ms(self) -> float:
+        ordered = sorted(self.samples_ms)
+        return ordered[len(ordered) // 2]
+
+
+def time_predictor(predictor, suite: BenchmarkSuite,
+                   mode: ThroughputMode) -> TimingResult:
+    """Time one predictor over the suite (prediction only, no training)."""
+    predictor.prepare()
+    loop = mode is ThroughputMode.LOOP
+    samples = []
+    for bench in suite:
+        raw = bench.block(loop).raw
+        start = time.perf_counter()
+        # Like the real tools, the input is a binary: decoding is part of
+        # the measured work.
+        block = BasicBlock.from_bytes(raw)
+        predictor.predict(block, mode)
+        samples.append(1000.0 * (time.perf_counter() - start))
+    return TimingResult(predictor.name, samples)
+
+
+def time_facile_components(cfg: MicroArchConfig, suite: BenchmarkSuite,
+                           mode: ThroughputMode,
+                           db: Optional[UopsDatabase] = None,
+                           ) -> Dict[str, TimingResult]:
+    """Figure 4 data: overhead, per-component, and total Facile times.
+
+    The overhead (disassembly, block analysis, combination) is measured
+    with all components deactivated; each component's cost is the
+    single-component run minus that overhead.
+    """
+    db = db or UopsDatabase(cfg)
+    loop = mode is ThroughputMode.LOOP
+    relevant = (LOOP_COMPONENTS if loop else UNROLLED_COMPONENTS)
+
+    def run(model: Facile) -> List[float]:
+        samples = []
+        for bench in suite:
+            raw = bench.block(loop).raw
+            start = time.perf_counter()
+            block = BasicBlock.from_bytes(raw)
+            model.predict(block, mode)
+            samples.append(1000.0 * (time.perf_counter() - start))
+        return samples
+
+    results: Dict[str, TimingResult] = {}
+    results["FACILE"] = TimingResult("FACILE", run(Facile(cfg, db=db)))
+    overhead = run(Facile(cfg, db=db, components=()))
+    results["Overhead"] = TimingResult("Overhead", overhead)
+    for comp in relevant:
+        samples = run(Facile(cfg, db=db, components={comp}))
+        deducted = [max(0.0, s - o) for s, o in zip(samples, overhead)]
+        results[comp.value] = TimingResult(comp.value, deducted)
+    return results

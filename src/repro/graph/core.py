@@ -1,0 +1,124 @@
+"""A directed graph with (latency, iteration-count) edge weights."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A weighted edge.
+
+    Attributes:
+        src / dst: node identifiers.
+        weight: latency in cycles.
+        count: iteration count (0 intra-iteration, 1 loop-carried).
+    """
+
+    src: Hashable
+    dst: Hashable
+    weight: int
+    count: int
+
+
+class RatioGraph:
+    """Adjacency-list graph for maximum-cycle-ratio computations."""
+
+    def __init__(self) -> None:
+        self._succ: Dict[Hashable, List[Edge]] = {}
+
+    def add_node(self, node: Hashable) -> None:
+        self._succ.setdefault(node, [])
+
+    def add_edge(self, src: Hashable, dst: Hashable, weight: int,
+                 count: int) -> None:
+        """Add a directed edge; creates the endpoints if necessary."""
+        if count < 0:
+            raise ValueError("iteration count must be non-negative")
+        self.add_node(src)
+        self.add_node(dst)
+        self._succ[src].append(Edge(src, dst, weight, count))
+
+    @property
+    def nodes(self) -> List[Hashable]:
+        return list(self._succ)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(edges) for edges in self._succ.values())
+
+    def out_edges(self, node: Hashable) -> List[Edge]:
+        return self._succ[node]
+
+    def edges(self) -> Iterable[Edge]:
+        for edges in self._succ.values():
+            yield from edges
+
+    def subgraph(self, nodes: Iterable[Hashable]) -> "RatioGraph":
+        """The induced subgraph on *nodes*."""
+        node_set = set(nodes)
+        sub = RatioGraph()
+        for node in node_set:
+            sub.add_node(node)
+            for edge in self._succ.get(node, ()):
+                if edge.dst in node_set:
+                    sub.add_edge(edge.src, edge.dst, edge.weight, edge.count)
+        return sub
+
+    def strongly_connected_components(self) -> List[List[Hashable]]:
+        """Tarjan's algorithm, iterative to avoid recursion limits."""
+        index: Dict[Hashable, int] = {}
+        lowlink: Dict[Hashable, int] = {}
+        on_stack: Dict[Hashable, bool] = {}
+        stack: List[Hashable] = []
+        components: List[List[Hashable]] = []
+        counter = 0
+
+        for root in self._succ:
+            if root in index:
+                continue
+            work = [(root, iter(self._succ[root]))]
+            index[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack[root] = True
+            while work:
+                node, edge_iter = work[-1]
+                advanced = False
+                for edge in edge_iter:
+                    succ = edge.dst
+                    if succ not in index:
+                        index[succ] = lowlink[succ] = counter
+                        counter += 1
+                        stack.append(succ)
+                        on_stack[succ] = True
+                        work.append((succ, iter(self._succ[succ])))
+                        advanced = True
+                        break
+                    if on_stack.get(succ):
+                        lowlink[node] = min(lowlink[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+        return components
+
+    def __repr__(self) -> str:
+        return (f"<RatioGraph {self.num_nodes} nodes, "
+                f"{self.num_edges} edges>")

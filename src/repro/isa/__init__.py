@@ -1,0 +1,54 @@
+"""x86-64 instruction-set substrate.
+
+This package replaces the Intel XED disassembler used by the original Facile
+implementation.  It provides a table-driven subset of x86-64 with a
+byte-accurate encoder, a decoder, and a small text assembler.  The encoding
+rules (legacy prefixes, REX, VEX, ModRM, SIB, displacement and immediate
+sizes) follow the real instruction format, so the facts the throughput
+models consume — instruction lengths, prefix/opcode byte offsets, and
+length-changing-prefix (LCP) markers — are faithful.
+
+Public entry points:
+
+* :class:`~repro.isa.block.BasicBlock` — a decoded basic block.
+* :func:`~repro.isa.assembler.assemble` — text assembly to instructions.
+* :func:`~repro.isa.encoder.encode` / :func:`~repro.isa.decoder.decode` —
+  byte-level round trip.
+"""
+
+from repro.isa.registers import Register, RegisterKind, register_by_name
+from repro.isa.operands import ImmOperand, MemOperand, RegOperand
+from repro.isa.templates import (
+    InstrTemplate,
+    OperandSlot,
+    all_templates,
+    template_by_name,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.encoder import encode, encode_block
+from repro.isa.decoder import DecodeError, decode, decode_block
+from repro.isa.assembler import AssemblyError, assemble, assemble_line
+from repro.isa.block import BasicBlock
+
+__all__ = [
+    "AssemblyError",
+    "BasicBlock",
+    "DecodeError",
+    "ImmOperand",
+    "InstrTemplate",
+    "Instruction",
+    "MemOperand",
+    "OperandSlot",
+    "RegOperand",
+    "Register",
+    "RegisterKind",
+    "all_templates",
+    "assemble",
+    "assemble_line",
+    "decode",
+    "decode_block",
+    "encode",
+    "encode_block",
+    "register_by_name",
+    "template_by_name",
+]

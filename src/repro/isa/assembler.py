@@ -1,0 +1,197 @@
+"""A small text assembler for the x86-64 subset.
+
+Accepts Intel-syntax lines such as::
+
+    add rax, rbx
+    mov qword ptr [rsi+rax*8+16], rcx
+    vfmadd231ps ymm0, ymm1, ymm2
+    jne -12
+
+and produces :class:`~repro.isa.instruction.Instruction` objects by
+matching against the template table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import List, Optional, Tuple, Union
+
+from repro.isa.instruction import Instruction
+from repro.isa.operands import ImmOperand, MemOperand, RegOperand, imm_fits
+from repro.isa.registers import is_register_name, register_by_name
+from repro.isa.templates import (
+    InstrTemplate,
+    SlotKind,
+    templates_by_mnemonic,
+)
+
+
+class AssemblyError(Exception):
+    """Raised when a line cannot be assembled."""
+
+
+_PTR_WIDTHS = {
+    "byte": 8, "word": 16, "dword": 32, "qword": 64,
+    "xmmword": 128, "ymmword": 256,
+}
+
+_MEM_RE = re.compile(
+    r"^(?:(?P<ptr>byte|word|dword|qword|xmmword|ymmword)\s+ptr\s+)?"
+    r"\[(?P<expr>[^\]]+)\]$")
+
+_ParsedOperand = Union[RegOperand, MemOperand, int]
+
+
+def _parse_int(token: str) -> Optional[int]:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        return None
+
+
+def _parse_mem_expr(expr: str, width: Optional[int]) -> MemOperand:
+    base = index = None
+    scale = 1
+    disp = 0
+    # Normalise "a - b" into "+-b" so we can split on '+'.
+    expr = expr.replace(" ", "").replace("-", "+-")
+    for term in filter(None, expr.split("+")):
+        if "*" in term:
+            reg_name, scale_str = term.split("*", 1)
+            if index is not None:
+                raise AssemblyError(f"two index registers in [{expr}]")
+            if not is_register_name(reg_name):
+                raise AssemblyError(f"bad index register {reg_name!r}")
+            index = register_by_name(reg_name)
+            scale_val = _parse_int(scale_str)
+            if scale_val not in (1, 2, 4, 8):
+                raise AssemblyError(f"bad scale {scale_str!r}")
+            scale = scale_val
+        elif is_register_name(term):
+            if base is None:
+                base = register_by_name(term)
+            elif index is None:
+                index = register_by_name(term)
+            else:
+                raise AssemblyError(f"too many registers in [{expr}]")
+        else:
+            value = _parse_int(term)
+            if value is None:
+                raise AssemblyError(f"bad address term {term!r}")
+            disp += value
+    return MemOperand(base=base, index=index, scale=scale, disp=disp,
+                      width=width or 64)
+
+
+def _parse_operand(token: str) -> Tuple[_ParsedOperand, bool]:
+    """Parse one operand.
+
+    Returns:
+        (operand, explicit_width) — for memory operands, explicit_width
+        records whether a ``... ptr`` width annotation was present.
+    """
+    token = token.strip()
+    match = _MEM_RE.match(token)
+    if match:
+        ptr = match.group("ptr")
+        width = _PTR_WIDTHS[ptr] if ptr else None
+        mem = _parse_mem_expr(match.group("expr"), width)
+        return mem, ptr is not None
+    if is_register_name(token):
+        return RegOperand(register_by_name(token)), True
+    value = _parse_int(token)
+    if value is not None:
+        return value, False
+    raise AssemblyError(f"cannot parse operand {token!r}")
+
+
+def _slot_matches(slot, parsed: _ParsedOperand, explicit_width: bool,
+                  imm_width: int) -> bool:
+    if slot.kind is SlotKind.REG:
+        return (isinstance(parsed, RegOperand)
+                and parsed.reg.width == slot.width
+                and _regclass_of(parsed) == slot.regclass)
+    if slot.kind is SlotKind.MEM:
+        if not isinstance(parsed, MemOperand):
+            return False
+        return not explicit_width or parsed.width == slot.width
+    if slot.kind is SlotKind.IMM:
+        return isinstance(parsed, int) and imm_fits(parsed, imm_width)
+    return False
+
+
+def _regclass_of(op: RegOperand) -> str:
+    from repro.isa.registers import RegisterKind
+    return "vec" if op.reg.kind is RegisterKind.VEC else "gpr"
+
+
+def _build_operands(template: InstrTemplate,
+                    parsed: List[Tuple[_ParsedOperand, bool]]):
+    operands = []
+    for slot, (op, _explicit) in zip(template.slots, parsed):
+        if slot.kind is SlotKind.IMM:
+            operands.append(ImmOperand(op, template.encoding.imm_width))
+        elif slot.kind is SlotKind.MEM:
+            assert isinstance(op, MemOperand)
+            if op.width != slot.width:
+                op = dataclasses.replace(op, width=slot.width)
+            operands.append(op)
+        else:
+            operands.append(op)
+    return tuple(operands)
+
+
+def assemble_line(line: str) -> Instruction:
+    """Assemble a single instruction from Intel-syntax text.
+
+    Raises:
+        AssemblyError: when no template matches the line.
+    """
+    line = line.split(";", 1)[0].strip()
+    if not line:
+        raise AssemblyError("empty line")
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    operand_text = parts[1] if len(parts) > 1 else ""
+    parsed = ([_parse_operand(tok) for tok in operand_text.split(",")]
+              if operand_text.strip() else [])
+
+    candidates = templates_by_mnemonic(mnemonic)
+    if not candidates:
+        raise AssemblyError(f"unknown mnemonic {mnemonic!r}")
+
+    # Shift-by-cl forms: cl is an implicit operand, not a template slot.
+    if (len(parsed) == 2 and isinstance(parsed[1][0], RegOperand)
+            and parsed[1][0].reg.name == "cl"
+            and any(t.uop_archetype == "shift_cl" for t in candidates)):
+        candidates = [t for t in candidates
+                      if t.uop_archetype == "shift_cl"]
+        parsed = parsed[:1]
+
+    viable = []
+    for t in candidates:
+        if len(t.slots) != len(parsed):
+            continue
+        imm_width = t.encoding.imm_width
+        if all(_slot_matches(slot, op, expl, imm_width)
+               for slot, (op, expl) in zip(t.slots, parsed)):
+            viable.append(t)
+    if not viable:
+        raise AssemblyError(f"no encoding for {line!r}")
+    # Prefer the shortest immediate encoding, then fewer memory widths.
+    viable.sort(key=lambda t: (t.encoding.imm_width, t.name))
+    template = viable[0]
+    return Instruction.create(template, _build_operands(template, parsed))
+
+
+def assemble(text: str) -> List[Instruction]:
+    """Assemble a multi-line program (one instruction per line)."""
+    instructions = []
+    for line in text.splitlines():
+        stripped = line.split(";", 1)[0].strip()
+        if not stripped:
+            continue
+        instructions.append(assemble_line(stripped))
+    return instructions

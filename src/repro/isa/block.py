@@ -1,0 +1,84 @@
+"""Basic blocks: the unit of throughput prediction."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.isa.instruction import Instruction
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions.
+
+    A block used in loop mode (TPL) conventionally ends in a branch back to
+    its first instruction; a block used in unrolled mode (TPU) has no
+    branch.  Both the analytical model and the simulator accept either.
+    """
+
+    def __init__(self, instructions: Sequence[Instruction]):
+        if not instructions:
+            raise ValueError("basic block must contain instructions")
+        self.instructions: List[Instruction] = list(instructions)
+
+    @classmethod
+    def from_asm(cls, text: str) -> "BasicBlock":
+        """Build a block from Intel-syntax assembly text."""
+        from repro.isa.assembler import assemble
+        return cls(assemble(text))
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "BasicBlock":
+        """Disassemble a block from raw bytes."""
+        from repro.isa.decoder import decode_block
+        return cls(decode_block(raw))
+
+    @property
+    def raw(self) -> bytes:
+        """The byte encoding of the whole block."""
+        return b"".join(i.raw for i in self.instructions)
+
+    @property
+    def num_bytes(self) -> int:
+        return sum(i.length for i in self.instructions)
+
+    @property
+    def ends_in_branch(self) -> bool:
+        return self.instructions[-1].is_branch
+
+    def instruction_offsets(self) -> List[int]:
+        """Byte offset of each instruction within the block."""
+        offsets = []
+        pos = 0
+        for instr in self.instructions:
+            offsets.append(pos)
+            pos += instr.length
+        return offsets
+
+    def text(self) -> str:
+        """Assembly listing of the block."""
+        return "\n".join(i.text() for i in self.instructions)
+
+    def without_final_branch(self) -> "BasicBlock":
+        """The block with a trailing branch removed (for TPU analysis)."""
+        if self.ends_in_branch and len(self.instructions) > 1:
+            return BasicBlock(self.instructions[:-1])
+        return self
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, idx):
+        return self.instructions[idx]
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BasicBlock) and self.raw == other.raw
+
+    def __hash__(self) -> int:
+        return hash(self.raw)
+
+    def __repr__(self) -> str:
+        return (f"<BasicBlock {len(self.instructions)} instructions, "
+                f"{self.num_bytes} bytes>")

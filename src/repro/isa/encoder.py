@@ -1,0 +1,240 @@
+"""Byte-level encoder for the x86-64 subset.
+
+The encoder follows the real x86-64 instruction format: legacy prefixes,
+REX, VEX, opcode (with escapes), ModRM, SIB, displacement, immediate.
+Instruction lengths and prefix counts are therefore realistic, which is
+what the predecoder model depends on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.isa.operands import ImmOperand, MemOperand, Operand, RegOperand
+from repro.isa.registers import Register
+from repro.isa.templates import Encoding, InstrTemplate, SlotKind
+
+
+class EncodeError(Exception):
+    """Raised when operands cannot be encoded for a template."""
+
+
+def _operand_reg(op: Operand) -> Optional[Register]:
+    return op.reg if isinstance(op, RegOperand) else None
+
+
+def _fits_disp8(disp: int) -> bool:
+    return -128 <= disp <= 127
+
+
+def _mem_modrm(mem: MemOperand) -> Tuple[int, int, List[int], bytes]:
+    """Encode a memory operand.
+
+    Returns:
+        (mod, rm, sib_bytes, disp_bytes); rm/base/index values are the low
+        3 bits, extension bits are handled by the caller via REX/VEX.
+    """
+    if mem.is_rip_relative:
+        disp = mem.disp.to_bytes(4, "little", signed=True)
+        return 0b00, 0b101, [], disp
+
+    base, index = mem.base, mem.index
+    if base is None:
+        # Absolute or index-only: SIB with base=101, mandatory disp32.
+        index_enc = index.enc & 7 if index is not None else 0b100
+        scale_bits = {1: 0, 2: 1, 4: 2, 8: 3}[mem.scale]
+        sib = (scale_bits << 6) | (index_enc << 3) | 0b101
+        disp = mem.disp.to_bytes(4, "little", signed=True)
+        return 0b00, 0b100, [sib], disp
+
+    needs_sib = index is not None or (base.enc & 7) == 0b100
+    if mem.disp == 0 and (base.enc & 7) != 0b101:
+        mod, disp = 0b00, b""
+    elif _fits_disp8(mem.disp):
+        mod, disp = 0b01, mem.disp.to_bytes(1, "little", signed=True)
+    else:
+        mod, disp = 0b10, mem.disp.to_bytes(4, "little", signed=True)
+
+    if needs_sib:
+        index_enc = index.enc & 7 if index is not None else 0b100
+        scale_bits = {1: 0, 2: 1, 4: 2, 8: 3}[mem.scale]
+        sib = (scale_bits << 6) | (index_enc << 3) | (base.enc & 7)
+        return mod, 0b100, [sib], disp
+    return mod, base.enc & 7, [], disp
+
+
+def _needs_rex(template: InstrTemplate,
+               operands: Tuple[Operand, ...]) -> bool:
+    enc = template.encoding
+    if enc.rex_w:
+        return True
+    for op in operands:
+        if isinstance(op, RegOperand):
+            if op.reg.needs_rex or op.reg.is_byte_rex_only:
+                return True
+        elif isinstance(op, MemOperand):
+            for reg in op.address_regs():
+                if reg.needs_rex:
+                    return True
+    return False
+
+
+def encode_parts(template: InstrTemplate,
+                 operands: Tuple[Operand, ...]) -> Tuple[bytes, int]:
+    """Encode *operands* for *template*.
+
+    Returns:
+        (raw_bytes, opcode_offset) where opcode_offset is the index of the
+        first nominal-opcode byte (first byte past legacy/REX prefixes).
+    """
+    enc = template.encoding
+    if enc.fixed_bytes is not None:
+        raw = enc.fixed_bytes
+        offset = 0
+        while raw[offset] == 0x66:
+            offset += 1
+        return raw, offset
+
+    if len(operands) != len(template.slots):
+        raise EncodeError(
+            f"{template.name} expects {len(template.slots)} operands, "
+            f"got {len(operands)}")
+
+    prefixes: List[int] = []
+    if enc.legacy_66:
+        prefixes.append(0x66)
+    if enc.simd_prefix is not None:
+        prefixes.append(enc.simd_prefix)
+
+    if enc.vex is not None:
+        return _encode_vex(template, operands, prefixes)
+
+    rex_r = rex_x = rex_b = 0
+    body: List[int] = []
+
+    opcode = enc.opcode
+    modrm_bytes: List[int] = []
+    sib_bytes: List[int] = []
+    disp_bytes = b""
+
+    if enc.reg_in_opcode:
+        reg_op = operands[0]
+        assert isinstance(reg_op, RegOperand)
+        opcode = enc.opcode | (reg_op.reg.enc & 7)
+        rex_b = reg_op.reg.enc >> 3
+
+    if enc.modrm is not None:
+        rm_op = operands[enc.modrm_rm_slot]
+        if enc.modrm == "r":
+            reg_op = operands[enc.modrm_reg_slot]
+            assert isinstance(reg_op, RegOperand)
+            reg_field = reg_op.reg.enc
+            rex_r = reg_field >> 3
+        else:
+            reg_field = int(enc.modrm)
+
+        if isinstance(rm_op, RegOperand):
+            mod, rm = 0b11, rm_op.reg.enc & 7
+            rex_b = rm_op.reg.enc >> 3
+        else:
+            assert isinstance(rm_op, MemOperand)
+            mod, rm, sib_bytes, disp_bytes = _mem_modrm(rm_op)
+            if rm_op.base is not None and not rm_op.is_rip_relative:
+                rex_b = rm_op.base.enc >> 3
+            if rm_op.index is not None:
+                rex_x = rm_op.index.enc >> 3
+        modrm_bytes = [(mod << 6) | ((reg_field & 7) << 3) | rm]
+
+    rex_needed = _needs_rex(template, operands) or rex_r or rex_x or rex_b
+    rex: List[int] = []
+    if rex_needed:
+        rex = [0x40 | (int(enc.rex_w) << 3) | (rex_r << 2)
+               | (rex_x << 1) | rex_b]
+
+    body.extend(enc.esc)
+    body.append(opcode)
+    body.extend(modrm_bytes)
+    body.extend(sib_bytes)
+
+    imm_bytes = b""
+    if enc.imm_width:
+        imm_op = next(op for op in operands if isinstance(op, ImmOperand))
+        if imm_op.width != enc.imm_width:
+            raise EncodeError(
+                f"{template.name}: immediate width {imm_op.width} != "
+                f"{enc.imm_width}")
+        imm_bytes = imm_op.encoded_bytes()
+
+    raw = bytes(prefixes) + bytes(rex) + bytes(body) + disp_bytes + imm_bytes
+    opcode_offset = len(prefixes) + len(rex)
+    return raw, opcode_offset
+
+
+def _encode_vex(template: InstrTemplate, operands: Tuple[Operand, ...],
+                prefixes: List[int]) -> Tuple[bytes, int]:
+    """Encode a VEX-prefixed instruction."""
+    enc = template.encoding
+    vex = enc.vex
+    assert vex is not None and enc.modrm == "r"
+
+    rm_op = operands[enc.modrm_rm_slot]
+    reg_op = operands[enc.modrm_reg_slot]
+    assert isinstance(reg_op, RegOperand)
+
+    vvvv = 0
+    if vex.has_vvvv:
+        # Three-operand form: vvvv encodes the slot that is neither
+        # modrm.reg nor modrm.rm (the second source).
+        other = [i for i in range(len(operands))
+                 if i not in (enc.modrm_rm_slot, enc.modrm_reg_slot)]
+        assert len(other) == 1
+        vvvv_op = operands[other[0]]
+        assert isinstance(vvvv_op, RegOperand)
+        vvvv = vvvv_op.reg.enc
+
+    rex_r = reg_op.reg.enc >> 3
+    rex_x = rex_b = 0
+    sib_bytes: List[int] = []
+    disp_bytes = b""
+    if isinstance(rm_op, RegOperand):
+        mod, rm = 0b11, rm_op.reg.enc & 7
+        rex_b = rm_op.reg.enc >> 3
+    else:
+        assert isinstance(rm_op, MemOperand)
+        mod, rm, sib_bytes, disp_bytes = _mem_modrm(rm_op)
+        if rm_op.base is not None and not rm_op.is_rip_relative:
+            rex_b = rm_op.base.enc >> 3
+        if rm_op.index is not None:
+            rex_x = rm_op.index.enc >> 3
+
+    l_bit = 1 if vex.l == 256 else 0
+    w_bit = vex.w or 0
+    two_byte_ok = (rex_x == 0 and rex_b == 0 and vex.mmm == 1
+                   and (vex.w is None or vex.w == 0))
+    vex_bytes: List[int]
+    if two_byte_ok:
+        vex_bytes = [0xC5,
+                     ((1 - rex_r) << 7) | ((~vvvv & 0xF) << 3)
+                     | (l_bit << 2) | vex.pp]
+    else:
+        vex_bytes = [0xC4,
+                     ((1 - rex_r) << 7) | ((1 - rex_x) << 6)
+                     | ((1 - rex_b) << 5) | vex.mmm,
+                     (w_bit << 7) | ((~vvvv & 0xF) << 3)
+                     | (l_bit << 2) | vex.pp]
+
+    modrm = (mod << 6) | ((reg_op.reg.enc & 7) << 3) | rm
+    raw = (bytes(prefixes) + bytes(vex_bytes) + bytes([enc.opcode, modrm])
+           + bytes(sib_bytes) + disp_bytes)
+    # The VEX prefix is treated as the start of the nominal opcode.
+    return raw, len(prefixes)
+
+
+def encode(instr) -> bytes:
+    """Return the byte encoding of an :class:`Instruction`."""
+    return instr.raw
+
+
+def encode_block(instructions) -> bytes:
+    """Concatenate the encodings of a sequence of instructions."""
+    return b"".join(i.raw for i in instructions)

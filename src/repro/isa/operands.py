@@ -1,0 +1,134 @@
+"""Concrete instruction operands: registers, immediates, memory references."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.isa.registers import RIP, Register
+
+
+@dataclass(frozen=True)
+class RegOperand:
+    """A register operand."""
+
+    reg: Register
+
+    @property
+    def width(self) -> int:
+        return self.reg.width
+
+    def regs_read_for_value(self) -> List[Register]:
+        return [self.reg]
+
+    def __str__(self) -> str:
+        return self.reg.name
+
+
+@dataclass(frozen=True)
+class ImmOperand:
+    """An immediate operand.
+
+    Attributes:
+        value: the signed immediate value.
+        width: the *encoded* width in bits (8, 16, 32 or 64).
+    """
+
+    value: int
+    width: int
+
+    def __post_init__(self) -> None:
+        lo = -(1 << (self.width - 1))
+        hi = (1 << self.width) - 1
+        if not lo <= self.value <= hi:
+            raise ValueError(
+                f"immediate {self.value} does not fit in {self.width} bits")
+
+    def encoded_bytes(self) -> bytes:
+        nbytes = self.width // 8
+        return (self.value & ((1 << self.width) - 1)).to_bytes(
+            nbytes, "little")
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class MemOperand:
+    """A memory operand ``[base + index*scale + disp]``.
+
+    Attributes:
+        base: base register or None.
+        index: index register or None (never rsp).
+        scale: 1, 2, 4 or 8.
+        disp: signed displacement.
+        width: access width in bits.
+    """
+
+    base: Optional[Register] = None
+    index: Optional[Register] = None
+    scale: int = 1
+    disp: int = 0
+    width: int = 64
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"invalid scale {self.scale}")
+        if self.index is not None and self.index.name == "rsp":
+            raise ValueError("rsp cannot be an index register")
+        if self.base is None and self.index is None and self.disp == 0:
+            raise ValueError("memory operand needs base, index or disp")
+
+    @property
+    def is_rip_relative(self) -> bool:
+        return self.base is RIP or (
+            self.base is not None and self.base.name == "rip")
+
+    @property
+    def has_index(self) -> bool:
+        return self.index is not None
+
+    def address_regs(self) -> List[Register]:
+        """Registers read to compute the effective address."""
+        regs = []
+        if self.base is not None and not self.is_rip_relative:
+            regs.append(self.base)
+        if self.index is not None:
+            regs.append(self.index)
+        return regs
+
+    def address_key(self) -> tuple:
+        """A hashable key identifying the (symbolic) address expression."""
+        return (
+            self.base.name if self.base else None,
+            self.index.name if self.index else None,
+            self.scale,
+            self.disp,
+        )
+
+    def __str__(self) -> str:
+        ptr = {8: "byte", 16: "word", 32: "dword", 64: "qword",
+               128: "xmmword", 256: "ymmword"}[self.width]
+        parts = []
+        if self.base is not None:
+            parts.append(self.base.name)
+        if self.index is not None:
+            part = self.index.name
+            if self.scale != 1:
+                part += f"*{self.scale}"
+            parts.append(part)
+        expr = "+".join(parts)
+        if self.disp or not parts:
+            if expr:
+                expr += f"+{self.disp}" if self.disp >= 0 else str(self.disp)
+            else:
+                expr = str(self.disp)
+        return f"{ptr} ptr [{expr}]"
+
+
+Operand = Union[RegOperand, ImmOperand, MemOperand]
+
+
+def imm_fits(value: int, width: int) -> bool:
+    """Return True if *value* is encodable as a signed *width*-bit imm."""
+    return -(1 << (width - 1)) <= value < (1 << (width - 1))

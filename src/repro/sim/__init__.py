@@ -1,0 +1,29 @@
+"""Cycle-level pipeline simulator (the measurement substrate).
+
+The paper's ground truth is hardware measurements of nine Intel CPUs made
+with the BHive profiler.  Offline, this package provides the substitute: a
+detailed cycle-by-cycle pipeline simulator in the style of uiCA, covering
+
+* the legacy front end (predecoder timing incl. LCP stalls and 16-byte
+  boundary effects, the instruction queue with macro fusion, and the
+  complex/simple decoder allocation),
+* the DSB and LSD delivery paths (with LSD unrolling and the JCC-erratum
+  fallback),
+* the back end (renaming with move elimination and unlamination, the
+  issue width, pressure-based — *not* optimal — port assignment, execution
+  latencies, and RS/ROB/retire resource limits).
+
+Crucially, the simulator models second-order effects that Facile
+deliberately idealizes (real port assignment, finite buffers), so the
+error structure of the paper — Facile accurate and always optimistic —
+emerges mechanically rather than by construction.
+
+:func:`~repro.sim.measure.measure` is the BHive-profiler substitute: it
+returns the steady-state cycles per iteration rounded to two decimals.
+"""
+
+from repro.sim.simulator import SimOptions, Simulator
+from repro.sim.measure import Measurement, measure, measure_suite
+
+__all__ = ["Measurement", "SimOptions", "Simulator", "measure",
+           "measure_suite"]

@@ -1,0 +1,319 @@
+"""The out-of-order back end: rename/issue, dispatch, execute, retire.
+
+The back end consumes delivery units from the IDQ, renames register
+sources against the most recent producers, assigns execution ports with a
+pressure heuristic (the renamer balances load using occupancy counters —
+deliberately *not* the optimal distribution Facile assumes), dispatches at
+most one µop per port per cycle, and retires in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.frontend import DeliveryUnit
+from repro.sim.uop import ExpandedOp, FusedUopSpec, UopSpec
+from repro.uarch.config import MicroArchConfig
+
+
+@dataclass
+class SimOptions:
+    """Simulator fidelity knobs.
+
+    Attributes:
+        model_resources: enforce RS/ROB capacities and the retire width
+            (the uiCA-analog baseline turns this off).
+        live_port_counters: update port-pressure counters within an issue
+            group instead of once per cycle.  Real renamers work from the
+            previous cycle's counters (stale), which is what the oracle
+            uses; the live variant is slightly closer to the optimal
+            distribution and serves as an ablation.
+    """
+
+    model_resources: bool = True
+    live_port_counters: bool = False
+
+
+class _Uop:
+    """Runtime state of a dispatched µop."""
+
+    __slots__ = ("spec", "sources", "port", "result_time", "dispatched",
+                 "seq")
+
+    def __init__(self, spec: UopSpec, seq: int):
+        self.spec = spec
+        self.sources: List["_Uop"] = []
+        self.port: int = -1
+        self.result_time: Optional[int] = None
+        self.dispatched = False
+        self.seq = seq
+
+    def ready_time(self) -> Optional[int]:
+        """Cycle at which all sources are available, or None."""
+        ready = 0
+        for src in self.sources:
+            if src.result_time is None:
+                return None
+            ready = max(ready, src.result_time)
+        return ready
+
+
+class _FusedUop:
+    """Runtime state of a fused-domain µop (ROB entry)."""
+
+    __slots__ = ("uops", "iteration", "ends_iteration", "issue_cost",
+                 "issue_time")
+
+    def __init__(self, uops: List[_Uop], issue_cost: int, iteration: int,
+                 ends_iteration: bool):
+        self.uops = uops
+        self.issue_cost = issue_cost
+        self.iteration = iteration
+        self.ends_iteration = ends_iteration
+        self.issue_time: Optional[int] = None
+
+    def completed(self, cycle: int) -> bool:
+        return all(u.result_time is not None and u.result_time <= cycle
+                   for u in self.uops)
+
+
+class BackEnd:
+    """Renames, schedules and retires the µop stream of one simulation."""
+
+    def __init__(self, expanded: Sequence[ExpandedOp],
+                 cfg: MicroArchConfig, options: SimOptions):
+        self.expanded = expanded
+        self.cfg = cfg
+        self.options = options
+
+        self._rename: Dict[str, _Uop] = {}
+        self._rob: List[_FusedUop] = []
+        self._port_queues: Dict[int, List[_Uop]] = {
+            p: [] for p in cfg.ports}
+        self._pressure: Dict[int, int] = {p: 0 for p in cfg.ports}
+        self._stale_pressure: Dict[int, int] = dict(self._pressure)
+        self._rs_occupancy = 0
+        self._seq = 0
+        self._port_rotation = 0
+        self._group_adjust: Dict[int, int] = {}
+        # Per-instruction µop instances for internal-source resolution;
+        # keyed by (iteration, op_index).
+        self._instr_uops: Dict[Tuple[int, int], List[Optional[_Uop]]] = {}
+        self._instr_producer: Dict[Tuple[int, int], _Uop] = {}
+        self.retire_times: Dict[int, int] = {}  # iteration -> cycle
+
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int, idq: List[DeliveryUnit]) -> None:
+        """One cycle: dispatch, then issue, then retire."""
+        self._dispatch(cycle)
+        self._issue(cycle, idq)
+        self._retire(cycle)
+        self._stale_pressure = dict(self._pressure)
+        self._group_adjust.clear()
+        # Port preferences restart at slot 0 every cycle (the renamer's
+        # per-slot patterns are fixed, not free-running).
+        self._port_rotation = 0
+
+    def idq_space(self, capacity: int, idq: List[DeliveryUnit]) -> int:
+        return max(0, capacity - len(idq))
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._rob)
+
+    # -- dispatch -------------------------------------------------------
+
+    def _dispatch(self, cycle: int) -> None:
+        for port, queue in self._port_queues.items():
+            best: Optional[_Uop] = None
+            best_ready = 0
+            for uop in queue:
+                ready = uop.ready_time()
+                if ready is not None and ready <= cycle:
+                    if best is None or uop.seq < best.seq:
+                        best, best_ready = uop, ready
+            if best is not None:
+                best.dispatched = True
+                best.result_time = cycle + best.spec.latency
+                queue.remove(best)
+                self._pressure[port] -= 1
+                self._rs_occupancy -= 1
+
+    # -- issue ----------------------------------------------------------
+
+    def _issue(self, cycle: int, idq: List[DeliveryUnit]) -> None:
+        cfg = self.cfg
+        slots = cfg.issue_width
+        while idq and slots > 0:
+            unit = idq[0]
+            op = self.expanded[unit.op_index]
+            fused_spec = op.fused[unit.fused_index]
+            if fused_spec.issue_cost > slots:
+                break
+            if self.options.model_resources:
+                if len(self._rob) >= cfg.rob_size:
+                    break
+                if (self._rs_occupancy + len(fused_spec.uop_indices)
+                        > cfg.rs_size):
+                    break
+            idq.pop(0)
+            slots -= fused_spec.issue_cost
+            self._issue_fused(cycle, unit, op, fused_spec)
+
+    def _issue_fused(self, cycle: int, unit: DeliveryUnit,
+                     op: ExpandedOp, fused_spec: FusedUopSpec) -> None:
+        key = (unit.iteration, unit.op_index)
+        instr_uops = self._instr_uops.setdefault(
+            key, [None] * len(op.uops))
+
+        members: List[_Uop] = []
+        for uop_index in fused_spec.uop_indices:
+            spec = op.uops[uop_index]
+            uop = _Uop(spec, self._seq)
+            self._seq += 1
+            for root in spec.reg_sources:
+                producer = self._rename.get(root)
+                if producer is not None:
+                    uop.sources.append(producer)
+            if spec.internal_source is not None:
+                internal = instr_uops[spec.internal_source]
+                if internal is not None:
+                    uop.sources.append(internal)
+            instr_uops[uop_index] = uop
+            port = self._assign_port(spec)
+            uop.port = port
+            self._port_queues[port].append(uop)
+            self._pressure[port] += 1
+            self._rs_occupancy += 1
+            members.append(uop)
+
+        fused = _FusedUop(members, fused_spec.issue_cost, unit.iteration,
+                          unit.ends_iteration)
+        fused.issue_time = cycle
+        self._rob.append(fused)
+
+        # Eliminated µops and NOPs complete at issue; their "results" (for
+        # eliminated moves) are the renamed source, which we approximate
+        # with an immediately-available value of zero latency.
+        if not members:
+            pseudo = _Uop(UopSpec(ports=frozenset(), latency=0), self._seq)
+            self._seq += 1
+            pseudo.result_time = cycle
+            pseudo.dispatched = True
+            fused.uops.append(pseudo)
+
+        # Remember the producing µop; the rename table is only updated
+        # once the instruction's *last* fused µop has issued, so that all
+        # of the instruction's µops read the pre-instruction state (a
+        # div's later µops must not depend on its own first µop).
+        for uop in members:
+            if uop.spec.produces_results:
+                self._instr_producer[key] = uop
+                break
+        if self._is_last_fused(unit, op):
+            producer = self._instr_producer.pop(key, None)
+            self._register_writes(unit, op, fused_spec, producer, cycle)
+
+    def _register_writes(self, unit: DeliveryUnit, op: ExpandedOp,
+                         fused_spec: FusedUopSpec,
+                         producer: Optional[_Uop], cycle: int) -> None:
+        written = self._written_roots(unit.op_index)
+        if not written:
+            return
+        if producer is None:
+            # Eliminated move / zero idiom: value ready immediately; for
+            # eliminated moves the dependents inherit the source producer.
+            source = self._eliminated_source(unit.op_index)
+            if source is not None:
+                inherited = self._rename.get(source)
+                if inherited is not None:
+                    for root in written:
+                        self._rename[root] = inherited
+                    return
+            pseudo = _Uop(UopSpec(ports=frozenset(), latency=0), self._seq)
+            self._seq += 1
+            pseudo.result_time = cycle
+            pseudo.dispatched = True
+            for root in written:
+                self._rename[root] = pseudo
+            return
+        for root in written:
+            self._rename[root] = producer
+
+    def _is_last_fused(self, unit: DeliveryUnit, op: ExpandedOp) -> bool:
+        return unit.fused_index == len(op.fused) - 1
+
+    # These two lookups are filled in by the simulator via set_block_info.
+    _written_roots_cache: List[List[str]]
+    _eliminated_sources: List[Optional[str]]
+
+    def set_block_info(self, written_roots: List[List[str]],
+                       eliminated_sources: List[Optional[str]]) -> None:
+        self._written_roots_cache = written_roots
+        self._eliminated_sources = eliminated_sources
+
+    def _written_roots(self, op_index: int) -> List[str]:
+        return self._written_roots_cache[op_index]
+
+    def _eliminated_source(self, op_index: int) -> Optional[str]:
+        return self._eliminated_sources[op_index]
+
+    # -- port assignment --------------------------------------------------
+
+    def _assign_port(self, spec: UopSpec) -> int:
+        """Pressure-based port choice, as real renamers do.
+
+        The oracle default uses the occupancy counters of the *previous*
+        cycle (stale), rotating among equally-loaded candidates — the
+        behaviour uiCA reverse-engineered.  This is close to, but not
+        exactly, the optimal distribution Facile assumes, which is the
+        main source of Facile's (small, always optimistic) Ports error.
+        """
+        if not spec.ports:
+            raise ValueError("dispatchable µop without ports")
+        if self.options.live_port_counters:
+            counters = self._pressure
+            effective = {p: counters[p] for p in spec.ports}
+        else:
+            # Stale counters (previous cycle) plus a within-group adjust:
+            # the renamer spreads the µops of one issue group even though
+            # its global view is one cycle old.
+            effective = {
+                p: self._stale_pressure[p] + self._group_adjust.get(p, 0)
+                for p in spec.ports}
+        candidates = sorted(spec.ports)
+        best = min(effective[p] for p in candidates)
+        minimal = [p for p in candidates if effective[p] == best]
+        if len(minimal) > 1:
+            # Tie-break on the true backlog (undispatched µops), so that
+            # within-group adjustments do not mask a loaded port.
+            backlog = min(self._pressure[p] for p in minimal)
+            minimal = [p for p in minimal if self._pressure[p] == backlog]
+        port = minimal[self._port_rotation % len(minimal)]
+        self._port_rotation += 1
+        self._group_adjust[port] = self._group_adjust.get(port, 0) + 1
+        return port
+
+    # -- retire -----------------------------------------------------------
+
+    def _retire(self, cycle: int) -> None:
+        width = (self.cfg.retire_width if self.options.model_resources
+                 else 10 ** 9)
+        retired = 0
+        while self._rob and retired < width:
+            head = self._rob[0]
+            if not head.completed(cycle):
+                break
+            self._rob.pop(0)
+            retired += 1
+            if head.ends_iteration:
+                self.retire_times[head.iteration] = cycle
+                # Per-instruction µop maps are no longer needed.
+                self._gc_iteration(head.iteration)
+
+    def _gc_iteration(self, iteration: int) -> None:
+        stale = [key for key in self._instr_uops if key[0] < iteration]
+        for key in stale:
+            del self._instr_uops[key]

@@ -1,0 +1,273 @@
+"""Front-end delivery engines for the pipeline simulator.
+
+Three paths, selected per §4.2 of the paper:
+
+* **Legacy** (predecoder → IQ → decoders): used for unrolled execution and
+  for loops hit by the JCC erratum.  Predecode timing follows the 16-byte
+  block walk (5 instructions/cycle, LCP penalties, boundary-crossing
+  slots) with back-pressure from the instruction queue; decode groups
+  follow the complex/simple decoder allocation rules of Algorithm 1.
+* **DSB**: up to `dsb_width` fused µops per cycle; for blocks shorter than
+  32 bytes delivery stops at the loop branch (same-32-byte-window rule).
+* **LSD**: the locked IDQ streams up to `issue_width` µops per cycle, with
+  the iteration-boundary bubble amortized over the LSD unroll window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.lsd import lsd_unroll_count
+from repro.isa.block import BasicBlock
+from repro.uarch.config import MicroArchConfig
+from repro.uops.blockinfo import MacroOp
+
+#: Instruction-queue capacity (predecoded instructions).  Approximation:
+#: Intel documents 20-25 entries across these generations.
+IQ_SIZE = 25
+
+
+@dataclass
+class DeliveryUnit:
+    """One fused µop's worth of delivery, tagged for bookkeeping.
+
+    Attributes:
+        op_index: macro-op index within the block.
+        fused_index: fused-µop index within the macro-op.
+        iteration: loop iteration this instance belongs to.
+        ends_iteration: True for the last fused µop of an iteration.
+    """
+
+    op_index: int
+    fused_index: int
+    iteration: int
+    ends_iteration: bool
+
+
+class _UnitStream:
+    """Generates the per-iteration sequence of delivery units."""
+
+    def __init__(self, fused_counts: Sequence[int]):
+        self.fused_counts = list(fused_counts)
+        self.per_iteration = sum(self.fused_counts)
+
+    def units_for_iteration(self, iteration: int) -> List[DeliveryUnit]:
+        units = []
+        for op_index, count in enumerate(self.fused_counts):
+            for fused_index in range(count):
+                units.append(DeliveryUnit(op_index, fused_index, iteration,
+                                          False))
+        if units:
+            units[-1].ends_iteration = True
+        return units
+
+
+class LsdFrontEnd:
+    """The locked-IDQ streaming path."""
+
+    def __init__(self, fused_counts: Sequence[int], cfg: MicroArchConfig):
+        self._stream = _UnitStream(fused_counts)
+        self._width = cfg.issue_width
+        n_uops = self._stream.per_iteration
+        self._unroll = lsd_unroll_count(n_uops, cfg)
+        self._window: List[DeliveryUnit] = []
+        self._iteration = 0
+
+    def tick(self, idq: List[DeliveryUnit], idq_space: int) -> None:
+        del idq_space  # the LSD bypasses IDQ capacity: µops are locked
+        delivered = 0
+        while delivered < self._width:
+            if not self._window:
+                if delivered > 0:
+                    return  # window boundary: bubble until next cycle
+                for _ in range(self._unroll):
+                    self._window.extend(
+                        self._stream.units_for_iteration(self._iteration))
+                    self._iteration += 1
+            idq.append(self._window.pop(0))
+            delivered += 1
+
+
+class DsbFrontEnd:
+    """The µop-cache delivery path."""
+
+    def __init__(self, fused_counts: Sequence[int], block_length: int,
+                 cfg: MicroArchConfig):
+        self._stream = _UnitStream(fused_counts)
+        self._width = cfg.dsb_width
+        self._stall_at_branch = block_length < 32
+        self._pending: List[DeliveryUnit] = []
+        self._iteration = 0
+
+    def tick(self, idq: List[DeliveryUnit], idq_space: int) -> None:
+        delivered = 0
+        while delivered < self._width and idq_space > 0:
+            if not self._pending:
+                self._pending = self._stream.units_for_iteration(
+                    self._iteration)
+                self._iteration += 1
+            unit = self._pending.pop(0)
+            idq.append(unit)
+            delivered += 1
+            idq_space -= 1
+            if unit.ends_iteration and self._stall_at_branch:
+                return
+
+
+class LegacyFrontEnd:
+    """Predecoder → IQ → decoders."""
+
+    def __init__(self, block: BasicBlock, ops: Sequence[MacroOp],
+                 fused_counts: Sequence[int], cfg: MicroArchConfig,
+                 unrolled: bool):
+        self.cfg = cfg
+        self.ops = ops
+        self.fused_counts = list(fused_counts)
+        self._iq: List[Tuple[int, int]] = []  # (op_index, iteration)
+        self._pd = _PredecodeSchedule(block, ops, unrolled)
+        self._pd_clock = -1
+
+    def tick(self, idq: List[DeliveryUnit], idq_space: int) -> None:
+        self._predecode_tick()
+        self._decode_tick(idq, idq_space)
+
+    # -- predecode ------------------------------------------------------
+
+    def _predecode_tick(self) -> None:
+        if len(self._iq) > IQ_SIZE - self.cfg.predecode_width:
+            return  # IQ back-pressure: the predecoder stalls
+        self._pd_clock += 1
+        for op_index, iteration in self._pd.ready_at(self._pd_clock):
+            self._iq.append((op_index, iteration))
+
+    # -- decode ---------------------------------------------------------
+
+    def _decode_tick(self, idq: List[DeliveryUnit], idq_space: int) -> None:
+        """Decode one group per cycle.
+
+        Every cycle's group starts at the complex decoder (decoder 0) —
+        this is exactly the grouping Algorithm 1 of the paper counts: each
+        allocation to decoder 0 corresponds to one decode cycle.
+        """
+        cfg = self.cfg
+        n_dec = cfg.n_decoders
+        cur_dec = 0
+        n_avail_simple = 0
+        first_in_cycle = True
+        while self._iq:
+            op_index, iteration = self._iq[0]
+            op = self.ops[op_index]
+            fused = self.fused_counts[op_index]
+            if idq_space < fused:
+                break
+            if first_in_cycle:
+                # The complex decoder always takes the first instruction.
+                n_avail_simple = (
+                    op.info.n_available_simple_decoders
+                    if op.info.requires_complex_decoder
+                    else n_dec - 1)
+                first_in_cycle = False
+            else:
+                if op.info.requires_complex_decoder:
+                    break  # must wait for next cycle's complex decoder
+                blocked_on_last = (
+                    cur_dec + 1 == n_dec - 1
+                    and op.is_macro_fusible
+                    and not cfg.macro_fusible_on_last_decoder)
+                if n_avail_simple == 0 or blocked_on_last:
+                    break
+                cur_dec += 1
+                n_avail_simple -= 1
+            self._iq.pop(0)
+            ends = op_index == len(self.ops) - 1
+            for fused_index in range(fused):
+                idq.append(DeliveryUnit(
+                    op_index, fused_index, iteration,
+                    ends and fused_index == fused - 1))
+            idq_space -= fused
+            if op.is_branch:
+                break
+
+
+class _PredecodeSchedule:
+    """Periodic predecode timing, shared logic with the Predec bound.
+
+    The schedule records, for one period (lcm(l,16)/l iterations when
+    unrolled, one iteration for loops), the cycle at which each macro-op
+    becomes available, plus the period length in cycles.  A macro-op is
+    available once all its instructions are predecoded.
+    """
+
+    def __init__(self, block: BasicBlock, ops: Sequence[MacroOp],
+                 unrolled: bool):
+        length = block.num_bytes
+        self.period_iterations = (
+            math.lcm(length, 16) // length if unrolled else 1)
+        offsets = block.instruction_offsets()
+
+        # Finish cycle of every instruction instance across the period.
+        n_blocks = math.ceil(self.period_iterations * length / 16)
+        per_block: List[List[Tuple[int, int, bool]]] = [
+            [] for _ in range(n_blocks)]
+        lcp_per_block = [0] * n_blocks
+        for copy in range(self.period_iterations):
+            base = copy * length
+            for pos, instr in enumerate(block):
+                start = base + offsets[pos]
+                opcode_block = (start + instr.opcode_offset) // 16
+                last_block = (start + instr.length - 1) // 16
+                instance = copy * len(block) + pos
+                if opcode_block != last_block:
+                    per_block[opcode_block].append((instance, pos, False))
+                per_block[last_block].append((instance, pos, True))
+                if instr.has_lcp:
+                    lcp_per_block[opcode_block] += 1
+
+        finish: dict = {}
+        clock = 0
+        width = 5
+        # Every 16-byte block contains at least one instruction end or a
+        # crossing opcode (instructions are at most 15 bytes long).
+        cycles_nlcp = [math.ceil(len(slots) / width) for slots in per_block]
+        for b in range(n_blocks):
+            prev = cycles_nlcp[b - 1]
+            penalty = max(0, 3 * lcp_per_block[b] - max(0, prev - 1))
+            clock += penalty
+            for slot, (instance, pos, is_end) in enumerate(per_block[b]):
+                if is_end:
+                    finish[instance] = clock + slot // width
+            clock += cycles_nlcp[b]
+        self.period_cycles = max(1, clock)
+
+        # Availability of macro-ops: all member instructions predecoded.
+        # The list is kept in program order — predecode finish times are
+        # non-decreasing along the instruction stream by construction,
+        # and the IQ/decoders must see instructions in order.
+        self._schedule: List[Tuple[int, int, int]] = []
+        for copy in range(self.period_iterations):
+            for op_index, op in enumerate(ops):
+                instances = [copy * len(block) + op.first_index + k
+                             for k in range(len(op.instructions))]
+                ready = max(finish[i] for i in instances)
+                self._schedule.append((ready, op_index, copy))
+        assert all(a[0] <= b[0] for a, b in zip(self._schedule,
+                                                self._schedule[1:]))
+        self._cursor = 0
+        self._period_count = 0
+
+    def ready_at(self, clock: int) -> Iterator[Tuple[int, int]]:
+        """Yield (op_index, iteration) for macro-ops ready by *clock*."""
+        while True:
+            if self._cursor >= len(self._schedule):
+                self._cursor = 0
+                self._period_count += 1
+            ready, op_index, copy = self._schedule[self._cursor]
+            absolute = ready + self._period_count * self.period_cycles
+            if absolute > clock:
+                return
+            iteration = (copy
+                         + self._period_count * self.period_iterations)
+            yield op_index, iteration
+            self._cursor += 1

@@ -1,0 +1,61 @@
+"""The measurement harness (BHive-profiler substitute).
+
+The original evaluation measures each benchmark on real CPUs with the
+BHive profiler and rounds the result to two decimal digits.  This module
+provides the drop-in substitute: steady-state throughput measured on the
+oracle simulator, rounded the same way, with a per-(block, µarch, mode)
+cache because every predictor comparison reuses the same measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.components import ThroughputMode
+from repro.isa.block import BasicBlock
+from repro.sim.backend import SimOptions
+from repro.sim.simulator import Simulator
+from repro.uarch.config import MicroArchConfig
+from repro.uops.database import UopsDatabase
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One measured benchmark."""
+
+    block: BasicBlock
+    mode: ThroughputMode
+    cycles: float
+
+
+_CACHE: Dict[Tuple[bytes, str, str], float] = {}
+
+
+def measure(block: BasicBlock, cfg: MicroArchConfig,
+            mode: ThroughputMode,
+            db: Optional[UopsDatabase] = None,
+            use_cache: bool = True) -> float:
+    """Measured steady-state cycles/iteration, rounded to 2 decimals."""
+    key = (block.raw, cfg.abbrev, mode.value)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    simulator = Simulator(cfg, SimOptions(), db)
+    cycles = round(simulator.throughput(block, mode), 2)
+    if use_cache:
+        _CACHE[key] = cycles
+    return cycles
+
+
+def measure_suite(blocks: Sequence[BasicBlock], cfg: MicroArchConfig,
+                  mode: ThroughputMode,
+                  db: Optional[UopsDatabase] = None) -> List[Measurement]:
+    """Measure a whole suite, sharing the uops database."""
+    db = db or UopsDatabase(cfg)
+    return [Measurement(block, mode, measure(block, cfg, mode, db))
+            for block in blocks]
+
+
+def clear_cache() -> None:
+    """Drop all cached measurements (for tests)."""
+    _CACHE.clear()

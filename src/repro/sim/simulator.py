@@ -1,0 +1,121 @@
+"""The cycle-level simulator orchestrating front end and back end."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.components import ThroughputMode
+from repro.core.jcc import affected_by_jcc_erratum
+from repro.core.lsd import lsd_fits
+from repro.isa.block import BasicBlock
+from repro.sim.backend import BackEnd, SimOptions
+from repro.sim.frontend import (
+    DeliveryUnit,
+    DsbFrontEnd,
+    LegacyFrontEnd,
+    LsdFrontEnd,
+)
+from repro.sim.uop import expand_macro_op
+from repro.uarch.config import MicroArchConfig
+from repro.uops.blockinfo import analyze_block, macro_ops
+from repro.uops.database import UopsDatabase
+
+
+class SimulationError(Exception):
+    """Raised when a simulation fails to make progress (internal bug)."""
+
+
+class Simulator:
+    """Cycle-by-cycle pipeline simulation of basic-block execution.
+
+    Args:
+        cfg: target microarchitecture.
+        options: fidelity knobs (see :class:`SimOptions`).
+        db: optionally shared uops database.
+    """
+
+    def __init__(self, cfg: MicroArchConfig,
+                 options: Optional[SimOptions] = None,
+                 db: Optional[UopsDatabase] = None):
+        self.cfg = cfg
+        self.options = options or SimOptions()
+        self.db = db or UopsDatabase(cfg)
+
+    # ------------------------------------------------------------------
+
+    def simulate(self, block: BasicBlock, mode: ThroughputMode,
+                 iterations: int) -> Dict[int, int]:
+        """Run *iterations* repetitions; return iteration → retire cycle."""
+        cfg = self.cfg
+        analyzed = analyze_block(block, cfg, self.db)
+        ops = macro_ops(analyzed, cfg)
+        expanded = [expand_macro_op(op, cfg) for op in ops]
+        fused_counts = [len(e.fused) for e in expanded]
+
+        frontend = self._select_frontend(block, mode, analyzed, ops,
+                                         fused_counts)
+        backend = BackEnd(expanded, cfg, self.options)
+        backend.set_block_info(
+            written_roots=[
+                [r.name for r in op.instructions[0].regs_written()]
+                for op in ops],
+            eliminated_sources=[self._eliminated_source(op) for op in ops],
+        )
+
+        idq: List[DeliveryUnit] = []
+        cycle = 0
+        max_cycles = 10_000 + iterations * 60 * max(1, len(ops))
+        while len(backend.retire_times) < iterations:
+            space = backend.idq_space(cfg.idq_size, idq)
+            frontend.tick(idq, space)
+            backend.tick(cycle, idq)
+            cycle += 1
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"no progress after {max_cycles} cycles "
+                    f"({len(backend.retire_times)}/{iterations} iterations)")
+        return backend.retire_times
+
+    def throughput(self, block: BasicBlock, mode: ThroughputMode,
+                   warmup: int = 32, max_period: int = 36) -> float:
+        """Steady-state cycles per iteration.
+
+        The steady state of the pipeline is periodic (the predecoder
+        repeats every lcm(l,16)/l iterations, the decoder wheel and issue
+        groups add small factors).  We detect the exact period in the
+        per-iteration retire deltas and average over whole periods, which
+        avoids window-aliasing artifacts; if no period ≤ *max_period* is
+        found, the plain window average is returned.
+        """
+        window = 3 * max_period
+        times = self.simulate(block, mode, warmup + window)
+        deltas = [times[i] - times[i - 1]
+                  for i in range(warmup, warmup + window)]
+        for period in range(1, max_period + 1):
+            if all(deltas[i] == deltas[i + period]
+                   for i in range(len(deltas) - period)):
+                return sum(deltas[:period]) / period
+        # No exact period found (slow phase drift): average the tail,
+        # which excludes any residual start-up transient.
+        tail = deltas[max_period:]
+        return sum(tail) / len(tail)
+
+    # ------------------------------------------------------------------
+
+    def _select_frontend(self, block, mode, analyzed, ops, fused_counts):
+        if mode is ThroughputMode.UNROLLED:
+            return LegacyFrontEnd(block, ops, fused_counts, self.cfg,
+                                  unrolled=True)
+        if affected_by_jcc_erratum(block, self.cfg, analyzed):
+            return LegacyFrontEnd(block, ops, fused_counts, self.cfg,
+                                  unrolled=False)
+        if lsd_fits(ops, self.cfg):
+            return LsdFrontEnd(fused_counts, self.cfg)
+        return DsbFrontEnd(fused_counts, block.num_bytes, self.cfg)
+
+    @staticmethod
+    def _eliminated_source(op) -> Optional[str]:
+        instr = op.instructions[0]
+        if op.info.eliminated and instr.is_reg_move():
+            return instr.operands[1].reg.root().name
+        return None

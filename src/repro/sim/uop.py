@@ -1,0 +1,172 @@
+"""µop expansion: from instructions to the units the back end schedules.
+
+An instruction becomes one or more *fused µops* (the unit occupying IDQ,
+issue bandwidth, and ROB entries), each carrying zero or more *dispatched
+µops* (the units occupying scheduler entries and execution ports).
+Intra-instruction dataflow (address → load → compute → store-data) is
+encoded as µop-level source edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.uarch.config import MicroArchConfig
+from repro.uops.blockinfo import MacroOp
+from repro.uops.info import InstrInfo
+
+
+@dataclass
+class UopSpec:
+    """One dispatched µop of an instruction.
+
+    Attributes:
+        ports: allowed execution ports.
+        latency: cycles from dispatch to result availability.
+        reg_sources: root register names read from the register file.
+        internal_source: index (within the instruction's dispatched µops)
+            whose result this µop consumes, or None.
+        produces_results: True when the instruction's written registers
+            become available upon this µop's completion.
+    """
+
+    ports: FrozenSet[int]
+    latency: int
+    reg_sources: Tuple[str, ...] = ()
+    internal_source: Optional[int] = None
+    produces_results: bool = False
+
+
+@dataclass
+class FusedUopSpec:
+    """One fused-domain µop (an IDQ entry).
+
+    Attributes:
+        uop_indices: indices into the instruction's dispatched-µop list
+            (empty for eliminated µops and NOPs).
+        issue_cost: renamer issue slots consumed (2 when unlaminated).
+    """
+
+    uop_indices: Tuple[int, ...] = ()
+    issue_cost: int = 1
+
+
+@dataclass
+class ExpandedOp:
+    """A macro-op expanded for the back end.
+
+    Attributes:
+        uops: dispatched µops in port_sets order.
+        fused: fused-domain grouping of those µops.
+        has_producer: True when some dispatched µop produces the
+            instruction's register results (False for eliminated moves,
+            zero idioms and NOPs).
+    """
+
+    uops: List[UopSpec]
+    fused: List[FusedUopSpec]
+
+    @property
+    def has_producer(self) -> bool:
+        return any(u.produces_results for u in self.uops)
+
+
+def expand_macro_op(op: MacroOp, cfg: MicroArchConfig) -> ExpandedOp:
+    """Expand a macro-op into dispatched µops and their fused grouping."""
+    info = op.info
+    instr = op.instructions[0]
+
+    if info.eliminated or info.is_nop:
+        fused = [FusedUopSpec(uop_indices=(), issue_cost=1)
+                 for _ in range(info.fused_uops)]
+        return ExpandedOp(uops=[], fused=fused)
+
+    reads = tuple(r.name for r in instr.regs_read())
+    writes = instr.regs_written()
+    mem = instr.mem_operand()
+    addr_names: Tuple[str, ...] = ()
+    if mem is not None:
+        addr_names = tuple(r.root().name for r in mem.address_regs())
+    non_addr = tuple(n for n in reads if n not in addr_names)
+
+    load_ports = cfg.ports_for("load")
+    std_ports = cfg.ports_for("store_data")
+    sta_ports = {cfg.ports_for("store_agu"),
+                 cfg.ports_for("store_agu_indexed")}
+
+    loads = instr.template.loads
+    stores = instr.template.stores
+
+    # Classify each dispatched µop into a role, in port_sets order.
+    uops: List[UopSpec] = []
+    load_idx: Optional[int] = None
+    sta_idx: Optional[int] = None
+    std_idx: Optional[int] = None
+    compute_idxs: List[int] = []
+    remaining = list(info.port_sets)
+    for idx, ports in enumerate(remaining):
+        if loads and load_idx is None and ports == load_ports:
+            load_idx = idx
+        elif stores and std_idx is None and ports == std_ports:
+            std_idx = idx
+        elif stores and sta_idx is None and ports in sta_ports:
+            sta_idx = idx
+        else:
+            compute_idxs.append(idx)
+        uops.append(UopSpec(ports=ports, latency=1))  # placeholder
+
+    if load_idx is not None:
+        uops[load_idx] = UopSpec(
+            ports=remaining[load_idx], latency=max(1, info.load_latency),
+            reg_sources=addr_names,
+            produces_results=not compute_idxs and bool(writes))
+    if sta_idx is not None:
+        uops[sta_idx] = UopSpec(
+            ports=remaining[sta_idx], latency=1, reg_sources=addr_names)
+    # When no dedicated load/STA µop consumes the address registers (LEA),
+    # they are genuine inputs of the compute µop.
+    compute_sources = non_addr
+    if load_idx is None and sta_idx is None:
+        compute_sources = non_addr + addr_names
+    for order, idx in enumerate(compute_idxs):
+        uops[idx] = UopSpec(
+            ports=remaining[idx], latency=max(1, info.latency),
+            reg_sources=compute_sources, internal_source=load_idx,
+            produces_results=order == 0 and bool(writes))
+    if std_idx is not None:
+        internal = compute_idxs[0] if compute_idxs else None
+        sources = () if compute_idxs else non_addr
+        uops[std_idx] = UopSpec(
+            ports=remaining[std_idx], latency=1, reg_sources=sources,
+            internal_source=internal)
+
+    fused = _partition(info, load_idx, sta_idx, std_idx, compute_idxs)
+    return ExpandedOp(uops=uops, fused=fused)
+
+
+def _partition(info: InstrInfo, load_idx: Optional[int],
+               sta_idx: Optional[int], std_idx: Optional[int],
+               compute_idxs: List[int]) -> List[FusedUopSpec]:
+    """Group dispatched µops into fused-domain µops."""
+    n_dispatched = info.dispatched_uops
+    if info.fused_uops == 1:
+        return [FusedUopSpec(uop_indices=tuple(range(n_dispatched)),
+                             issue_cost=info.issued_uops)]
+
+    if (load_idx is not None and std_idx is not None
+            and info.fused_uops == 2):
+        # Read-modify-write: load+compute fuse; STA+STD fuse.
+        main = tuple(i for i in [load_idx] + compute_idxs if i is not None)
+        store = tuple(i for i in (sta_idx, std_idx) if i is not None)
+        unlaminated = info.issued_uops > info.fused_uops
+        return [
+            FusedUopSpec(uop_indices=main,
+                         issue_cost=len(main) if unlaminated else 1),
+            FusedUopSpec(uop_indices=store,
+                         issue_cost=len(store) if unlaminated else 1),
+        ]
+
+    # One dispatched µop per fused µop (mul_wide, div, xchg, adc, ...).
+    return [FusedUopSpec(uop_indices=(i,), issue_cost=1)
+            for i in range(n_dispatched)]

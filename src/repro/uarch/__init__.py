@@ -1,0 +1,15 @@
+"""Microarchitecture configurations (Table 1 of the paper).
+
+This package plays the role of uiCA's ``microArchConfigs.py``: it provides
+the high-level pipeline parameters of the nine Intel Core generations the
+paper evaluates, from Sandy Bridge (2011) to Rocket Lake (2021).
+"""
+
+from repro.uarch.config import MicroArchConfig
+from repro.uarch.configs import (
+    ALL_UARCHS,
+    UARCH_ORDER,
+    uarch_by_name,
+)
+
+__all__ = ["ALL_UARCHS", "MicroArchConfig", "UARCH_ORDER", "uarch_by_name"]

@@ -1,0 +1,91 @@
+"""The :class:`MicroArchConfig` dataclass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+
+PortSet = FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class MicroArchConfig:
+    """High-level pipeline parameters of one microarchitecture.
+
+    The front-end and back-end parameters mirror the knobs uiCA's
+    configuration files expose; the port map plays the role of the
+    uops.info port-usage data at µop-kind granularity.
+
+    Attributes:
+        name / abbrev / released / cpu: identification (paper Table 1).
+        n_decoders: total decoders (1 complex + n-1 simple).
+        predecode_width: instructions predecoded per cycle (5 on all
+            generations covered).
+        macro_fusible_on_last_decoder: whether a macro-fusible instruction
+            may be decoded by the last simple decoder (Algorithm 1,
+            line 14 of the paper).
+        dsb_width: µops the DSB can send to the IDQ per cycle.
+        idq_size: IDQ capacity in µops (the LSD lock window).
+        lsd_enabled: LSD active (disabled on SKL/CLX by the SKL150 erratum).
+        lsd_unrolls: LSD unrolls small loops to fill the issue width.
+        jcc_erratum: JCC-erratum mitigation active (Skylake family).
+        issue_width: µops issued by the renamer per cycle.
+        retire_width: µops retired per cycle.
+        rob_size / rs_size: reorder-buffer and scheduler capacities.
+        load_latency: L1 load-to-use latency in cycles.
+        ports: all execution-port numbers.
+        port_map: µop kind → set of ports that can execute it.
+        gpr_move_elim / vec_move_elim: move elimination availability.
+        unlaminate_indexed: micro-fused µops with indexed addressing are
+            split ("unlaminated") at issue (SNB/IVB behaviour).
+        features: supported ISA extensions ("avx", "avx2", "fma").
+        lat_overrides: archetype → instruction latency override.
+    """
+
+    name: str
+    abbrev: str
+    released: int
+    cpu: str
+
+    n_decoders: int
+    predecode_width: int
+    macro_fusible_on_last_decoder: bool
+    dsb_width: int
+    idq_size: int
+    lsd_enabled: bool
+    lsd_unrolls: bool
+    jcc_erratum: bool
+
+    issue_width: int
+    retire_width: int
+    rob_size: int
+    rs_size: int
+    load_latency: int
+
+    ports: Tuple[int, ...]
+    port_map: Mapping[str, PortSet]
+    gpr_move_elim: bool
+    vec_move_elim: bool
+    unlaminate_indexed: bool
+    features: FrozenSet[str]
+    lat_overrides: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def n_ports(self) -> int:
+        return len(self.ports)
+
+    def supports(self, feature: str) -> bool:
+        """True when the µarch supports the ISA extension *feature*."""
+        return feature == "base" or feature in self.features
+
+    def ports_for(self, kind: str) -> PortSet:
+        """Ports able to execute a µop of the given *kind*.
+
+        Raises:
+            KeyError: for unknown µop kinds (indicates a database bug).
+        """
+        return self.port_map[kind]
+
+    def __str__(self) -> str:
+        return self.abbrev

@@ -1,0 +1,268 @@
+"""Concrete configurations for the nine microarchitectures of Table 1.
+
+Values are best-effort public-knowledge parameters (Intel optimization
+manuals, uops.info, the uiCA paper).  Where exact values are uncertain the
+choice is documented inline; what matters for the reproduction is that the
+analytical model, the oracle simulator, and the baselines all consume the
+*same* configuration, so predictor-vs-measurement relationships are
+preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.uarch.config import MicroArchConfig, PortSet
+
+
+def _fs(*ports: int) -> PortSet:
+    return frozenset(ports)
+
+
+def _port_map_snb() -> Dict[str, PortSet]:
+    """Sandy Bridge / Ivy Bridge: 6 ports, FP add on p1, FP mul on p0."""
+    return {
+        "int_alu": _fs(0, 1, 5),
+        "flags_alu": _fs(0, 5),
+        "int_shift": _fs(0, 5),
+        "int_mul": _fs(1),
+        "int_mul_aux": _fs(5),
+        "div": _fs(0),
+        "bit_scan": _fs(1),
+        "lea_simple": _fs(0, 1),
+        "lea_slow": _fs(1),
+        "load": _fs(2, 3),
+        "store_agu": _fs(2, 3),
+        "store_agu_indexed": _fs(2, 3),
+        "store_data": _fs(4),
+        "branch": _fs(5),
+        "fused_branch": _fs(5),
+        "vec_fp_add": _fs(1),
+        "vec_fp_mul": _fs(0),
+        "fma": _fs(0),  # unused: FMA requires the "fma" feature
+        "vec_fp_div": _fs(0),
+        "fp_sqrt": _fs(0),
+        "vec_int": _fs(1, 5),
+        "vec_int_mul": _fs(0),
+        "vec_logic": _fs(0, 1, 5),
+        "vec_mov": _fs(0, 1, 5),
+    }
+
+
+def _port_map_hsw() -> Dict[str, PortSet]:
+    """Haswell / Broadwell: 8 ports, 2 FMA units, p6 branch, p7 store AGU."""
+    return {
+        "int_alu": _fs(0, 1, 5, 6),
+        "flags_alu": _fs(0, 6),
+        "int_shift": _fs(0, 6),
+        "int_mul": _fs(1),
+        "int_mul_aux": _fs(5),
+        "div": _fs(0),
+        "bit_scan": _fs(1),
+        "lea_simple": _fs(1, 5),
+        "lea_slow": _fs(1),
+        "load": _fs(2, 3),
+        "store_agu": _fs(2, 3, 7),
+        "store_agu_indexed": _fs(2, 3),
+        "store_data": _fs(4),
+        "branch": _fs(6),
+        "fused_branch": _fs(0, 6),
+        "vec_fp_add": _fs(1),
+        "vec_fp_mul": _fs(0, 1),
+        "fma": _fs(0, 1),
+        "vec_fp_div": _fs(0),
+        "fp_sqrt": _fs(0),
+        "vec_int": _fs(1, 5),
+        "vec_int_mul": _fs(0),
+        "vec_logic": _fs(0, 1, 5),
+        "vec_mov": _fs(0, 1, 5),
+    }
+
+
+def _port_map_skl() -> Dict[str, PortSet]:
+    """Skylake / Cascade Lake: FP add moved to the p0/p1 FMA units."""
+    pm = _port_map_hsw()
+    pm.update({
+        "vec_fp_add": _fs(0, 1),
+        "vec_fp_mul": _fs(0, 1),
+        "vec_int": _fs(0, 1, 5),
+        "vec_int_mul": _fs(0, 1),
+    })
+    return pm
+
+
+def _port_map_icl() -> Dict[str, PortSet]:
+    """Ice Lake / Tiger Lake / Rocket Lake: 10 ports, dual store pipes."""
+    pm = _port_map_skl()
+    pm.update({
+        "store_agu": _fs(7, 8),
+        "store_agu_indexed": _fs(7, 8),
+        "store_data": _fs(4, 9),
+        "lea_simple": _fs(1, 5),
+    })
+    return pm
+
+
+_BASE_FEATURES = frozenset({"avx"})
+_HSW_FEATURES = frozenset({"avx", "avx2", "fma"})
+
+# Per-family latency overrides (archetype -> cycles); the database supplies
+# the defaults.
+_LAT_SNB = {
+    "adc": 2, "cmov": 2, "fp_add": 3, "fp_mul": 5, "vec_int_mul": 5,
+    "fp_div": 14, "fp_div_scalar": 14, "fp_sqrt": 14, "div": 40,
+}
+_LAT_HSW = {
+    "adc": 2, "cmov": 2, "fp_add": 3, "fp_mul": 5, "fma": 5,
+    "vec_int_mul": 10, "fp_div": 13, "fp_div_scalar": 13, "fp_sqrt": 13,
+    "div": 36,
+}
+_LAT_BDW = {
+    "adc": 1, "cmov": 1, "fp_add": 3, "fp_mul": 3, "fma": 5,
+    "vec_int_mul": 10, "fp_div": 13, "fp_div_scalar": 13, "fp_sqrt": 13,
+    "div": 36,
+}
+_LAT_SKL = {
+    "adc": 1, "cmov": 1, "fp_add": 4, "fp_mul": 4, "fma": 4,
+    "vec_int_mul": 10, "fp_div": 11, "fp_div_scalar": 11, "fp_sqrt": 12,
+    "div": 36,
+}
+_LAT_ICL = {
+    "adc": 1, "cmov": 1, "fp_add": 4, "fp_mul": 4, "fma": 4,
+    "vec_int_mul": 10, "fp_div": 11, "fp_div_scalar": 11, "fp_sqrt": 12,
+    "div": 18,
+}
+
+
+SNB = MicroArchConfig(
+    name="Sandy Bridge", abbrev="SNB", released=2011,
+    cpu="Intel Core i7-2600",
+    n_decoders=4, predecode_width=5, macro_fusible_on_last_decoder=False,
+    dsb_width=4, idq_size=28, lsd_enabled=True, lsd_unrolls=False,
+    jcc_erratum=False,
+    issue_width=4, retire_width=4, rob_size=168, rs_size=54, load_latency=4,
+    ports=(0, 1, 2, 3, 4, 5), port_map=_port_map_snb(),
+    gpr_move_elim=False, vec_move_elim=False, unlaminate_indexed=True,
+    features=_BASE_FEATURES, lat_overrides=_LAT_SNB,
+)
+
+IVB = MicroArchConfig(
+    name="Ivy Bridge", abbrev="IVB", released=2012,
+    cpu="Intel Core i5-3470",
+    n_decoders=4, predecode_width=5, macro_fusible_on_last_decoder=False,
+    dsb_width=4, idq_size=28, lsd_enabled=True, lsd_unrolls=False,
+    jcc_erratum=False,
+    issue_width=4, retire_width=4, rob_size=168, rs_size=54, load_latency=4,
+    ports=(0, 1, 2, 3, 4, 5), port_map=_port_map_snb(),
+    gpr_move_elim=True, vec_move_elim=True, unlaminate_indexed=True,
+    features=_BASE_FEATURES, lat_overrides=_LAT_SNB,
+)
+
+HSW = MicroArchConfig(
+    name="Haswell", abbrev="HSW", released=2013,
+    cpu="Intel Xeon E3-1225 v3",
+    n_decoders=4, predecode_width=5, macro_fusible_on_last_decoder=False,
+    dsb_width=4, idq_size=56, lsd_enabled=True, lsd_unrolls=False,
+    jcc_erratum=False,
+    issue_width=4, retire_width=4, rob_size=192, rs_size=60, load_latency=4,
+    ports=(0, 1, 2, 3, 4, 5, 6, 7), port_map=_port_map_hsw(),
+    gpr_move_elim=True, vec_move_elim=True, unlaminate_indexed=False,
+    features=_HSW_FEATURES, lat_overrides=_LAT_HSW,
+)
+
+BDW = MicroArchConfig(
+    name="Broadwell", abbrev="BDW", released=2015,
+    cpu="Intel Core i5-5200U",
+    n_decoders=4, predecode_width=5, macro_fusible_on_last_decoder=False,
+    dsb_width=4, idq_size=56, lsd_enabled=True, lsd_unrolls=False,
+    jcc_erratum=False,
+    issue_width=4, retire_width=4, rob_size=192, rs_size=60, load_latency=4,
+    ports=(0, 1, 2, 3, 4, 5, 6, 7), port_map=_port_map_hsw(),
+    gpr_move_elim=True, vec_move_elim=True, unlaminate_indexed=False,
+    features=_HSW_FEATURES, lat_overrides=_LAT_BDW,
+)
+
+SKL = MicroArchConfig(
+    name="Skylake", abbrev="SKL", released=2015,
+    cpu="Intel Core i7-6500U",
+    n_decoders=4, predecode_width=5, macro_fusible_on_last_decoder=False,
+    dsb_width=6, idq_size=64, lsd_enabled=False, lsd_unrolls=False,
+    jcc_erratum=True,
+    issue_width=4, retire_width=4, rob_size=224, rs_size=97, load_latency=4,
+    ports=(0, 1, 2, 3, 4, 5, 6, 7), port_map=_port_map_skl(),
+    gpr_move_elim=True, vec_move_elim=True, unlaminate_indexed=False,
+    features=_HSW_FEATURES, lat_overrides=_LAT_SKL,
+)
+
+CLX = MicroArchConfig(
+    name="Cascade Lake", abbrev="CLX", released=2019,
+    cpu="Intel Core i9-10980XE",
+    n_decoders=4, predecode_width=5, macro_fusible_on_last_decoder=False,
+    dsb_width=6, idq_size=64, lsd_enabled=False, lsd_unrolls=False,
+    jcc_erratum=True,
+    issue_width=4, retire_width=4, rob_size=224, rs_size=97, load_latency=4,
+    ports=(0, 1, 2, 3, 4, 5, 6, 7), port_map=_port_map_skl(),
+    gpr_move_elim=True, vec_move_elim=True, unlaminate_indexed=False,
+    features=_HSW_FEATURES, lat_overrides=_LAT_SKL,
+)
+
+ICL = MicroArchConfig(
+    name="Ice Lake", abbrev="ICL", released=2019,
+    cpu="Intel Core i5-1035G1",
+    n_decoders=5, predecode_width=5, macro_fusible_on_last_decoder=True,
+    dsb_width=6, idq_size=70, lsd_enabled=True, lsd_unrolls=True,
+    jcc_erratum=False,
+    issue_width=5, retire_width=5, rob_size=352, rs_size=160,
+    load_latency=5,
+    ports=(0, 1, 2, 3, 4, 5, 6, 7, 8, 9), port_map=_port_map_icl(),
+    # GPR move elimination was disabled on ICL/TGL by a microcode update
+    # (ICL065 erratum); re-enabled on Rocket Lake.
+    gpr_move_elim=False, vec_move_elim=True, unlaminate_indexed=False,
+    features=_HSW_FEATURES, lat_overrides=_LAT_ICL,
+)
+
+TGL = MicroArchConfig(
+    name="Tiger Lake", abbrev="TGL", released=2020,
+    cpu="Intel Core i7-1165G7",
+    n_decoders=5, predecode_width=5, macro_fusible_on_last_decoder=True,
+    dsb_width=6, idq_size=70, lsd_enabled=True, lsd_unrolls=True,
+    jcc_erratum=False,
+    issue_width=5, retire_width=5, rob_size=352, rs_size=160,
+    load_latency=5,
+    ports=(0, 1, 2, 3, 4, 5, 6, 7, 8, 9), port_map=_port_map_icl(),
+    gpr_move_elim=False, vec_move_elim=True, unlaminate_indexed=False,
+    features=_HSW_FEATURES, lat_overrides=_LAT_ICL,
+)
+
+RKL = MicroArchConfig(
+    name="Rocket Lake", abbrev="RKL", released=2021,
+    cpu="Intel Core i9-11900",
+    n_decoders=5, predecode_width=5, macro_fusible_on_last_decoder=True,
+    dsb_width=6, idq_size=70, lsd_enabled=True, lsd_unrolls=True,
+    jcc_erratum=False,
+    issue_width=5, retire_width=5, rob_size=352, rs_size=160,
+    load_latency=5,
+    ports=(0, 1, 2, 3, 4, 5, 6, 7, 8, 9), port_map=_port_map_icl(),
+    gpr_move_elim=True, vec_move_elim=True, unlaminate_indexed=False,
+    features=_HSW_FEATURES, lat_overrides=_LAT_ICL,
+)
+
+#: All microarchitectures, newest first (paper Table 1 order).
+ALL_UARCHS: Tuple[MicroArchConfig, ...] = (
+    RKL, TGL, ICL, CLX, SKL, BDW, HSW, IVB, SNB)
+
+#: Oldest-to-newest order (used for the evolution analyses).
+UARCH_ORDER: Tuple[MicroArchConfig, ...] = tuple(reversed(ALL_UARCHS))
+
+_BY_NAME = {u.abbrev: u for u in ALL_UARCHS}
+_BY_NAME.update({u.name: u for u in ALL_UARCHS})
+_BY_NAME.update({u.abbrev.lower(): u for u in ALL_UARCHS})
+
+
+def uarch_by_name(name: str) -> MicroArchConfig:
+    """Look up a microarchitecture by abbreviation or full name.
+
+    Raises:
+        KeyError: for unknown names.
+    """
+    return _BY_NAME[name]

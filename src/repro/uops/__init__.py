@@ -1,0 +1,26 @@
+"""uops.info substrate: per-µarch instruction characterizations.
+
+The original Facile reads instruction-level data (µop counts, port usage,
+latencies, decoder constraints) from the uops.info database.  That database
+is not available offline, so this package provides an equivalent: a
+hand-written, internally consistent characterization of every instruction
+template of the ISA subset on each of the nine microarchitectures.
+
+The analytical model, the oracle simulator, and the baseline predictors all
+consume this single source, mirroring how the paper's tools share the
+uops.info data.
+"""
+
+from repro.uops.info import InstrInfo
+from repro.uops.database import UopsDatabase
+from repro.uops.fusion import can_macro_fuse
+from repro.uops.blockinfo import AnalyzedInstruction, MacroOp, analyze_block
+
+__all__ = [
+    "AnalyzedInstruction",
+    "InstrInfo",
+    "MacroOp",
+    "UopsDatabase",
+    "analyze_block",
+    "can_macro_fuse",
+]

@@ -1,0 +1,119 @@
+"""Block-level microarchitectural analysis.
+
+:func:`analyze_block` pairs macro-fusible instructions and attaches
+:class:`~repro.uops.info.InstrInfo` records, producing the *macro-op*
+stream every pipeline model (analytical and simulated) operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.isa.block import BasicBlock
+from repro.isa.instruction import Instruction
+from repro.uarch.config import MicroArchConfig
+from repro.uops.database import UopsDatabase
+from repro.uops.fusion import can_macro_fuse
+from repro.uops.info import InstrInfo
+
+
+@dataclass
+class MacroOp:
+    """One decoded unit: a single instruction or a macro-fused pair.
+
+    Attributes:
+        instructions: the underlying instruction(s); two when macro-fused.
+        info: merged characterization (a fused pair is one µop executing
+            on the fused-branch ports).
+        first_index: index of the first instruction within the block.
+    """
+
+    instructions: Tuple[Instruction, ...]
+    info: InstrInfo
+    first_index: int
+
+    @property
+    def is_fused_pair(self) -> bool:
+        return len(self.instructions) == 2
+
+    @property
+    def is_macro_fusible(self) -> bool:
+        """Macro-fusible first instructions cannot use the last decoder on
+        microarchitectures with that restriction (Algorithm 1, line 14)."""
+        return (self.is_fused_pair
+                or self.instructions[0].template.fusible_first is not None)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.instructions[-1].is_branch
+
+    @property
+    def length(self) -> int:
+        return sum(i.length for i in self.instructions)
+
+
+@dataclass
+class AnalyzedInstruction:
+    """Per-instruction view with fusion markers."""
+
+    instr: Instruction
+    info: InstrInfo
+    index: int
+    fused_with_next: bool = False
+    fused_into_prev: bool = False
+
+
+def analyze_block(block: BasicBlock,
+                  cfg: MicroArchConfig,
+                  db: Optional[UopsDatabase] = None,
+                  ) -> List[AnalyzedInstruction]:
+    """Characterize every instruction of *block* on *cfg*.
+
+    Macro-fusible (flag-producer, Jcc) pairs are marked; downstream models
+    obtain the fused stream via :func:`macro_ops`.
+    """
+    db = db or UopsDatabase(cfg)
+    analyzed = [
+        AnalyzedInstruction(instr, db.info(instr), idx)
+        for idx, instr in enumerate(block)
+    ]
+    i = 0
+    while i < len(analyzed) - 1:
+        first, second = analyzed[i], analyzed[i + 1]
+        if (not first.fused_into_prev
+                and can_macro_fuse(first.instr, second.instr, cfg)):
+            first.fused_with_next = True
+            second.fused_into_prev = True
+            i += 2
+        else:
+            i += 1
+    return analyzed
+
+
+def macro_ops(analyzed: Sequence[AnalyzedInstruction],
+              cfg: MicroArchConfig) -> List[MacroOp]:
+    """Collapse an analyzed instruction stream into macro-ops."""
+    ops: List[MacroOp] = []
+    fused_branch_ports = cfg.ports_for("fused_branch")
+    for entry in analyzed:
+        if entry.fused_into_prev:
+            continue
+        if entry.fused_with_next:
+            second = analyzed[entry.index + 1]
+            merged = InstrInfo(
+                template_name=(f"{entry.info.template_name}+"
+                               f"{second.info.template_name}"),
+                fused_uops=1,
+                issued_uops=1,
+                port_sets=(fused_branch_ports,),
+                latency=entry.info.latency,
+                load_latency=0,
+                requires_complex_decoder=False,
+                n_available_simple_decoders=cfg.n_decoders - 1,
+            )
+            ops.append(MacroOp((entry.instr, second.instr), merged,
+                               entry.index))
+        else:
+            ops.append(MacroOp((entry.instr,), entry.info, entry.index))
+    return ops

@@ -1,0 +1,33 @@
+"""Macro-fusion rules (flag-producer + conditional branch pairs).
+
+The fusion rules follow the Intel SDM: TEST/AND fuse with every Jcc;
+CMP/ADD/SUB fuse with the carry- and sign-comparison conditions; INC/DEC
+fuse with the non-carry conditions; instructions with memory operands do
+not fuse.  All microarchitectures in the evaluation support macro fusion.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.templates import CMP_FUSIBLE_CCS, INCDEC_FUSIBLE_CCS
+from repro.uarch.config import MicroArchConfig
+
+
+def can_macro_fuse(first: Instruction, second: Instruction,
+                   cfg: MicroArchConfig) -> bool:
+    """True when *first* macro-fuses with the following *second*."""
+    fuse_class = first.template.fusible_first
+    if fuse_class is None:
+        return False
+    if first.mem_operand() is not None:
+        return False
+    if not second.is_cond_branch:
+        return False
+    cc = second.template.cc
+    if fuse_class == "test":
+        return True
+    if fuse_class == "cmp":
+        return cc in CMP_FUSIBLE_CCS
+    if fuse_class == "incdec":
+        return cc in INCDEC_FUSIBLE_CCS
+    return False

@@ -1,0 +1,51 @@
+"""The :class:`InstrInfo` record returned by the uops database."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+PortSet = FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class InstrInfo:
+    """Microarchitectural characterization of one instruction instance.
+
+    Attributes:
+        template_name: the instruction form this record describes.
+        fused_uops: fused-domain µops produced by decoding (what the
+            decoders, DSB and LSD handle).
+        issued_uops: µops occupying renamer issue slots, i.e. fused-domain
+            after unlamination.
+        port_sets: one entry per dispatched (unfused) µop: the set of
+            execution ports that µop may be dispatched to.  Empty for
+            eliminated µops and NOPs.
+        latency: execution latency in cycles from register sources to the
+            produced value (excluding any load part).
+        load_latency: additional latency from *address* sources through the
+            load unit; zero for instructions that do not load.
+        requires_complex_decoder: must be decoded by the complex decoder.
+        n_available_simple_decoders: how many simple decoders can decode
+            other instructions in the same cycle (uops.info terminology,
+            consumed by Algorithm 1 of the paper).
+        eliminated: handled at rename (move elimination / zero idiom);
+            issued but never dispatched.
+        is_nop: architectural no-op (issued, not dispatched, no values).
+    """
+
+    template_name: str
+    fused_uops: int
+    issued_uops: int
+    port_sets: Tuple[PortSet, ...]
+    latency: int
+    load_latency: int
+    requires_complex_decoder: bool
+    n_available_simple_decoders: int
+    eliminated: bool = False
+    is_nop: bool = False
+
+    @property
+    def dispatched_uops(self) -> int:
+        """Number of µops that occupy execution ports."""
+        return len(self.port_sets)

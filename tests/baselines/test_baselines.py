@@ -1,0 +1,94 @@
+"""Baseline-predictor tests: modeling-scope differences must show."""
+
+import pytest
+
+from repro.baselines import all_predictors, predictor_names
+from repro.baselines.cqa import CqaAnalog
+from repro.baselines.iaca import IacaAnalog
+from repro.baselines.ithemal import IthemalAnalog
+from repro.baselines.llvm_mca import LlvmMcaAnalog
+from repro.baselines.osaca import OsacaAnalog
+from repro.baselines.uica import UicaAnalog
+from repro.core.components import ThroughputMode
+from repro.isa.block import BasicBlock
+from repro.uarch import uarch_by_name
+from repro.uops.database import UopsDatabase
+
+SKL = uarch_by_name("SKL")
+DB = UopsDatabase(SKL)
+U = ThroughputMode.UNROLLED
+L = ThroughputMode.LOOP
+
+
+class TestRegistry:
+    def test_all_paper_tools_registered(self):
+        names = predictor_names()
+        for expected in ("Facile", "uiCA", "llvm-mca-15", "llvm-mca-8",
+                         "CQA", "IACA 3.0", "IACA 2.3", "OSACA",
+                         "Ithemal", "DiffTune", "learning-bl"):
+            assert expected in names
+
+    def test_instantiation(self):
+        predictors = all_predictors(SKL, DB)
+        assert len(predictors) == len(predictor_names())
+
+
+class TestModelingScope:
+    def test_llvm_mca_misses_front_end(self):
+        # A predecode-bound NOP block: llvm-mca sees almost nothing.
+        block = BasicBlock.from_asm("\n".join(["nop15"] * 4))
+        mca = LlvmMcaAnalog(SKL, DB).predict(block, U)
+        uica = UicaAnalog(SKL, DB).predict(block, U)
+        assert mca < uica  # optimistic: no predecoder model
+
+    def test_llvm_mca_misses_fusion(self):
+        # Macro-fused cmp+jcc: llvm-mca counts both instructions toward
+        # the dispatch width (9 instructions vs 8 fused µops).
+        asm = "\n".join(f"mov r{i}, 1" for i in range(8, 15))
+        fused = BasicBlock.from_asm(asm + "\ncmp rax, rbx\njne -36")
+        mca = LlvmMcaAnalog(SKL, DB).predict(fused, L)
+        facile = all_predictors(SKL, DB, ["Facile"])[0]
+        assert mca > facile.predict(fused, L)
+
+    def test_iaca_misses_dependences(self):
+        block = BasicBlock.from_asm("imul rax, rbx\nadd rax, rcx")
+        iaca = IacaAnalog(SKL, DB).predict(block, L)
+        assert iaca < 4.0  # true value is the 4-cycle chain
+
+    def test_osaca_sees_critical_path(self):
+        block = BasicBlock.from_asm("imul rax, rbx\nadd rax, rcx")
+        assert OsacaAnalog(SKL, DB).predict(block, L) == 4.0
+
+    def test_cqa_uses_loop_notion_for_both_modes(self):
+        block = BasicBlock.from_asm("add cx, 1000\nnop\nnop")
+        cqa = CqaAnalog(SKL, DB)
+        assert cqa.predict(block, U) == cqa.predict(block, L)
+
+    def test_uica_analog_close_to_oracle(self):
+        from repro.sim.measure import measure
+        block = BasicBlock.from_asm("add rax, rbx\nimul rcx, rdx\n"
+                                    "mov qword ptr [rsi], rcx")
+        predicted = UicaAnalog(SKL, DB).predict(block, U)
+        measured = measure(block, SKL, U, DB, use_cache=False)
+        assert predicted == pytest.approx(measured, rel=0.05)
+
+
+class TestLearnedModels:
+    def test_ithemal_trains_and_predicts_positive(self):
+        model = IthemalAnalog(SKL, DB)
+        block = BasicBlock.from_asm("add rax, rbx\nimul rcx, rdx")
+        value = model.predict(block, U)
+        assert value >= 0.25
+
+    def test_ithemal_identical_for_both_modes(self):
+        # A TPU-trained model cannot distinguish the notions.
+        model = IthemalAnalog(SKL, DB)
+        block = BasicBlock.from_asm("add rax, rbx\nnop5\njne -10")
+        assert model.predict(block, U) == model.predict(block, L)
+
+    def test_training_is_cached_across_instances(self):
+        first = IthemalAnalog(SKL, DB)
+        first.prepare()
+        second = IthemalAnalog(SKL, DB)
+        second.prepare()
+        assert second._weights is first._weights

@@ -1,0 +1,113 @@
+"""Tests for the learned-predictor analogs and their features."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.difftune import DiffTuneAnalog
+from repro.baselines.features import (
+    DIM,
+    MNEMONIC_CLASSES,
+    chain_depth,
+    class_counts,
+    classify,
+    feature_vector,
+)
+from repro.baselines.learning_baseline import LearningBaseline
+from repro.baselines.training import training_data
+from repro.core.components import ThroughputMode
+from repro.isa.block import BasicBlock
+from repro.uarch import uarch_by_name
+from repro.uops.database import UopsDatabase
+
+SKL = uarch_by_name("SKL")
+DB = UopsDatabase(SKL)
+
+
+class TestFeatures:
+    def test_classify_covers_subset(self):
+        from repro.isa.templates import all_templates
+        for template in all_templates():
+            assert classify(template.mnemonic) in MNEMONIC_CLASSES
+
+    def test_class_counts(self):
+        block = BasicBlock.from_asm("add rax, rbx\nadd rcx, rdx\n"
+                                    "imul rsi, rdi")
+        counts = class_counts(block)
+        assert counts[MNEMONIC_CLASSES.index("add")] == 2
+        assert counts[MNEMONIC_CLASSES.index("imul")] == 1
+        assert counts.sum() == 3
+
+    def test_feature_vector_dimension(self):
+        block = BasicBlock.from_asm("add rax, rbx")
+        assert feature_vector(block).shape == (DIM,)
+
+    def test_bias_is_last(self):
+        block = BasicBlock.from_asm("nop")
+        assert feature_vector(block)[-1] == 1.0
+
+    def test_chain_depth_grows_with_chains(self):
+        chained = BasicBlock.from_asm("add rax, rbx\nadd rax, rcx\n"
+                                      "add rax, rdx")
+        parallel = BasicBlock.from_asm("add rax, rbx\nadd rcx, rbx\n"
+                                       "add rdx, rbx")
+        assert chain_depth(chained) > chain_depth(parallel)
+
+    def test_weighted_chain_depth_sees_latency(self):
+        light = BasicBlock.from_asm("add rax, rbx")
+        heavy = BasicBlock.from_asm("imul rax, rbx")
+        assert chain_depth(heavy, weighted=True) > \
+            chain_depth(light, weighted=True)
+
+
+class TestTrainingData:
+    def test_cached_per_uarch(self):
+        first = training_data(SKL, size=30, seed=1234)
+        second = training_data(SKL, size=30, seed=1234)
+        assert first is second
+
+    def test_values_positive(self):
+        blocks, values = training_data(SKL, size=30, seed=1234)
+        assert len(blocks) == len(values) == 30
+        assert all(v > 0 for v in values)
+
+
+class TestDiffTune:
+    def test_fit_improves_over_initial_params(self):
+        model = DiffTuneAnalog(SKL, DB)
+        model.prepare()
+        uops, rtp, lat_scale = model._params
+        # Parameters moved away from their initialization.
+        assert not np.allclose(uops, np.ones(len(uops)))
+
+    def test_predict_positive_and_rounded(self):
+        model = DiffTuneAnalog(SKL, DB)
+        block = BasicBlock.from_asm("addps xmm1, xmm2\nmulps xmm3, xmm4")
+        value = model.predict(block, ThroughputMode.UNROLLED)
+        assert value >= 0.25
+        assert value == round(value, 2)
+
+
+class TestLearningBaseline:
+    def test_costs_nonnegative(self):
+        model = LearningBaseline(SKL, DB)
+        model.prepare()
+        assert (model._costs >= 0).all()
+
+    def test_costs_are_additive_in_counts(self):
+        model = LearningBaseline(SKL, DB)
+        model.prepare()
+        assert model._costs.sum() > 0  # not degenerate
+        body = "add rax, rbx\nmov rcx, qword ptr [rsi]\nimul rdx, rdi"
+        short = BasicBlock.from_asm(body)
+        long = BasicBlock.from_asm("\n".join([body] * 4))
+        assert model.predict(long, ThroughputMode.UNROLLED) > \
+            model.predict(short, ThroughputMode.UNROLLED)
+
+    def test_reasonable_on_training_distribution(self):
+        from repro.eval.metrics import mape
+        from repro.sim.measure import measure
+        model = LearningBaseline(SKL, DB)
+        blocks, values = training_data(SKL)
+        predictions = [model.predict(b, ThroughputMode.UNROLLED)
+                       for b in blocks[:50]]
+        assert mape(values[:50], predictions) < 0.5

@@ -1,0 +1,81 @@
+"""Benchmark-generator tests."""
+
+import collections
+
+import pytest
+
+from repro.bhive.categories import CATEGORIES
+from repro.bhive.generator import BlockGenerator
+from repro.bhive.suite import BenchmarkSuite, default_suite
+from repro.isa.decoder import decode_block
+from repro.uarch import ALL_UARCHS
+from repro.uops.database import UopsDatabase
+
+
+class TestDeterminism:
+    def test_same_seed_same_suite(self):
+        a = BenchmarkSuite.generate(25, seed=99)
+        b = BenchmarkSuite.generate(25, seed=99)
+        assert [x.block_u.raw for x in a] == [y.block_u.raw for y in b]
+
+    def test_different_seeds_differ(self):
+        a = BenchmarkSuite.generate(25, seed=1)
+        b = BenchmarkSuite.generate(25, seed=2)
+        assert [x.block_u.raw for x in a] != [y.block_u.raw for y in b]
+
+    def test_default_suite_is_cached(self):
+        assert default_suite(10) is default_suite(10)
+
+
+class TestBlockValidity:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return BenchmarkSuite.generate(60, seed=5)
+
+    def test_u_variant_has_no_branch(self, suite):
+        for bench in suite:
+            assert not bench.block_u.ends_in_branch
+
+    def test_l_variant_ends_in_branch_to_start(self, suite):
+        for bench in suite:
+            block = bench.block_l
+            assert block.ends_in_branch
+            branch = block.instructions[-1]
+            target = block.num_bytes + branch.operands[0].value
+            assert target == 0  # jumps back to the first instruction
+
+    def test_blocks_decode_from_their_bytes(self, suite):
+        for bench in suite:
+            decoded = decode_block(bench.block_l.raw)
+            assert len(decoded) == len(bench.block_l)
+
+    def test_blocks_supported_on_all_uarchs(self, suite):
+        dbs = [UopsDatabase(cfg) for cfg in ALL_UARCHS]
+        for bench in suite:
+            for db in dbs:
+                for instr in bench.block_l:
+                    db.info(instr)  # must not raise
+
+    def test_instruction_count_within_category_limits(self, suite):
+        limits = {c.name: c for c in CATEGORIES}
+        for bench in suite:
+            category = limits[bench.category]
+            assert (category.min_instructions <= len(bench.block_u)
+                    <= category.max_instructions)
+
+
+class TestDiversity:
+    def test_all_categories_appear(self):
+        suite = BenchmarkSuite.generate(200, seed=3)
+        seen = {b.category for b in suite}
+        assert seen == {c.name for c in CATEGORIES}
+
+    def test_bottleneck_diversity(self):
+        from repro.core.model import Facile
+        from repro.uarch import uarch_by_name
+        suite = BenchmarkSuite.generate(120, seed=4)
+        model = Facile(uarch_by_name("SKL"))
+        counts = collections.Counter(
+            model.predict_unrolled(b.block_u).bottlenecks[0].value
+            for b in suite)
+        assert len(counts) >= 3  # several distinct bottleneck kinds

@@ -1,0 +1,64 @@
+"""Counterfactual-analysis tests (paper §6.4)."""
+
+import pytest
+
+from repro.core.components import Component, ThroughputMode
+from repro.core.counterfactual import idealized_speedup, speedup_table
+from repro.core.model import Facile
+from repro.isa.block import BasicBlock
+from repro.uarch import uarch_by_name
+
+SKL = uarch_by_name("SKL")
+
+
+class TestIdealizedSpeedup:
+    def test_bottleneck_idealization_speeds_up(self):
+        block = BasicBlock.from_asm("imul rax, rbx\nadd rax, rcx")
+        pred = Facile(SKL).predict_unrolled(block)
+        assert pred.bottlenecks == [Component.PRECEDENCE]
+        speedup = idealized_speedup(pred, Component.PRECEDENCE)
+        assert speedup is not None and speedup > 1.0
+
+    def test_non_bottleneck_idealization_is_neutral(self):
+        block = BasicBlock.from_asm("imul rax, rbx\nadd rax, rcx")
+        pred = Facile(SKL).predict_unrolled(block)
+        assert idealized_speedup(pred, Component.PORTS) == 1.0
+
+    def test_tied_bottlenecks_limit_speedup(self):
+        # NOP-only block: Predec and Dec are close; removing one leaves
+        # the other as the limiter.
+        block = BasicBlock.from_asm("\n".join(["nop"] * 8))
+        pred = Facile(SKL).predict_unrolled(block)
+        speedup = idealized_speedup(pred, Component.DEC)
+        assert speedup is not None
+        assert speedup < 1.5
+
+    def test_degenerate_all_zero_returns_none(self):
+        # A block whose only bound is the idealized one.
+        block = BasicBlock.from_asm("imul rax, rbx")
+        pred = Facile(SKL, components={Component.PRECEDENCE}).predict(
+            block, ThroughputMode.UNROLLED)
+        assert idealized_speedup(pred, Component.PRECEDENCE) is None
+
+
+class TestSpeedupTable:
+    def test_speedups_at_least_one(self):
+        blocks = [
+            BasicBlock.from_asm("imul rax, rbx\nadd rax, rcx"),
+            BasicBlock.from_asm("\n".join(["nop"] * 10)),
+            BasicBlock.from_asm("mov rax, qword ptr [rsi]\n"
+                                "mov rbx, qword ptr [rdi]"),
+        ]
+        table = speedup_table(SKL, blocks, list(Component))
+        for comp, value in table.items():
+            assert value >= 1.0, comp
+
+    def test_balanced_design_limits_single_component_gains(self):
+        from repro.bhive import default_suite
+        blocks = [b.block_u for b in default_suite(30)]
+        table = speedup_table(
+            SKL, blocks,
+            (Component.PREDEC, Component.PORTS, Component.PRECEDENCE))
+        # The paper's Table 4 observation: no single component yields a
+        # dramatic average speedup on a balanced design.
+        assert all(v < 3.0 for v in table.values())

@@ -1,0 +1,86 @@
+"""Decoder-model tests (paper §4.4, Algorithm 1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.decoder import dec_bound, simple_dec_bound
+from repro.isa.block import BasicBlock
+from repro.uarch import uarch_by_name
+from repro.uops.blockinfo import analyze_block, macro_ops
+
+SKL = uarch_by_name("SKL")
+ICL = uarch_by_name("ICL")
+SNB = uarch_by_name("SNB")
+
+
+def ops_for(asm: str, cfg):
+    block = BasicBlock.from_asm(asm)
+    return macro_ops(analyze_block(block, cfg), cfg)
+
+
+class TestSteadyState:
+    def test_four_simple_instructions_need_one_cycle(self):
+        ops = ops_for("mov rax, 1\nmov rbx, 2\nmov rcx, 3\nmov rdx, 4",
+                      SKL)
+        assert dec_bound(ops, SKL) == 1
+
+    def test_single_instruction_rotates_across_decoders(self):
+        ops = ops_for("mov rax, 1", SKL)
+        assert dec_bound(ops, SKL) == Fraction(1, 4)
+
+    def test_complex_instruction_forces_decoder_zero(self):
+        # Every div needs the complex decoder: one cycle per div.
+        ops = ops_for("div rcx\ndiv rcx", SKL)
+        assert dec_bound(ops, SKL) == 2
+
+    def test_five_decoders_on_icl(self):
+        asm = "\n".join(f"mov r{i}, 1" for i in range(8, 13))
+        assert dec_bound(ops_for(asm, ICL), ICL) == 1
+        assert dec_bound(ops_for(asm, SKL), SKL) > 1
+
+    def test_branch_ends_decode_group(self):
+        # The branch ends its decode group: the following four movs form
+        # a second group, even though five decodes would fit otherwise.
+        ops = ops_for("jmp -5\nmov rax, 1\nmov rbx, 2\nmov rcx, 3\n"
+                      "mov rdx, 4", SKL)
+        assert dec_bound(ops, SKL) == 2
+
+    def test_fusible_cannot_use_last_decoder_on_skl(self):
+        # Four fusible instructions: on SKL the 4th cannot go to the last
+        # decoder, costing an extra group.
+        asm = "cmp rax, rbx\ncmp rcx, rdx\ncmp rsi, rdi\ncmp r8, r9"
+        assert dec_bound(ops_for(asm, SKL), SKL) > 1
+        assert dec_bound(ops_for(asm, ICL), ICL) < 1.01
+
+    def test_macro_fused_pair_decodes_as_one(self):
+        # Four instructions, three macro-ops: one decode group per
+        # iteration (the pair avoids the last-decoder restriction).
+        fused = ops_for("mov rax, 1\nmov rbx, 2\ncmp rsi, rdi\n"
+                        "jne -12", SKL)
+        assert len(fused) == 3
+        assert dec_bound(fused, SKL) == 1
+
+    def test_fused_pair_on_last_decoder_restriction(self):
+        # With the pair as the 4th macro-op, SKL wraps it to a new group.
+        fused = ops_for("mov rax, 1\nmov rbx, 2\nmov rcx, 3\n"
+                        "cmp rsi, rdi\njne -15", SKL)
+        assert len(fused) == 4
+        assert dec_bound(fused, SKL) == 2
+
+
+class TestSimpleDec:
+    def test_simple_model_counts_and_divides(self):
+        ops = ops_for("mov rax, 1\nmov rbx, 2\nmov rcx, 3", SKL)
+        assert simple_dec_bound(ops, SKL) == Fraction(3, 4)
+
+    def test_simple_model_complex_floor(self):
+        ops = ops_for("div rcx\ndiv rcx\nmov rax, 1", SKL)
+        assert simple_dec_bound(ops, SKL) == 2
+
+    def test_simple_is_lower_bound_of_full_model(self):
+        for asm in ("mov rax, 1\nnop\nnop\nnop\nnop",
+                    "cmp rax, rbx\ncmp rcx, rdx\ncmp rsi, rdi",
+                    "div rcx\nmov rax, 1\nmov rbx, 2"):
+            ops = ops_for(asm, SKL)
+            assert simple_dec_bound(ops, SKL) <= dec_bound(ops, SKL)

@@ -1,0 +1,96 @@
+"""DSB, LSD, Issue bound tests (paper §4.5-4.7)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.dsb import dsb_bound
+from repro.core.issue import issue_bound
+from repro.core.lsd import lsd_bound, lsd_fits, lsd_unroll_count
+from repro.isa.block import BasicBlock
+from repro.uarch import uarch_by_name
+from repro.uops.blockinfo import analyze_block, macro_ops
+
+SKL = uarch_by_name("SKL")
+SNB = uarch_by_name("SNB")
+RKL = uarch_by_name("RKL")
+
+
+def ops_for(asm: str, cfg):
+    block = BasicBlock.from_asm(asm)
+    return macro_ops(analyze_block(block, cfg), cfg), block
+
+
+class TestDsb:
+    def test_small_block_rounds_up(self):
+        ops, block = ops_for("add rax, rbx\nadd rcx, rdx\n"
+                             "add rsi, rdi\nadd r8, r9\n"
+                             "add r10, r11\nadd r12, r13\nadd r14, r15",
+                             SKL)
+        assert block.num_bytes < 32
+        # 7 µops at width 6: exact 7/6, but the branch rule rounds up.
+        assert dsb_bound(ops, block.num_bytes, SKL) == 2
+
+    def test_large_block_keeps_fraction(self):
+        asm = "\n".join(["add rax, 1000000"] * 6)  # 7 bytes each
+        ops, block = ops_for(asm, SKL)
+        assert block.num_bytes >= 32
+        assert dsb_bound(ops, block.num_bytes, SKL) == Fraction(6, 6)
+
+    def test_counts_fused_domain_uops(self):
+        # An RMW contributes 2 fused µops; 8 of them exceed 32 bytes so
+        # the exact fraction applies.
+        asm = "\n".join(["add qword ptr [rsi+64], rax"] * 8)
+        ops, block = ops_for(asm, SKL)
+        assert block.num_bytes >= 32
+        assert dsb_bound(ops, block.num_bytes, SKL) == Fraction(16, 6)
+
+
+class TestLsd:
+    def test_fits_depends_on_idq_size_and_enablement(self):
+        ops, _ = ops_for("add rax, rbx", SNB)
+        assert lsd_fits(ops, SNB)
+        assert not lsd_fits(ops, SKL)  # SKL150 erratum
+
+    def test_large_loop_does_not_fit(self):
+        asm = "\n".join(["add rax, rbx"] * 30)
+        ops, _ = ops_for(asm, SNB)  # 30 µops > 28-entry IDQ
+        assert not lsd_fits(ops, SNB)
+
+    def test_boundary_bubble_without_unrolling(self):
+        # SNB does not unroll: 5 µops at width 4 -> ceil(5/4) = 2.
+        asm = "\n".join(["add rax, rbx"] * 5)
+        ops, _ = ops_for(asm, SNB)
+        assert lsd_bound(ops, SNB) == 2
+
+    def test_unrolling_amortizes_bubble_on_rkl(self):
+        asm = "\n".join(["add rax, rbx"] * 3)
+        ops, _ = ops_for(asm, RKL)
+        unroll = lsd_unroll_count(3, RKL)
+        assert unroll > 1
+        assert lsd_bound(ops, RKL) < 1
+
+    def test_unroll_count_bounded_by_idq(self):
+        assert lsd_unroll_count(30, RKL) * 30 <= RKL.idq_size
+        assert lsd_unroll_count(69, RKL) == 1
+
+
+class TestIssue:
+    def test_counts_issued_uops(self):
+        ops, _ = ops_for("add rax, rbx\nadd rcx, rdx", SKL)
+        assert issue_bound(ops, SKL) == Fraction(2, 4)
+
+    def test_eliminated_moves_still_use_issue_slots(self):
+        ops, _ = ops_for("mov rax, rbx\nmov rcx, rdx", SKL)
+        assert issue_bound(ops, SKL) == Fraction(2, 4)
+
+    def test_unlamination_raises_issue_count_on_snb(self):
+        plain_ops, _ = ops_for("add rax, qword ptr [rsi]", SNB)
+        indexed_ops, _ = ops_for("add rax, qword ptr [rsi+rbx*8]", SNB)
+        assert issue_bound(indexed_ops, SNB) == \
+            2 * issue_bound(plain_ops, SNB)
+
+    def test_wider_issue_on_rkl(self):
+        ops_skl, _ = ops_for("add rax, rbx", SKL)
+        ops_rkl, _ = ops_for("add rax, rbx", RKL)
+        assert issue_bound(ops_rkl, RKL) < issue_bound(ops_skl, SKL)

@@ -1,0 +1,46 @@
+"""JCC-erratum detection tests."""
+
+import pytest
+
+from repro.core.jcc import affected_by_jcc_erratum
+from repro.isa.block import BasicBlock
+from repro.uarch import uarch_by_name
+from repro.uops.blockinfo import analyze_block
+
+SKL = uarch_by_name("SKL")
+RKL = uarch_by_name("RKL")
+
+
+def affected(asm: str, cfg=SKL) -> bool:
+    block = BasicBlock.from_asm(asm)
+    return affected_by_jcc_erratum(block, cfg, analyze_block(block, cfg))
+
+
+class TestDetection:
+    def test_small_loop_unaffected(self):
+        assert not affected("add rax, rbx\njne -5")
+
+    def test_branch_ending_on_32_byte_boundary(self):
+        # 30 bytes of NOPs + 2-byte jcc = ends exactly at byte 31.
+        assert affected("nop15\nnop15\njne -32")
+
+    def test_branch_crossing_32_byte_boundary(self):
+        # 31 bytes of NOPs, then a 2-byte jcc spans bytes 31-32.
+        assert affected("nop15\nnop15\nnop\njne -33")
+
+    def test_branch_inside_region_ok(self):
+        # Branch fully inside the first 32-byte region, not at its end.
+        assert not affected("nop15\nnop10\njne -27")
+
+    def test_fused_pair_counts_from_flag_producer(self):
+        # cmp (3 bytes) + jcc: the fused jump starts at the cmp; place
+        # the pair so that only the pair (not the jcc alone) crosses.
+        prefix = "nop15\nnop15\n"  # 30 bytes
+        # cmp at 30-32 crosses the boundary; jcc at 33.
+        assert affected(prefix + "cmp rax, rbx\njne -37")
+
+    def test_non_erratum_uarch_never_affected(self):
+        assert not affected("nop15\nnop15\njne -32", RKL)
+
+    def test_unconditional_jmp_also_counts(self):
+        assert affected("nop15\nnop15\njmp -32")

@@ -1,0 +1,88 @@
+"""Port-contention bound tests, incl. the heuristic-vs-LP property."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ports import (
+    critical_instructions,
+    ports_bound,
+    ports_bound_lp,
+)
+from repro.isa.block import BasicBlock
+from repro.uarch import uarch_by_name
+from repro.uops.blockinfo import analyze_block, macro_ops
+
+SKL = uarch_by_name("SKL")
+
+
+def ops_for(asm: str, cfg=SKL):
+    block = BasicBlock.from_asm(asm)
+    return macro_ops(analyze_block(block, cfg), cfg)
+
+
+class TestPairwiseHeuristic:
+    def test_single_port_class(self):
+        # Three imuls all on port 1: bound 3.
+        ops = ops_for("imul rax, rbx\nimul rcx, rdx\nimul rsi, rdi")
+        result = ports_bound(ops)
+        assert result.bound == 3
+        assert result.critical_combination == frozenset({1})
+
+    def test_union_of_pairs_found(self):
+        # Loads on {2,3} and stores' AGU on {2,3,7} + STD {4}: the union
+        # {2,3,7} confines loads and STAs together.
+        ops = ops_for("mov rax, qword ptr [rsi]\n"
+                      "mov rbx, qword ptr [rsi+8]\n"
+                      "mov qword ptr [rdi], rcx")
+        result = ports_bound(ops)
+        assert result.bound == Fraction(3, 3)
+
+    def test_eliminated_uops_excluded(self):
+        ops = ops_for("mov rax, rbx\nmov rcx, rdx")
+        assert ports_bound(ops).bound == 0
+
+    def test_nops_excluded(self):
+        ops = ops_for("nop\nnop\nnop")
+        assert ports_bound(ops).bound == 0
+
+    def test_macro_fused_branch_counts_once(self):
+        ops = ops_for("cmp rax, rbx\njne -7")
+        assert ports_bound(ops).bound == Fraction(1, 2)  # one µop on {0,6}
+
+    def test_critical_instruction_report(self):
+        ops = ops_for("imul rax, rbx\nadd rcx, rdx\nimul rsi, rdi")
+        result = ports_bound(ops)
+        critical = critical_instructions(ops, result)
+        assert 0 in critical and 2 in critical
+        assert 1 not in critical
+
+
+class TestLpEquivalence:
+    """§4.8 claims the pairwise heuristic equals the LP bound on BHive;
+    we check it on generated suites and hand-made blocks."""
+
+    @pytest.mark.parametrize("asm", [
+        "imul rax, rbx\nadd rcx, rdx",
+        "mov rax, qword ptr [rsi]\nmov qword ptr [rdi], rbx",
+        "addps xmm1, xmm2\nmulps xmm3, xmm4\npaddd xmm5, xmm6",
+        "shl rax, 2\nshl rbx, 3\nadd rcx, rdx\nadd rsi, rdi",
+        "div rcx\nimul rax, rbx\nmov rdx, qword ptr [rsi]",
+    ])
+    def test_heuristic_matches_lp(self, asm):
+        ops = ops_for(asm)
+        assert ports_bound(ops).bound == ports_bound_lp(ops)
+
+    def test_heuristic_never_exceeds_lp_on_suite(self):
+        from repro.bhive import default_suite
+        for bench in default_suite(40):
+            ops = ops_for(bench.block_u.text())
+            heuristic = ports_bound(ops).bound
+            lp = ports_bound_lp(ops)
+            assert heuristic <= lp
+            assert heuristic == lp  # observed equality, as in the paper
+
+    def test_empty_block_of_eliminated_uops(self):
+        ops = ops_for("mov rax, rbx")
+        assert ports_bound_lp(ops) == 0

@@ -1,0 +1,84 @@
+"""Predecoder-model tests (paper §4.3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.components import ThroughputMode
+from repro.core.predecoder import predec_bound, simple_predec_bound
+from repro.isa.block import BasicBlock
+from repro.uarch import uarch_by_name
+
+SKL = uarch_by_name("SKL")
+U = ThroughputMode.UNROLLED
+L = ThroughputMode.LOOP
+
+
+class TestBasicCounting:
+    def test_sixteen_byte_block_of_short_instructions(self):
+        # 8 two-byte-ish instructions in exactly 16 bytes: 6 instructions
+        # of 2 bytes (nop2) + one 4-byte: lengths 16, ends 7 -> 2 cycles.
+        block = BasicBlock.from_asm("\n".join(["nop2"] * 6 + ["nop4"]))
+        assert block.num_bytes == 16
+        assert predec_bound(block, SKL, U) == Fraction(
+            -(-7 // 5))  # ceil(7/5) = 2
+
+    def test_five_wide_limit(self):
+        # Five 3-byte instructions: 15 bytes, one block per iteration on
+        # average, but more than 5 ends can share a block after tiling.
+        block = BasicBlock.from_asm("\n".join(["nop3"] * 5))
+        bound = predec_bound(block, SKL, U)
+        assert bound >= Fraction(15, 16)
+
+    def test_long_nops_are_fetch_limited(self):
+        block = BasicBlock.from_asm("nop15\nnop15")
+        # 30 bytes; at most 16 bytes/cycle: at least 1.875 cycles.
+        assert predec_bound(block, SKL, U) >= Fraction(30, 16)
+
+
+class TestLcpPenalty:
+    def test_lcp_costs_three_cycles(self):
+        plain = BasicBlock.from_asm("add ecx, 1000\nnop\nnop\nnop")
+        lcp = BasicBlock.from_asm("add cx, 1000\nnop\nnop\nnop\nnop")
+        assert lcp.num_bytes == plain.num_bytes  # same layout
+        diff = predec_bound(lcp, SKL, U) - predec_bound(plain, SKL, U)
+        assert diff >= 2  # 3-cycle penalty, partially hidden
+
+    def test_lcp_penalty_partially_hidden_by_busy_predecessor(self):
+        # A predecessor block needing several predecode cycles hides part
+        # of the penalty.
+        many = BasicBlock.from_asm("\n".join(
+            ["nop2"] * 8 + ["add cx, 1000"]))
+        few = BasicBlock.from_asm("nop15\nadd cx, 1000")
+        bound_many = predec_bound(many, SKL, L)
+        bound_few = predec_bound(few, SKL, L)
+        # Both are 20-21 bytes; the busy version hides more.
+        assert bound_many <= bound_few + 1
+
+
+class TestModes:
+    def test_loop_mode_uses_one_iteration(self):
+        block = BasicBlock.from_asm("nop5\nnop5\nnop3")  # 13 bytes
+        assert predec_bound(block, SKL, L) == 1
+
+    def test_unrolled_mode_tiles_the_16_byte_grid(self):
+        block = BasicBlock.from_asm("nop5\nnop5\nnop3")  # 13 bytes
+        bound = predec_bound(block, SKL, U)
+        # 13 bytes tile with period 16 iterations; at least l/16 cycles.
+        assert bound >= Fraction(13, 16)
+        assert bound.denominator <= 16
+
+    def test_aligned_block_same_in_both_modes(self):
+        block = BasicBlock.from_asm("nop8\nnop8")  # exactly 16 bytes
+        assert predec_bound(block, SKL, U) == predec_bound(block, SKL, L)
+
+
+class TestSimplePredec:
+    def test_simple_model_is_length_over_16(self):
+        block = BasicBlock.from_asm("nop15\nnop15\nnop2")
+        assert simple_predec_bound(block, SKL, U) == Fraction(32, 16)
+
+    def test_simple_underestimates_instruction_limited_blocks(self):
+        block = BasicBlock.from_asm("\n".join(["nop"] * 12))
+        assert simple_predec_bound(block, SKL, U) < \
+            predec_bound(block, SKL, U)

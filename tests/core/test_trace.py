@@ -1,0 +1,110 @@
+"""Trace-prediction tests (the §7 future-work extension)."""
+
+import pytest
+
+from repro.core.components import Component, ThroughputMode
+from repro.core.model import Facile
+from repro.core.trace import TraceFacile, TraceSegment
+from repro.isa.block import BasicBlock
+from repro.uarch import uarch_by_name
+
+SKL = uarch_by_name("SKL")
+
+
+@pytest.fixture(scope="module")
+def tracer():
+    return TraceFacile(SKL)
+
+
+class TestBasics:
+    def test_single_block_matches_facile(self, tracer):
+        block = BasicBlock.from_asm("imul rax, rbx\nadd rax, rcx")
+        trace = tracer.predict([TraceSegment(block)])
+        single = Facile(SKL).predict_unrolled(block)
+        assert trace.cycles == pytest.approx(single.cycles)
+        assert trace.bottleneck is Component.PRECEDENCE
+
+    def test_frequency_scales_contribution(self, tracer):
+        block = BasicBlock.from_asm("imul rax, rbx")
+        once = tracer.predict([TraceSegment(block, 1.0)])
+        thrice = tracer.predict([TraceSegment(block, 3.0)])
+        assert thrice.cycles == pytest.approx(3 * once.cycles)
+
+    def test_mode_defaults_from_branch(self, tracer):
+        loop = BasicBlock.from_asm("add rax, rbx\njne -5")
+        straight = BasicBlock.from_asm("add rax, rbx")
+        trace = tracer.predict([TraceSegment(loop),
+                                TraceSegment(straight)])
+        modes = [p.mode for _s, p, _c in trace.segments]
+        assert modes == [ThroughputMode.LOOP, ThroughputMode.UNROLLED]
+
+    def test_empty_trace_rejected(self, tracer):
+        with pytest.raises(ValueError):
+            tracer.predict([])
+
+    def test_nonpositive_frequency_rejected(self, tracer):
+        block = BasicBlock.from_asm("nop")
+        with pytest.raises(ValueError):
+            tracer.predict([TraceSegment(block, 0.0)])
+
+
+class TestAggregation:
+    def test_component_attribution_sums_to_total(self, tracer):
+        segments = [
+            TraceSegment(BasicBlock.from_asm("imul rax, rbx\n"
+                                             "add rax, rcx"), 1.0),
+            TraceSegment(BasicBlock.from_asm("\n".join(["nop15"] * 4)),
+                         2.0),
+        ]
+        trace = tracer.predict(segments)
+        assert sum(trace.component_cycles.values()) == \
+            pytest.approx(trace.cycles, abs=0.05)
+
+    def test_dominant_component_reported(self, tracer):
+        # A hot dependence-bound block dominates a rarely-taken
+        # front-end-bound one.
+        trace = tracer.predict([
+            TraceSegment(BasicBlock.from_asm("imul rax, rbx\n"
+                                             "add rax, rcx"), 10.0),
+            TraceSegment(BasicBlock.from_asm("\n".join(["nop15"] * 4)),
+                         0.1),
+        ])
+        assert trace.bottleneck is Component.PRECEDENCE
+
+
+class TestCounterfactuals:
+    def test_idealizing_dominant_component_speeds_up(self, tracer):
+        trace = tracer.predict([
+            TraceSegment(BasicBlock.from_asm("imul rax, rbx\n"
+                                             "add rax, rcx"), 4.0),
+            TraceSegment(BasicBlock.from_asm("add r8, r9"), 1.0),
+        ])
+        speedup = trace.idealized_speedup(Component.PRECEDENCE)
+        assert speedup is not None and speedup > 1.5
+
+    def test_idealizing_irrelevant_component_is_neutral(self, tracer):
+        trace = tracer.predict([
+            TraceSegment(BasicBlock.from_asm("imul rax, rbx\n"
+                                             "add rax, rcx"), 1.0),
+        ])
+        assert trace.idealized_speedup(Component.DSB) == \
+            pytest.approx(1.0)
+
+
+class TestBranchyLoop:
+    def test_probability_weighted_arms(self, tracer):
+        prologue = BasicBlock.from_asm("add rcx, 1\ncmp rcx, rdx")
+        fast_arm = BasicBlock.from_asm("add rax, rbx")
+        slow_arm = BasicBlock.from_asm("imul rax, rbx\nimul rax, rbx")
+        balanced = tracer.predict_branchy_loop(
+            prologue, [(fast_arm, 0.5), (slow_arm, 0.5)])
+        skewed = tracer.predict_branchy_loop(
+            prologue, [(fast_arm, 0.9), (slow_arm, 0.1)])
+        assert skewed.cycles < balanced.cycles
+
+    def test_segment_names(self, tracer):
+        prologue = BasicBlock.from_asm("add rcx, 1")
+        arm = BasicBlock.from_asm("add rax, rbx")
+        trace = tracer.predict_branchy_loop(prologue, [(arm, 1.0)])
+        names = [s.name for s, _p, _c in trace.segments]
+        assert names == ["prologue", "arm0"]

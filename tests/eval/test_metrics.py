@@ -1,0 +1,50 @@
+"""Metric tests, cross-checked against scipy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval.metrics import kendall_tau, mape
+
+
+class TestMape:
+    def test_perfect_prediction(self):
+        assert mape([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_simple_value(self):
+        assert mape([2.0], [1.0]) == pytest.approx(0.5)
+
+    def test_zero_measurements_skipped(self):
+        assert mape([0.0, 2.0], [5.0, 1.0]) == pytest.approx(0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mape([1.0], [1.0, 2.0])
+
+    def test_all_zero_measurements(self):
+        with pytest.raises(ValueError):
+            mape([0.0], [1.0])
+
+
+class TestKendall:
+    def test_perfect_correlation(self):
+        assert kendall_tau([1, 2, 3], [10, 20, 30]) == 1.0
+
+    def test_perfect_anticorrelation(self):
+        assert kendall_tau([1, 2, 3], [30, 20, 10]) == -1.0
+
+    def test_constant_predictions_are_uninformative(self):
+        assert kendall_tau([1, 2, 3], [5, 5, 5]) == 0.0
+
+    @given(st.lists(st.tuples(st.floats(0.1, 100), st.floats(0.1, 100)),
+                    min_size=2, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scipy(self, pairs):
+        xs = [round(p[0], 2) for p in pairs]
+        ys = [round(p[1], 2) for p in pairs]
+        from scipy.stats import kendalltau
+        expected = kendalltau(xs, ys).statistic
+        ours = kendall_tau(xs, ys)
+        if expected != expected:  # scipy returns NaN for all-tied input
+            assert ours == 0.0
+        else:
+            assert ours == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,101 @@
+"""Assembler tests."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble, assemble_line
+from repro.isa.operands import ImmOperand, MemOperand
+
+
+class TestBasicParsing:
+    def test_two_register_form(self):
+        instr = assemble_line("add rax, rbx")
+        assert instr.template.name == "ADD_R64_R64"
+
+    def test_width_matching(self):
+        assert assemble_line("add eax, ebx").template.name == "ADD_R32_R32"
+
+    def test_comment_stripping(self):
+        instr = assemble_line("add rax, rbx ; increment accumulator")
+        assert instr.mnemonic == "add"
+
+    def test_multi_line_assembly(self):
+        block = assemble("add rax, rbx\n; pure comment\n\nsub rcx, rdx\n")
+        assert [i.mnemonic for i in block] == ["add", "sub"]
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble_line("frobnicate rax")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(AssemblyError):
+            assemble_line("add rax")
+
+
+class TestImmediateSelection:
+    def test_prefers_imm8_when_it_fits(self):
+        assert assemble_line("add rax, 100").template.name == \
+            "ADD_R64_IMM8"
+
+    def test_falls_back_to_imm32(self):
+        assert assemble_line("add rax, 1000").template.name == \
+            "ADD_R64_IMM32"
+
+    def test_16bit_register_selects_imm16(self):
+        assert assemble_line("add cx, 1000").template.name == \
+            "ADD_R16_IMM16"
+
+    def test_hex_immediates(self):
+        instr = assemble_line("add rax, 0x40")
+        imm = instr.operands[1]
+        assert isinstance(imm, ImmOperand) and imm.value == 0x40
+
+    def test_negative_immediates(self):
+        instr = assemble_line("add rax, -5")
+        assert instr.operands[1].value == -5
+
+
+class TestMemoryOperands:
+    def test_full_addressing_form(self):
+        instr = assemble_line("mov rax, qword ptr [rbx+rcx*4+24]")
+        mem = instr.operands[1]
+        assert isinstance(mem, MemOperand)
+        assert mem.base.name == "rbx"
+        assert mem.index.name == "rcx"
+        assert mem.scale == 4
+        assert mem.disp == 24
+
+    def test_negative_displacement(self):
+        mem = assemble_line("mov rax, qword ptr [rbx-8]").operands[1]
+        assert mem.disp == -8
+
+    def test_width_inferred_from_slot(self):
+        # Without a ptr annotation the slot width applies.
+        instr = assemble_line("movaps xmm1, [rsi]")
+        assert instr.operands[1].width == 128
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble_line("mov rax, qword ptr [rbx+rcx*3]")
+
+    def test_two_plain_registers_use_second_as_index(self):
+        mem = assemble_line("lea rax, [rbx+rcx]").operands[1]
+        assert mem.base.name == "rbx"
+        assert mem.index.name == "rcx"
+        assert mem.scale == 1
+
+
+class TestSpecialForms:
+    def test_shift_by_cl(self):
+        instr = assemble_line("shl rdx, cl")
+        assert instr.template.name == "SHL_R64_CL"
+        assert len(instr.operands) == 1
+
+    def test_shift_by_imm_still_works(self):
+        assert assemble_line("shl rdx, 5").template.name == "SHL_R64_IMM8"
+
+    def test_three_operand_vex(self):
+        instr = assemble_line("vaddps ymm1, ymm2, ymm3")
+        assert instr.template.name == "VADDPS_Y_Y_Y"
+
+    def test_nop_sizes(self):
+        assert assemble_line("nop7").length == 7

@@ -1,0 +1,52 @@
+"""BasicBlock container tests."""
+
+import pytest
+
+from repro.isa.block import BasicBlock
+
+
+@pytest.fixture
+def loop_block():
+    return BasicBlock.from_asm("add rax, rbx\ncmp rax, rcx\njne -9")
+
+
+class TestConstruction:
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValueError):
+            BasicBlock([])
+
+    def test_from_bytes_roundtrip(self, loop_block):
+        again = BasicBlock.from_bytes(loop_block.raw)
+        assert again == loop_block
+        assert again.text() == loop_block.text()
+
+    def test_num_bytes_matches_raw(self, loop_block):
+        assert loop_block.num_bytes == len(loop_block.raw)
+
+
+class TestBranchHandling:
+    def test_ends_in_branch(self, loop_block):
+        assert loop_block.ends_in_branch
+
+    def test_without_final_branch(self, loop_block):
+        stripped = loop_block.without_final_branch()
+        assert len(stripped) == len(loop_block) - 1
+        assert not stripped.ends_in_branch
+
+    def test_without_final_branch_is_noop_for_plain_block(self):
+        block = BasicBlock.from_asm("add rax, rbx")
+        assert block.without_final_branch() is block
+
+
+class TestOffsets:
+    def test_instruction_offsets(self, loop_block):
+        offsets = loop_block.instruction_offsets()
+        assert offsets[0] == 0
+        assert offsets == sorted(offsets)
+        last = loop_block.instructions[-1]
+        assert offsets[-1] + last.length == loop_block.num_bytes
+
+    def test_hashable_and_equal_by_bytes(self, loop_block):
+        again = BasicBlock.from_bytes(loop_block.raw)
+        assert hash(again) == hash(loop_block)
+        assert {again, loop_block} == {loop_block}

@@ -1,0 +1,127 @@
+"""Decoder tests, including the hypothesis round-trip property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.decoder import DecodeError, decode, decode_block
+from repro.isa.instruction import Instruction
+from repro.isa.operands import ImmOperand, MemOperand, RegOperand
+from repro.isa.registers import gpr, register_by_name, vec
+from repro.isa.templates import (
+    Access,
+    SlotKind,
+    all_templates,
+    template_by_name,
+)
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategy: a random valid instruction of the subset.
+# ---------------------------------------------------------------------------
+
+_TEMPLATES = all_templates()
+
+
+@st.composite
+def instructions(draw):
+    template = draw(st.sampled_from(_TEMPLATES))
+    operands = []
+    for slot in template.slots:
+        if slot.kind is SlotKind.REG:
+            enc = draw(st.integers(0, 15))
+            if slot.regclass == "vec":
+                reg = vec(enc, slot.width)
+            else:
+                reg = gpr(enc, slot.width)
+            operands.append(RegOperand(reg))
+        elif slot.kind is SlotKind.MEM:
+            base_enc = draw(st.one_of(st.none(), st.integers(0, 15)))
+            index_enc = draw(st.one_of(st.none(), st.integers(0, 15)
+                                       .filter(lambda e: e != 4)))
+            disp = draw(st.sampled_from((0, 1, 8, 127, 128, -128, 4096)))
+            base = gpr(base_enc, 64) if base_enc is not None else None
+            index = gpr(index_enc, 64) if index_enc is not None else None
+            scale = draw(st.sampled_from((1, 2, 4, 8)))
+            if base is None and index is None and disp == 0:
+                disp = 64
+            operands.append(MemOperand(base=base, index=index, scale=scale,
+                                       disp=disp, width=slot.width))
+        else:
+            width = template.encoding.imm_width
+            lo = -(1 << (width - 1))
+            hi = (1 << (width - 1)) - 1
+            operands.append(ImmOperand(draw(st.integers(lo, hi)), width))
+    return Instruction.create(template, tuple(operands))
+
+
+class TestRoundTripProperty:
+    @given(instructions())
+    @settings(max_examples=400, deadline=None)
+    def test_encode_decode_roundtrip(self, instr):
+        decoded, end = decode(instr.raw)
+        assert end == len(instr.raw)
+        assert decoded.template.name == instr.template.name
+        assert decoded.raw == instr.raw
+        assert decoded.opcode_offset == instr.opcode_offset
+        assert decoded.text() == instr.text()
+
+    @given(st.lists(instructions(), min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_block_roundtrip(self, instrs):
+        raw = b"".join(i.raw for i in instrs)
+        decoded = decode_block(raw)
+        assert [d.template.name for d in decoded] == \
+            [i.template.name for i in instrs]
+
+
+class TestErrors:
+    def test_truncated_input(self):
+        full = template_by_name("ADD_R64_IMM32")
+        from repro.isa.assembler import assemble_line
+        raw = assemble_line("add rax, 100000").raw
+        with pytest.raises(DecodeError):
+            decode(raw[:-2])
+
+    def test_unknown_opcode(self):
+        with pytest.raises(DecodeError):
+            decode(b"\x06")  # invalid in 64-bit mode
+
+    def test_empty_input(self):
+        with pytest.raises(DecodeError):
+            decode(b"")
+
+
+class TestSpecificDecodes:
+    def test_nop_lengths_recognized(self):
+        for length in (1, 5, 9, 15):
+            from repro.isa.templates import nop_bytes
+            instr, end = decode(nop_bytes(length))
+            assert end == length
+            assert instr.template.name == f"NOP{length}"
+
+    def test_modrm_digit_disambiguation(self):
+        # 0x83 /0 = add, /5 = sub: same opcode byte, distinct digit.
+        from repro.isa.assembler import assemble_line
+        add = assemble_line("add rax, 5")
+        sub = assemble_line("sub rax, 5")
+        assert decode(add.raw)[0].mnemonic == "add"
+        assert decode(sub.raw)[0].mnemonic == "sub"
+
+    def test_mem_vs_reg_form_disambiguation(self):
+        from repro.isa.assembler import assemble_line
+        rr = assemble_line("mov rax, rbx")
+        store = assemble_line("mov qword ptr [rax], rbx")
+        assert decode(rr.raw)[0].template.name == "MOV_R64_R64"
+        assert decode(store.raw)[0].template.name == "MOV_M64_R64"
+
+    def test_rex_w_disambiguation(self):
+        # 0x99 is CDQ without REX.W and CQO with it.
+        assert decode(b"\x99")[0].mnemonic == "cdq"
+        assert decode(b"\x48\x99")[0].mnemonic == "cqo"
+
+    def test_simd_prefix_disambiguation(self):
+        # 0F BD = bsr; F3 0F BD = lzcnt.
+        from repro.isa.assembler import assemble_line
+        bsr = assemble_line("bsr rax, rbx")
+        lzcnt = assemble_line("lzcnt rax, rbx")
+        assert decode(bsr.raw)[0].mnemonic == "bsr"
+        assert decode(lzcnt.raw)[0].mnemonic == "lzcnt"

@@ -1,0 +1,104 @@
+"""Tests for the encoder: byte-accuracy against known x86-64 encodings."""
+
+import pytest
+
+from repro.isa.assembler import assemble_line
+
+
+def enc(text: str) -> str:
+    return assemble_line(text).raw.hex()
+
+
+class TestKnownEncodings:
+    """Golden encodings cross-checked against real assemblers."""
+
+    @pytest.mark.parametrize("text,expected", [
+        ("add rax, rbx", "4801d8"),
+        ("add eax, ebx", "01d8"),
+        ("xor r11, r11", "4d31db"),
+        ("cmp r12, r13", "4d39ec"),
+        ("mov rcx, qword ptr [rsi+rax*8+16]", "488b4cc610"),
+        ("mov qword ptr [rdi], rdx", "488917"),
+        ("push rbp", "55"),
+        ("pop r15", "415f"),
+        ("jne -12", "75f4"),
+        ("jmp -20", "ebec"),
+        ("lea r8, [rbx+rcx*4]", "4c8d048b"),
+        ("imul r9, r10", "4d0fafca"),
+        ("shl rdx, 3", "48c1e203"),
+        ("mov ax, 500", "66b8f401"),
+        ("addps xmm3, xmm4", "0f58dc"),
+        ("pxor xmm1, xmm2", "660fefca"),
+        ("vfmadd231ps ymm0, ymm1, ymm2", "c4e275b8c2"),
+        ("vpxor ymm1, ymm2, ymm3", "c5edefcb"),
+        ("popcnt rax, rbx", "f3480fb8c3"),
+        ("movzx eax, bl", "0fb6c3"),
+        ("cqo", "4899"),
+        ("cdq", "99"),
+        ("div rcx", "48f7f1"),
+        ("setge al", "0f9dc0"),
+        ("cmovne rax, rbx", "480f45c3"),
+        ("bswap r9", "490fc9"),
+    ])
+    def test_encoding(self, text, expected):
+        assert enc(text) == expected
+
+
+class TestEncodingStructure:
+    def test_movabs_is_ten_bytes(self):
+        instr = assemble_line("mov rbx, 81985529216486895")
+        assert instr.length == 10
+
+    def test_disp8_vs_disp32_selection(self):
+        short = assemble_line("mov rax, qword ptr [rbx+16]")
+        long = assemble_line("mov rax, qword ptr [rbx+1000]")
+        assert long.length == short.length + 3
+
+    def test_rbp_base_forces_disp(self):
+        # [rbp] has no disp-less encoding; a disp8 of zero is emitted.
+        plain = assemble_line("mov rax, qword ptr [rbx]")
+        rbp = assemble_line("mov rax, qword ptr [rbp]")
+        assert rbp.length == plain.length + 1
+
+    def test_rsp_base_forces_sib(self):
+        plain = assemble_line("mov rax, qword ptr [rbx]")
+        rsp = assemble_line("mov rax, qword ptr [rsp]")
+        assert rsp.length == plain.length + 1
+
+    def test_rip_relative_has_disp32(self):
+        instr = assemble_line("mov rax, qword ptr [rip+1024]")
+        assert instr.length == 7  # REX + opcode + modrm + disp32
+
+    def test_opcode_offset_counts_prefixes(self):
+        assert assemble_line("add rax, rbx").opcode_offset == 1  # REX
+        assert assemble_line("add eax, ebx").opcode_offset == 0
+        assert assemble_line("popcnt rax, rbx").opcode_offset == 2
+        assert assemble_line("mov ax, 500").opcode_offset == 1  # 0x66
+
+    def test_vex_two_byte_when_possible(self):
+        # vpxor ymm1, ymm2, ymm3 needs no B/X extension: 2-byte VEX.
+        assert assemble_line("vpxor ymm1, ymm2, ymm3").length == 4
+        # With an extended rm register the 3-byte VEX form is required.
+        assert assemble_line("vpxor ymm1, ymm2, ymm9").length == 5
+
+    def test_max_length_is_fifteen(self):
+        for text in ("nop15", "mov rbx, 81985529216486895",
+                     "add qword ptr [r12+r13*8+100000], rax"):
+            assert assemble_line(text).length <= 15
+
+
+class TestRexComputation:
+    def test_no_rex_for_legacy_regs_32bit(self):
+        assert assemble_line("add eax, ebx").raw[0] == 0x01
+
+    def test_rex_b_for_extended_rm(self):
+        raw = assemble_line("add r8, rax").raw
+        assert raw[0] == 0x49  # REX.W + REX.B
+
+    def test_rex_r_for_extended_reg_field(self):
+        raw = assemble_line("add rax, r8").raw
+        assert raw[0] == 0x4C  # REX.W + REX.R
+
+    def test_rex_x_for_extended_index(self):
+        raw = assemble_line("mov rax, qword ptr [rbx+r9*2]").raw
+        assert raw[0] & 0x42 == 0x42  # REX.X set

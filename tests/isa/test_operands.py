@@ -1,0 +1,77 @@
+"""Tests for operand types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.operands import ImmOperand, MemOperand, RegOperand, imm_fits
+from repro.isa.registers import register_by_name
+
+
+class TestImmOperand:
+    def test_encoding_little_endian(self):
+        imm = ImmOperand(0x1234, 32)
+        assert imm.encoded_bytes() == b"\x34\x12\x00\x00"
+
+    def test_negative_encoding_two_complement(self):
+        imm = ImmOperand(-1, 8)
+        assert imm.encoded_bytes() == b"\xff"
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ImmOperand(300, 8)
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_imm32_roundtrip(self, value):
+        raw = ImmOperand(value, 32).encoded_bytes()
+        assert int.from_bytes(raw, "little", signed=True) == value
+
+    def test_imm_fits_boundaries(self):
+        assert imm_fits(127, 8)
+        assert not imm_fits(128, 8)
+        assert imm_fits(-128, 8)
+        assert not imm_fits(-129, 8)
+
+
+class TestMemOperand:
+    def test_requires_some_component(self):
+        with pytest.raises(ValueError):
+            MemOperand()
+
+    def test_rsp_index_rejected(self):
+        with pytest.raises(ValueError):
+            MemOperand(base=register_by_name("rax"),
+                       index=register_by_name("rsp"))
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            MemOperand(base=register_by_name("rax"), scale=3)
+
+    def test_address_regs(self):
+        mem = MemOperand(base=register_by_name("rbx"),
+                         index=register_by_name("rcx"), scale=4, disp=8)
+        assert [r.name for r in mem.address_regs()] == ["rbx", "rcx"]
+
+    def test_rip_relative_reads_no_gpr(self):
+        mem = MemOperand(base=register_by_name("rip"), disp=100)
+        assert mem.is_rip_relative
+        assert mem.address_regs() == []
+
+    def test_text_rendering(self):
+        mem = MemOperand(base=register_by_name("rax"),
+                         index=register_by_name("rbx"), scale=8,
+                         disp=16, width=64)
+        assert str(mem) == "qword ptr [rax+rbx*8+16]"
+
+    def test_address_key_distinguishes_disp(self):
+        base = register_by_name("rax")
+        a = MemOperand(base=base, disp=0, width=64)
+        b = MemOperand(base=base, disp=8, width=64)
+        assert a.address_key() != b.address_key()
+
+
+class TestRegOperand:
+    def test_width_delegates_to_register(self):
+        assert RegOperand(register_by_name("ecx")).width == 32
+
+    def test_str(self):
+        assert str(RegOperand(register_by_name("r10"))) == "r10"

@@ -1,0 +1,92 @@
+"""Tests for the register file."""
+
+import pytest
+
+from repro.isa.registers import (
+    FLAGS,
+    RIP,
+    Register,
+    RegisterKind,
+    SCRATCH_GPR64,
+    all_registers,
+    gpr,
+    is_register_name,
+    register_by_name,
+    vec,
+)
+
+
+class TestLookup:
+    def test_gpr_by_name(self):
+        rax = register_by_name("rax")
+        assert rax.width == 64
+        assert rax.enc == 0
+        assert rax.kind is RegisterKind.GPR
+
+    def test_lookup_is_case_insensitive(self):
+        assert register_by_name("RAX") is register_by_name("rax")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            register_by_name("rxx")
+
+    def test_is_register_name(self):
+        assert is_register_name("r13d")
+        assert not is_register_name("13rd")
+
+    def test_all_widths_resolve_to_same_root(self):
+        for name in ("rax", "eax", "ax", "al"):
+            assert register_by_name(name).root().name == "rax"
+
+    def test_extended_gpr_aliases(self):
+        for name, width in (("r9", 64), ("r9d", 32), ("r9w", 16),
+                            ("r9b", 8)):
+            reg = register_by_name(name)
+            assert reg.width == width
+            assert reg.enc == 9
+            assert reg.root().name == "r9"
+
+
+class TestVectorRegisters:
+    def test_xmm_roots_at_ymm(self):
+        assert register_by_name("xmm5").root().name == "ymm5"
+
+    def test_ymm_is_its_own_root(self):
+        ymm = register_by_name("ymm11")
+        assert ymm.root() is ymm
+
+    def test_vec_constructor(self):
+        assert vec(3, 128).name == "xmm3"
+        assert vec(3, 256).name == "ymm3"
+
+
+class TestEncodingProperties:
+    def test_needs_rex_for_extended(self):
+        assert register_by_name("r8").needs_rex
+        assert not register_by_name("rdi").needs_rex
+
+    def test_byte_rex_only_registers(self):
+        assert register_by_name("sil").is_byte_rex_only
+        assert not register_by_name("al").is_byte_rex_only
+
+    def test_gpr_constructor_matches_names(self):
+        assert gpr(4, 64).name == "rsp"
+        assert gpr(4, 8).name == "spl"
+        assert gpr(12, 32).name == "r12d"
+
+
+class TestSpecialRegisters:
+    def test_flags_kind(self):
+        assert FLAGS.kind is RegisterKind.FLAGS
+
+    def test_rip_kind(self):
+        assert RIP.kind is RegisterKind.IP
+
+    def test_scratch_pool_excludes_rsp(self):
+        names = {r.name for r in SCRATCH_GPR64}
+        assert "rsp" not in names
+        assert "rax" in names
+
+    def test_registry_size(self):
+        # 16 GPRs x 4 widths + 16 vector x 2 widths + rip + rflags.
+        assert len(all_registers()) == 16 * 4 + 16 * 2 + 2

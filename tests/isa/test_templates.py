@@ -1,0 +1,115 @@
+"""Tests for the instruction template table."""
+
+import pytest
+
+from repro.isa.templates import (
+    CMP_FUSIBLE_CCS,
+    CONDITION_CODES,
+    INCDEC_FUSIBLE_CCS,
+    all_templates,
+    nop_bytes,
+    template_by_name,
+    templates_by_mnemonic,
+)
+
+
+class TestTableIntegrity:
+    def test_names_unique(self):
+        names = [t.name for t in all_templates()]
+        assert len(names) == len(set(names))
+
+    def test_reasonable_size(self):
+        assert len(all_templates()) > 150
+
+    def test_every_template_has_archetype(self):
+        for t in all_templates():
+            assert t.uop_archetype
+
+    def test_slot_count_matches_imm_width(self):
+        from repro.isa.templates import SlotKind
+        for t in all_templates():
+            has_imm_slot = any(s.kind is SlotKind.IMM for s in t.slots)
+            assert has_imm_slot == (t.encoding.imm_width > 0), t.name
+
+
+class TestLcpMarking:
+    def test_imm16_forms_have_lcp(self):
+        assert template_by_name("ADD_R16_IMM16").has_lcp
+        assert template_by_name("MOV_R16_IMM16").has_lcp
+
+    def test_imm32_forms_have_no_lcp(self):
+        assert not template_by_name("ADD_R64_IMM32").has_lcp
+
+    def test_sse_66_prefix_is_not_lcp(self):
+        # The mandatory 0x66 of PADDD does not change any immediate.
+        assert not template_by_name("PADDD_X_X").has_lcp
+
+    def test_multibyte_nops_have_no_lcp(self):
+        assert not template_by_name("NOP15").has_lcp
+
+
+class TestBranchClassification:
+    def test_jcc_is_conditional(self):
+        t = template_by_name("JNE_REL8")
+        assert t.is_branch and t.is_cond_branch
+        assert t.reads_flags
+
+    def test_jmp_is_unconditional(self):
+        t = template_by_name("JMP_REL32")
+        assert t.is_branch and not t.is_cond_branch
+
+    def test_condition_code_values(self):
+        assert template_by_name("JE_REL8").cc == CONDITION_CODES["e"]
+        assert template_by_name("JNE_REL32").cc == CONDITION_CODES["ne"]
+
+
+class TestFusionClasses:
+    def test_test_and_are_test_class(self):
+        assert template_by_name("TEST_R64_R64").fusible_first == "test"
+        assert template_by_name("AND_R64_R64").fusible_first == "test"
+
+    def test_cmp_add_sub_are_cmp_class(self):
+        for name in ("CMP_R64_R64", "ADD_R64_R64", "SUB_R64_IMM8"):
+            assert template_by_name(name).fusible_first == "cmp"
+
+    def test_inc_dec_class(self):
+        assert template_by_name("INC_R64").fusible_first == "incdec"
+
+    def test_mov_is_not_fusible(self):
+        assert template_by_name("MOV_R64_R64").fusible_first is None
+
+    def test_incdec_ccs_exclude_carry(self):
+        assert CONDITION_CODES["b"] not in INCDEC_FUSIBLE_CCS
+        assert CONDITION_CODES["e"] in INCDEC_FUSIBLE_CCS
+
+    def test_cmp_ccs_include_carry(self):
+        assert CONDITION_CODES["b"] in CMP_FUSIBLE_CCS
+        assert CONDITION_CODES["s"] not in CMP_FUSIBLE_CCS
+
+
+class TestMemoryFlags:
+    def test_load_form(self):
+        t = template_by_name("ADD_R64_M64")
+        assert t.loads and not t.stores
+
+    def test_store_form(self):
+        t = template_by_name("MOV_M64_R64")
+        assert t.stores and not t.loads
+
+    def test_rmw_form(self):
+        t = template_by_name("ADD_M64_R64")
+        assert t.loads and t.stores
+
+    def test_lea_reads_memory_slot_but_archetype_is_lea(self):
+        t = template_by_name("LEA_R64_M")
+        assert t.uop_archetype == "lea"
+
+
+class TestNops:
+    def test_all_lengths_present(self):
+        for length in range(1, 16):
+            assert len(nop_bytes(length)) == length
+
+    def test_lookup_by_mnemonic(self):
+        assert len(templates_by_mnemonic("nop5")) == 1
+        assert len(templates_by_mnemonic("nop")) == 1

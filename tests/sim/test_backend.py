@@ -1,0 +1,133 @@
+"""Back-end unit tests: issue, dispatch, rename, retire mechanics."""
+
+import pytest
+
+from repro.core.components import ThroughputMode
+from repro.isa.block import BasicBlock
+from repro.sim.backend import BackEnd, SimOptions
+from repro.sim.frontend import DeliveryUnit
+from repro.sim.simulator import Simulator
+from repro.sim.uop import expand_macro_op
+from repro.uarch import uarch_by_name
+from repro.uops.blockinfo import analyze_block, macro_ops
+from repro.uops.database import UopsDatabase
+
+SKL = uarch_by_name("SKL")
+DB = UopsDatabase(SKL)
+
+
+def make_backend(asm: str, options=None):
+    block = BasicBlock.from_asm(asm)
+    ops = macro_ops(analyze_block(block, SKL, DB), SKL)
+    expanded = [expand_macro_op(op, SKL) for op in ops]
+    backend = BackEnd(expanded, SKL, options or SimOptions())
+    backend.set_block_info(
+        written_roots=[[r.name for r in op.instructions[0].regs_written()]
+                       for op in ops],
+        eliminated_sources=[None] * len(ops),
+    )
+    return block, ops, expanded, backend
+
+
+def units_for_iteration(expanded, iteration):
+    units = []
+    for op_index, e in enumerate(expanded):
+        for fused_index in range(len(e.fused)):
+            units.append(DeliveryUnit(op_index, fused_index, iteration,
+                                      False))
+    units[-1].ends_iteration = True
+    return units
+
+
+class TestIssueLimits:
+    def test_issue_width_enforced(self):
+        _block, _ops, expanded, backend = make_backend(
+            "\n".join(f"add r{i}, r{i}" for i in range(8, 14)))
+        idq = units_for_iteration(expanded, 0)
+        backend.tick(0, idq)
+        # 6 µops offered, at most issue_width (4) accepted.
+        assert len(idq) == 2
+
+    def test_rs_capacity_blocks_issue(self):
+        _block, _ops, expanded, backend = make_backend("imul rax, rax")
+        backend._rs_occupancy = SKL.rs_size  # scheduler full
+        idq = units_for_iteration(expanded, 0)
+        backend.tick(0, idq)
+        assert len(idq) == 1  # nothing issued
+
+    def test_rob_capacity_blocks_issue(self):
+        _block, _ops, expanded, backend = make_backend("add rax, rbx")
+
+        class _Unfinished:
+            def completed(self, cycle):
+                return False
+
+        backend._rob = [_Unfinished()] * SKL.rob_size  # type: ignore
+        idq = units_for_iteration(expanded, 0)
+        backend.tick(0, idq)
+        assert len(idq) == 1
+
+
+class TestDispatchMechanics:
+    def test_one_dispatch_per_port_per_cycle(self):
+        # Two imuls: both restricted to port 1 → serialized dispatch.
+        _b, _o, expanded, backend = make_backend(
+            "imul rax, rbx\nimul rcx, rdx")
+        idq = units_for_iteration(expanded, 0)
+        backend.tick(0, idq)   # issue both
+        backend.tick(1, idq)   # first dispatch
+        backend.tick(2, idq)   # second dispatch
+        assert backend._pressure[1] == 0
+
+    def test_dependent_uop_waits_for_producer(self):
+        _b, _o, expanded, backend = make_backend(
+            "imul rax, rbx\nadd rcx, rax")
+        idq = units_for_iteration(expanded, 0)
+        cycle = 0
+        backend.tick(cycle, idq)
+        # Run until everything retires; the add completes after the imul
+        # result (3 cycles), so total ≥ 5 ticks.
+        while 0 not in backend.retire_times:
+            cycle += 1
+            backend.tick(cycle, idq)
+            assert cycle < 50
+        assert backend.retire_times[0] >= 4
+
+
+class TestRetirement:
+    def test_in_order_retirement(self):
+        block = BasicBlock.from_asm("imul rax, rbx\nnop")
+        sim = Simulator(SKL)
+        times = sim.simulate(block, ThroughputMode.UNROLLED, 10)
+        ordered = [times[i] for i in sorted(times)]
+        assert ordered == sorted(ordered)
+
+    def test_retire_width_limits_throughput(self):
+        # 6 NOPs/iteration: issue 1.5 cycles; with retire width 4 the
+        # retirement cannot go faster than issue, and resources-off mode
+        # is at least as fast.
+        block = BasicBlock.from_asm("\n".join(["nop"] * 6))
+        limited = Simulator(SKL, SimOptions(model_resources=True))
+        unlimited = Simulator(SKL, SimOptions(model_resources=False))
+        assert unlimited.throughput(block, ThroughputMode.UNROLLED) <= \
+            limited.throughput(block, ThroughputMode.UNROLLED) + 1e-9
+
+
+class TestRename:
+    def test_eliminated_move_inherits_producer(self):
+        # rbx ← imul; mov rax, rbx (eliminated); add rcx, rax sees the
+        # imul latency through the eliminated move.
+        block = BasicBlock.from_asm(
+            "imul rbx, rdx\nmov rax, rbx\nadd rcx, rax")
+        sim = Simulator(SKL)
+        tp = sim.throughput(block, ThroughputMode.UNROLLED)
+        # Loop-carried: imul(3) via rbx; chain imul→add adds latency but
+        # across iterations only imul's self-dep (rbx) matters: ≥ 3.
+        assert tp >= 3.0
+
+    def test_zero_idiom_breaks_chains(self):
+        with_idiom = BasicBlock.from_asm("xor rax, rax\nimul rax, rbx")
+        without = BasicBlock.from_asm("imul rax, rbx")
+        sim = Simulator(SKL)
+        assert sim.throughput(with_idiom, ThroughputMode.UNROLLED) < \
+            sim.throughput(without, ThroughputMode.UNROLLED)

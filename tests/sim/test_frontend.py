@@ -1,0 +1,129 @@
+"""Front-end delivery engine tests."""
+
+import pytest
+
+from repro.core.components import ThroughputMode
+from repro.isa.block import BasicBlock
+from repro.sim.frontend import (
+    DsbFrontEnd,
+    LegacyFrontEnd,
+    LsdFrontEnd,
+    _PredecodeSchedule,
+)
+from repro.uarch import uarch_by_name
+from repro.uops.blockinfo import analyze_block, macro_ops
+
+SKL = uarch_by_name("SKL")
+RKL = uarch_by_name("RKL")
+
+
+def prepared(asm: str, cfg=SKL):
+    block = BasicBlock.from_asm(asm)
+    ops = macro_ops(analyze_block(block, cfg), cfg)
+    fused_counts = [op.info.fused_uops for op in ops]
+    return block, ops, fused_counts
+
+
+class TestLsdFrontEnd:
+    def test_window_boundary_creates_bubble(self):
+        _, ops, counts = prepared(
+            "add rax, rbx\nadd rcx, rdx\nadd rsi, rdi\n"
+            "add r8, r9\nadd r10, r11")  # 5 µops, width 4, no unroll
+        fe = LsdFrontEnd(counts, SKL)
+        idq = []
+        fe.tick(idq, 999)
+        assert len(idq) == 4
+        fe.tick(idq, 999)
+        assert len(idq) == 5  # only 1 more: window boundary
+        fe.tick(idq, 999)
+        assert len(idq) == 9
+
+    def test_iteration_tagging(self):
+        _, ops, counts = prepared("add rax, rbx\nadd rcx, rdx")
+        fe = LsdFrontEnd(counts, SKL)
+        idq = []
+        for _ in range(4):
+            fe.tick(idq, 999)
+        iterations = {u.iteration for u in idq}
+        assert iterations == set(range(len(idq) // 2))
+
+
+class TestDsbFrontEnd:
+    def test_short_block_stalls_at_branch(self):
+        # mov is not macro-fusible, so the branch stays a separate µop.
+        block, ops, counts = prepared("mov rax, 1\njne -7")
+        fe = DsbFrontEnd(counts, block.num_bytes, SKL)
+        idq = []
+        fe.tick(idq, 999)
+        # 2 µops < dsb width 6, but the branch ends delivery.
+        assert len(idq) == 2
+
+    def test_long_block_streams_at_full_width(self):
+        asm = "\n".join(["add rax, 1000000"] * 8)
+        block, ops, counts = prepared(asm)
+        assert block.num_bytes >= 32
+        fe = DsbFrontEnd(counts, block.num_bytes, SKL)
+        idq = []
+        fe.tick(idq, 999)
+        assert len(idq) == SKL.dsb_width
+
+    def test_respects_idq_space(self):
+        block, ops, counts = prepared("add rax, rbx\nadd rcx, rdx")
+        fe = DsbFrontEnd(counts, block.num_bytes, SKL)
+        idq = []
+        fe.tick(idq, 1)
+        assert len(idq) == 1
+
+
+class TestPredecodeSchedule:
+    def test_total_cycles_match_analytical_bound(self):
+        from repro.core.predecoder import predec_bound
+        for asm in ("add rax, rbx\nnop5\nadd rcx, rdx\nnop7\nadd rsi, rdi",
+                    "add cx, 1000\nnop\nnop",
+                    "\n".join(["nop15"] * 3)):
+            block = BasicBlock.from_asm(asm)
+            ops = macro_ops(analyze_block(block, SKL), SKL)
+            schedule = _PredecodeSchedule(block, ops, unrolled=True)
+            analytical = predec_bound(block, SKL, ThroughputMode.UNROLLED)
+            assert schedule.period_cycles == \
+                analytical * schedule.period_iterations
+
+    def test_loop_mode_has_period_one_iteration(self):
+        block = BasicBlock.from_asm("add rax, rbx\nnop5\njne -10")
+        ops = macro_ops(analyze_block(block, SKL), SKL)
+        schedule = _PredecodeSchedule(block, ops, unrolled=False)
+        assert schedule.period_iterations == 1
+
+    def test_deliveries_cover_all_ops_in_order(self):
+        block = BasicBlock.from_asm("add rax, rbx\nnop5\nadd rcx, rdx")
+        ops = macro_ops(analyze_block(block, SKL), SKL)
+        schedule = _PredecodeSchedule(block, ops, unrolled=True)
+        seen = []
+        clock = 0
+        while len(seen) < 2 * schedule.period_iterations * len(ops):
+            seen.extend(schedule.ready_at(clock))
+            clock += 1
+        per_iter = {}
+        for op_index, iteration in seen:
+            per_iter.setdefault(iteration, []).append(op_index)
+        for iteration, op_indices in per_iter.items():
+            if len(op_indices) == len(ops):
+                assert op_indices == sorted(op_indices)
+
+
+class TestLegacyFrontEnd:
+    def test_decode_group_per_cycle(self):
+        block, ops, counts = prepared(
+            "mov rax, 1\nmov rbx, 2\nmov rcx, 3\nmov rdx, 4\nmov rsi, 5")
+        fe = LegacyFrontEnd(block, ops, counts, SKL, unrolled=True)
+        idq = []
+        # Give the predecoder a few cycles to fill the IQ.
+        for _ in range(4):
+            fe.tick(idq, 999)
+        per_cycle = []
+        for _ in range(6):
+            before = len(idq)
+            fe.tick(idq, 999)
+            per_cycle.append(len(idq) - before)
+        # At most one decode group of <= 4 instructions per cycle.
+        assert all(n <= SKL.n_decoders for n in per_cycle)

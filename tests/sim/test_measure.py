@@ -1,0 +1,39 @@
+"""Measurement-harness tests."""
+
+import pytest
+
+from repro.core.components import ThroughputMode
+from repro.isa.block import BasicBlock
+from repro.sim.measure import Measurement, clear_cache, measure, measure_suite
+from repro.uarch import uarch_by_name
+
+SKL = uarch_by_name("SKL")
+
+
+class TestMeasure:
+    def test_rounded_to_two_decimals(self):
+        block = BasicBlock.from_asm("add rax, rbx\nnop5\nadd rcx, rdx")
+        value = measure(block, SKL, ThroughputMode.UNROLLED,
+                        use_cache=False)
+        assert value == round(value, 2)
+
+    def test_cache_hit_returns_same_value(self):
+        clear_cache()
+        block = BasicBlock.from_asm("imul rax, rbx")
+        first = measure(block, SKL, ThroughputMode.UNROLLED)
+        second = measure(block, SKL, ThroughputMode.UNROLLED)
+        assert first == second
+
+    def test_cache_key_includes_mode_and_uarch(self):
+        clear_cache()
+        block = BasicBlock.from_asm("add cx, 1000\nnop\njne -8")
+        u = measure(block, SKL, ThroughputMode.UNROLLED)
+        l = measure(block, SKL, ThroughputMode.LOOP)
+        assert u != l  # LCP stalls only hit the unrolled path
+
+    def test_measure_suite(self):
+        blocks = [BasicBlock.from_asm("add rax, rbx"),
+                  BasicBlock.from_asm("imul rax, rbx")]
+        results = measure_suite(blocks, SKL, ThroughputMode.UNROLLED)
+        assert [type(r) for r in results] == [Measurement, Measurement]
+        assert results[0].cycles < results[1].cycles

@@ -1,0 +1,109 @@
+"""Oracle-simulator tests: determinism, invariants, known timings."""
+
+import pytest
+
+from repro.core.components import Component, ThroughputMode
+from repro.core.model import Facile
+from repro.isa.block import BasicBlock
+from repro.sim.backend import SimOptions
+from repro.sim.simulator import Simulator
+from repro.uarch import ALL_UARCHS, uarch_by_name
+
+SKL = uarch_by_name("SKL")
+U = ThroughputMode.UNROLLED
+L = ThroughputMode.LOOP
+
+
+class TestKnownThroughputs:
+    @pytest.mark.parametrize("asm,mode,expected", [
+        ("add rax, rax", U, 1.0),              # 1-cycle chain
+        ("imul rax, rax", U, 3.0),             # 3-cycle chain
+        ("nop", U, 0.25),                      # issue width 4
+        ("mov rax, qword ptr [rax]", U, 4.0),  # pointer chase
+        ("imul rax, rbx\nadd rax, rcx", U, 4.0),
+    ])
+    def test_throughput(self, asm, mode, expected):
+        sim = Simulator(SKL)
+        tp = sim.throughput(BasicBlock.from_asm(asm), mode)
+        assert tp == pytest.approx(expected, rel=0.08)
+
+    def test_lsd_loop_on_snb(self):
+        snb = uarch_by_name("SNB")
+        # 4 fused µops: 3 movs + fused dec+jne. The fused branch only
+        # executes on port 5 on SNB, which the three movs (p015) also
+        # need: the port bound is 4/3, and the LSD sustains it.
+        block = BasicBlock.from_asm(
+            "mov rax, 1\nmov rbx, 2\nmov rcx, 3\ndec r15\njne -18")
+        tp = Simulator(snb).throughput(block, L)
+        assert tp == pytest.approx(4 / 3, rel=0.1)
+
+
+class TestDeterminism:
+    def test_same_inputs_same_results(self):
+        block = BasicBlock.from_asm("add rax, rbx\nimul rcx, rdx\n"
+                                    "mov qword ptr [rsi], rcx")
+        a = Simulator(SKL).throughput(block, U)
+        b = Simulator(SKL).throughput(block, U)
+        assert a == b
+
+    def test_retire_times_monotone(self):
+        block = BasicBlock.from_asm("add rax, rbx\nadd rcx, rdx")
+        times = Simulator(SKL).simulate(block, U, 30)
+        ordered = [times[i] for i in sorted(times)]
+        assert ordered == sorted(ordered)
+        assert len(times) >= 30
+
+
+class TestStructuralInvariants:
+    """The long-run rate can never beat Facile's structural bounds
+    (up to the documented decode/predecode coupling tolerance)."""
+
+    @pytest.mark.parametrize("asm", [
+        "add rax, rbx\nadd rcx, rdx\nadd rsi, rdi",
+        "imul rax, rbx\nadd rax, rcx",
+        "mov qword ptr [rdi], rax\nmov qword ptr [rdi+8], rbx",
+        "\n".join(["nop15"] * 4),
+        "add cx, 1000\nnop\nnop",
+        "div rcx\nadd rax, rbx",
+    ])
+    @pytest.mark.parametrize("mode", [U, L])
+    def test_measured_at_least_bounds(self, asm, mode):
+        block = BasicBlock.from_asm(asm)
+        measured = Simulator(SKL).throughput(block, mode)
+        prediction = Facile(SKL).predict(block, mode)
+        assert measured >= float(prediction.throughput) * 0.90
+
+    def test_resource_limits_only_slow_things_down(self):
+        block = BasicBlock.from_asm("\n".join(
+            f"imul r{i}, r{i}" for i in (8, 9, 10, 11)))
+        limited = Simulator(SKL, SimOptions(model_resources=True))
+        unlimited = Simulator(SKL, SimOptions(model_resources=False))
+        assert unlimited.throughput(block, U) <= \
+            limited.throughput(block, U) + 1e-9
+
+
+class TestModesAndUarchs:
+    def test_loop_faster_than_unrolled_for_front_end_bound(self):
+        # LCP stalls hit the predecoder: looping from the DSB avoids them.
+        block = BasicBlock.from_asm("add cx, 1000\nadd dx, 2000\n"
+                                    "nop\njne -13")
+        sim = Simulator(SKL)
+        assert sim.throughput(block, L) < sim.throughput(block, U)
+
+    @pytest.mark.parametrize("uarch", [u.abbrev for u in ALL_UARCHS])
+    def test_every_uarch_simulates(self, uarch):
+        cfg = uarch_by_name(uarch)
+        block = BasicBlock.from_asm("add rax, rbx\nmulps xmm1, xmm2\n"
+                                    "mov rcx, qword ptr [rsi]")
+        for mode in (U, L):
+            tp = Simulator(cfg).throughput(block, mode)
+            assert tp > 0
+
+    def test_icl_issue_width_shows(self):
+        # 13 fused µops of eliminated movaps + jmp, streamed from the
+        # DSB/LSD: issue width is the only limiter (13/4 vs 13/5-ish).
+        block = BasicBlock.from_asm(
+            "\n".join(["movaps xmm1, xmm2"] * 12) + "\njmp -38")
+        tp_skl = Simulator(SKL).throughput(block, L)
+        tp_icl = Simulator(uarch_by_name("ICL")).throughput(block, L)
+        assert tp_icl < tp_skl

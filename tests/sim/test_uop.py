@@ -1,0 +1,79 @@
+"""µop expansion tests."""
+
+import pytest
+
+from repro.isa.assembler import assemble_line
+from repro.sim.uop import expand_macro_op
+from repro.uarch import uarch_by_name
+from repro.uops.blockinfo import MacroOp
+from repro.uops.database import UopsDatabase
+
+SKL = uarch_by_name("SKL")
+DB = UopsDatabase(SKL)
+
+
+def expand(asm: str, cfg=SKL, db=DB):
+    instr = assemble_line(asm)
+    op = MacroOp((instr,), db.info(instr), 0)
+    return expand_macro_op(op, cfg)
+
+
+class TestExpansion:
+    def test_simple_alu(self):
+        e = expand("add rax, rbx")
+        assert len(e.uops) == 1
+        assert e.uops[0].produces_results
+        assert set(e.uops[0].reg_sources) == {"rax", "rbx"}
+        assert len(e.fused) == 1
+
+    def test_load_op_dataflow(self):
+        e = expand("add rax, qword ptr [rsi]")
+        load = next(u for u in e.uops if u.ports == frozenset({2, 3}))
+        alu = next(u for u in e.uops if u is not load)
+        assert load.reg_sources == ("rsi",)
+        assert alu.internal_source == e.uops.index(load)
+        assert alu.produces_results
+
+    def test_lea_keeps_address_sources(self):
+        e = expand("lea rax, [rbx+rcx*4]")
+        assert set(e.uops[0].reg_sources) == {"rbx", "rcx"}
+
+    def test_store_split_into_sta_std(self):
+        e = expand("mov qword ptr [rsi+16], rax")
+        agu = next(u for u in e.uops if u.reg_sources == ("rsi",))
+        data = next(u for u in e.uops if u is not agu)
+        assert not agu.produces_results
+        assert "rax" in data.reg_sources
+
+    def test_rmw_partition(self):
+        e = expand("add qword ptr [rsi], rax")
+        assert len(e.fused) == 2
+        assert len(e.uops) == 4
+        main = e.fused[0]
+        store = e.fused[1]
+        assert len(main.uop_indices) == 2
+        assert len(store.uop_indices) == 2
+
+    def test_eliminated_move_has_no_uops(self):
+        e = expand("mov rax, rbx")
+        assert e.uops == []
+        assert len(e.fused) == 1
+        assert not e.has_producer
+
+    def test_div_one_uop_per_fused(self):
+        e = expand("div rcx")
+        assert len(e.fused) == 4
+        assert all(len(f.uop_indices) == 1 for f in e.fused)
+        assert sum(u.produces_results for u in e.uops) == 1
+
+    def test_pure_load_produces_result(self):
+        e = expand("mov rax, qword ptr [rsi]")
+        assert len(e.uops) == 1
+        assert e.uops[0].produces_results
+        assert e.uops[0].latency == SKL.load_latency
+
+    def test_unlaminated_issue_cost_on_snb(self):
+        snb = uarch_by_name("SNB")
+        snb_db = UopsDatabase(snb)
+        e = expand("mov qword ptr [rsi+rbx*8], rax", snb, snb_db)
+        assert sum(f.issue_cost for f in e.fused) == 2

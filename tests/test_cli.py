@@ -1,0 +1,47 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPredict:
+    def test_predict_from_asm(self, capsys):
+        code = main(["predict", "--uarch", "SKL", "--mode", "loop",
+                     "--asm", "imul rax, rbx\\nadd rax, rcx\\n"
+                              "cmp rax, r14\\njne -14"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "predicted throughput: 4.00" in out
+        assert "bottleneck" in out
+        assert "Precedence" in out
+
+    def test_predict_from_hex(self, capsys):
+        code = main(["predict", "--uarch", "RKL", "--hex", "4801d8"])
+        assert code == 0
+        assert "add rax, rbx" in capsys.readouterr().out
+
+    def test_predict_requires_input(self, capsys):
+        assert main(["predict", "--uarch", "SKL"]) == 2
+
+    def test_predict_from_file(self, tmp_path, capsys):
+        path = tmp_path / "block.s"
+        path.write_text("add rax, rbx\nadd rcx, rdx\n")
+        assert main(["predict", "--file", str(path)]) == 0
+        assert "2 instructions" in capsys.readouterr().out
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Rocket Lake" in out and "Sandy Bridge" in out
+
+    def test_table2_single_uarch_small(self, capsys):
+        assert main(["table2", "--size", "6", "--uarch", "SKL"]) == 0
+        out = capsys.readouterr().out
+        assert "Facile" in out and "uiCA" in out
+
+    def test_figure6_small(self, capsys):
+        assert main(["figure6", "--size", "8"]) == 0
+        assert "SNB -> HSW" in capsys.readouterr().out

@@ -1,0 +1,102 @@
+"""End-to-end invariants tying the whole system together."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bhive.categories import CATEGORIES
+from repro.bhive.generator import BlockGenerator
+from repro.core.components import Component, ThroughputMode
+from repro.core.model import Facile
+from repro.isa.block import BasicBlock
+from repro.sim.measure import measure
+from repro.uarch import ALL_UARCHS, uarch_by_name
+from repro.uops.database import UopsDatabase
+
+SKL = uarch_by_name("SKL")
+U = ThroughputMode.UNROLLED
+L = ThroughputMode.LOOP
+
+
+@st.composite
+def generated_blocks(draw):
+    seed = draw(st.integers(0, 10_000))
+    category = draw(st.sampled_from(CATEGORIES))
+    generator = BlockGenerator(seed)
+    block_u, block_l = generator.block_pair(category)
+    return block_u, block_l
+
+
+class TestFacileOracleAgreement:
+    @given(generated_blocks())
+    @settings(max_examples=25, deadline=None)
+    def test_facile_error_bounded(self, blocks):
+        block_u, block_l = blocks
+        model = Facile(SKL)
+        for block, mode in ((block_u, U), (block_l, L)):
+            measured = measure(block, SKL, mode)
+            predicted = model.predict(block, mode).cycles
+            assert predicted > 0
+            # Individual-block error is bounded; suite MAPE is ~1-3%.
+            assert abs(measured - predicted) / measured < 0.60
+
+    @given(generated_blocks())
+    @settings(max_examples=25, deadline=None)
+    def test_facile_is_almost_always_optimistic(self, blocks):
+        block_u, block_l = blocks
+        model = Facile(SKL)
+        for block, mode in ((block_u, U), (block_l, L)):
+            measured = measure(block, SKL, mode)
+            predicted = model.predict(block, mode).cycles
+            # The documented decode/predecode-coupling corner allows a
+            # small pessimistic margin; anything more is a bug.
+            assert predicted <= measured * 1.12
+
+
+class TestCrossMode:
+    def test_loop_not_slower_for_front_end_bound_blocks(self):
+        # Front-end-stressed blocks benefit from the DSB/LSD in loop mode.
+        block_l = BasicBlock.from_asm(
+            "add cx, 1000\nadd dx, 2000\nnop\nnop\njne -15")
+        block_u = block_l.without_final_branch()
+        assert measure(block_l, SKL, L) <= measure(block_u, SKL, U) + 0.01
+
+
+class TestCrossUarch:
+    @pytest.mark.parametrize("uarch", [u.abbrev for u in ALL_UARCHS])
+    def test_full_stack_runs_everywhere(self, uarch):
+        cfg = uarch_by_name(uarch)
+        block = BasicBlock.from_asm(
+            "mov rax, qword ptr [rsi]\naddps xmm1, xmm2\n"
+            "add rbx, rax\ncmp rbx, rcx\njne -17")
+        model = Facile(cfg)
+        for mode in (U, L):
+            prediction = model.predict(block, mode)
+            measured = measure(block, cfg, mode)
+            assert prediction.cycles > 0
+            assert measured > 0
+            assert prediction.bottlenecks
+
+    def test_newer_uarchs_faster_on_issue_bound_loop(self):
+        # Issue-bound loop of eliminated moves: RKL (5-wide) beats SKL
+        # (4-wide).
+        block = BasicBlock.from_asm(
+            "\n".join(["movaps xmm1, xmm2"] * 12) + "\njmp -38")
+        skl = measure(block, SKL, L)
+        rkl = measure(block, uarch_by_name("RKL"), L)
+        assert rkl < skl
+
+
+class TestInterpretability:
+    def test_ports_bottleneck_reports_contenders(self):
+        block = BasicBlock.from_asm(
+            "imul rax, rbx\nimul rcx, rdx\nimul rsi, rdi\nadd r8, r9")
+        prediction = Facile(SKL).predict_unrolled(block)
+        assert prediction.bottlenecks[0] is Component.PORTS
+        assert set(prediction.critical_instruction_indices) >= {0, 1, 2}
+
+    def test_precedence_bottleneck_reports_chain(self):
+        block = BasicBlock.from_asm(
+            "imul rax, rbx\nadd rax, rcx\nmov r8, 1\nmov r9, 2")
+        prediction = Facile(SKL).predict_unrolled(block)
+        assert prediction.bottlenecks[0] is Component.PRECEDENCE
+        assert prediction.critical_instruction_indices == [0, 1]

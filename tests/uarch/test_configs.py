@@ -1,0 +1,79 @@
+"""Microarchitecture configuration tests (paper Table 1 wiring)."""
+
+import pytest
+
+from repro.uarch import ALL_UARCHS, UARCH_ORDER, uarch_by_name
+
+
+class TestTable1:
+    def test_nine_uarchs(self):
+        assert len(ALL_UARCHS) == 9
+
+    def test_order_newest_first(self):
+        years = [u.released for u in ALL_UARCHS]
+        assert years == sorted(years, reverse=True)
+
+    def test_uarch_order_is_oldest_first(self):
+        assert UARCH_ORDER[0].abbrev == "SNB"
+        assert UARCH_ORDER[-1].abbrev == "RKL"
+
+    def test_lookup_by_abbrev_and_name(self):
+        assert uarch_by_name("SKL").name == "Skylake"
+        assert uarch_by_name("Rocket Lake").abbrev == "RKL"
+
+    def test_unknown_uarch(self):
+        with pytest.raises(KeyError):
+            uarch_by_name("ZEN3")
+
+
+class TestPaperSpecificFacts:
+    def test_skl_family_has_jcc_erratum(self):
+        for abbr in ("SKL", "CLX"):
+            assert uarch_by_name(abbr).jcc_erratum
+        for abbr in ("SNB", "HSW", "ICL", "RKL"):
+            assert not uarch_by_name(abbr).jcc_erratum
+
+    def test_skl_lsd_disabled_by_skl150(self):
+        assert not uarch_by_name("SKL").lsd_enabled
+        assert not uarch_by_name("CLX").lsd_enabled
+        assert uarch_by_name("SNB").lsd_enabled
+        assert uarch_by_name("ICL").lsd_enabled
+
+    def test_issue_width_grows_with_icl(self):
+        assert uarch_by_name("SKL").issue_width == 4
+        assert uarch_by_name("ICL").issue_width == 5
+
+    def test_snb_has_no_move_elimination(self):
+        assert not uarch_by_name("SNB").gpr_move_elim
+        assert uarch_by_name("IVB").gpr_move_elim
+
+    def test_icl_gpr_move_elim_disabled_by_erratum(self):
+        assert not uarch_by_name("ICL").gpr_move_elim
+        assert uarch_by_name("RKL").gpr_move_elim
+
+    def test_fma_requires_haswell(self):
+        assert not uarch_by_name("IVB").supports("fma")
+        assert uarch_by_name("HSW").supports("fma")
+
+    def test_port_counts_per_family(self):
+        assert uarch_by_name("SNB").n_ports == 6
+        assert uarch_by_name("SKL").n_ports == 8
+        assert uarch_by_name("RKL").n_ports == 10
+
+
+class TestPortMaps:
+    @pytest.mark.parametrize("uarch", [u.abbrev for u in ALL_UARCHS])
+    def test_port_maps_reference_existing_ports(self, uarch):
+        cfg = uarch_by_name(uarch)
+        for kind, ports in cfg.port_map.items():
+            assert ports, kind
+            assert ports <= set(cfg.ports), kind
+
+    def test_store_agu_indexed_restriction_on_skl(self):
+        cfg = uarch_by_name("SKL")
+        assert cfg.ports_for("store_agu") == frozenset({2, 3, 7})
+        assert cfg.ports_for("store_agu_indexed") == frozenset({2, 3})
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            uarch_by_name("SKL").ports_for("teleport")

@@ -1,0 +1,55 @@
+"""Block-level analysis (macro-op construction) tests."""
+
+import pytest
+
+from repro.isa.block import BasicBlock
+from repro.uarch import uarch_by_name
+from repro.uops.blockinfo import analyze_block, macro_ops
+
+
+@pytest.fixture(scope="module")
+def skl():
+    return uarch_by_name("SKL")
+
+
+class TestFusionPairing:
+    def test_cmp_jne_pair_collapses(self, skl):
+        block = BasicBlock.from_asm("add rax, rbx\ncmp rax, rcx\njne -9")
+        analyzed = analyze_block(block, skl)
+        assert analyzed[1].fused_with_next
+        assert analyzed[2].fused_into_prev
+        ops = macro_ops(analyzed, skl)
+        assert len(ops) == 2
+        fused = ops[-1]
+        assert fused.is_fused_pair
+        assert fused.info.fused_uops == 1
+        assert fused.info.port_sets == (skl.ports_for("fused_branch"),)
+
+    def test_no_double_fusion(self, skl):
+        # cmp cmp jne: only the second cmp fuses.
+        block = BasicBlock.from_asm("cmp rax, rbx\ncmp rcx, rdx\njne -9")
+        ops = macro_ops(analyze_block(block, skl), skl)
+        assert len(ops) == 2
+        assert not ops[0].is_fused_pair
+        assert ops[1].is_fused_pair
+
+    def test_unfused_jcc_stays_separate(self, skl):
+        block = BasicBlock.from_asm("mov rax, rbx\njne -6")
+        ops = macro_ops(analyze_block(block, skl), skl)
+        assert len(ops) == 2
+
+    def test_is_macro_fusible_marks_potential_firsts(self, skl):
+        block = BasicBlock.from_asm("cmp rax, rbx\nmov rcx, rdx")
+        ops = macro_ops(analyze_block(block, skl), skl)
+        assert ops[0].is_macro_fusible   # cmp could fuse
+        assert not ops[1].is_macro_fusible
+
+    def test_fused_pair_length_covers_both(self, skl):
+        block = BasicBlock.from_asm("cmp rax, rbx\njne -7")
+        ops = macro_ops(analyze_block(block, skl), skl)
+        assert ops[0].length == block.num_bytes
+
+    def test_branch_flag(self, skl):
+        block = BasicBlock.from_asm("cmp rax, rbx\njne -7")
+        ops = macro_ops(analyze_block(block, skl), skl)
+        assert ops[0].is_branch

@@ -1,0 +1,159 @@
+"""Tests for the uops.info-substitute database."""
+
+import pytest
+
+from repro.isa.assembler import assemble_line
+from repro.uarch import uarch_by_name
+from repro.uops.database import UnsupportedInstruction, UopsDatabase
+
+
+@pytest.fixture(scope="module")
+def skl():
+    return UopsDatabase(uarch_by_name("SKL"))
+
+
+@pytest.fixture(scope="module")
+def snb():
+    return UopsDatabase(uarch_by_name("SNB"))
+
+
+@pytest.fixture(scope="module")
+def icl():
+    return UopsDatabase(uarch_by_name("ICL"))
+
+
+class TestBasicCharacterization:
+    def test_simple_alu(self, skl):
+        info = skl.info(assemble_line("add rax, rbx"))
+        assert info.fused_uops == 1
+        assert info.issued_uops == 1
+        assert info.port_sets == (frozenset({0, 1, 5, 6}),)
+        assert info.latency == 1
+        assert not info.requires_complex_decoder
+
+    def test_load_op_is_microfused(self, skl):
+        info = skl.info(assemble_line("add rax, qword ptr [rsi]"))
+        assert info.fused_uops == 1
+        assert info.dispatched_uops == 2
+        assert info.load_latency == 4
+
+    def test_rmw_is_two_fused_four_dispatched(self, skl):
+        info = skl.info(assemble_line("add qword ptr [rsi], rax"))
+        assert info.fused_uops == 2
+        assert info.dispatched_uops == 4
+        assert info.requires_complex_decoder
+
+    def test_store_has_agu_and_data_uops(self, skl):
+        info = skl.info(assemble_line("mov qword ptr [rsi], rax"))
+        assert info.fused_uops == 1
+        assert info.dispatched_uops == 2
+
+    def test_nop_dispatches_nothing(self, skl):
+        info = skl.info(assemble_line("nop"))
+        assert info.is_nop
+        assert info.fused_uops == 1
+        assert info.dispatched_uops == 0
+
+    def test_div_is_complex(self, skl):
+        info = skl.info(assemble_line("div rcx"))
+        assert info.fused_uops == 4
+        assert info.requires_complex_decoder
+        assert info.n_available_simple_decoders == 1
+
+
+class TestEliminationRules:
+    def test_mov_elim_on_skl(self, skl):
+        info = skl.info(assemble_line("mov rax, rbx"))
+        assert info.eliminated
+        assert info.dispatched_uops == 0
+
+    def test_no_mov_elim_on_snb(self, snb):
+        info = snb.info(assemble_line("mov rax, rbx"))
+        assert not info.eliminated
+        assert info.dispatched_uops == 1
+
+    def test_icl_gpr_elim_disabled_but_vec_enabled(self, icl):
+        assert not icl.info(assemble_line("mov rax, rbx")).eliminated
+        assert icl.info(assemble_line("movaps xmm1, xmm2")).eliminated
+
+    def test_zero_idiom_always_eliminated(self, snb):
+        info = snb.info(assemble_line("xor rax, rax"))
+        assert info.eliminated
+        assert info.latency == 0
+
+    def test_non_idiom_xor_not_eliminated(self, skl):
+        assert not skl.info(assemble_line("xor rax, rbx")).eliminated
+
+
+class TestPerUarchDeltas:
+    def test_cmov_uop_count(self, snb, skl):
+        instr = assemble_line("cmovne rax, rbx")
+        assert snb.info(instr).fused_uops == 2   # pre-Broadwell
+        assert skl.info(instr).fused_uops == 1
+
+    def test_fp_add_latency(self, snb, skl):
+        instr = assemble_line("addps xmm1, xmm2")
+        assert snb.info(instr).latency == 3
+        assert skl.info(instr).latency == 4
+
+    def test_fp_add_ports(self, snb, skl):
+        instr = assemble_line("addps xmm1, xmm2")
+        assert snb.info(instr).port_sets == (frozenset({1}),)
+        assert skl.info(instr).port_sets == (frozenset({0, 1}),)
+
+    def test_div_latency_improves_on_icl(self, skl, icl):
+        instr = assemble_line("div rcx")
+        assert skl.info(instr).latency == 36
+        assert icl.info(instr).latency == 18
+
+    def test_unlamination_on_snb_only(self, snb, skl):
+        instr = assemble_line("add rax, qword ptr [rsi+rbx*8]")
+        assert snb.info(instr).issued_uops == 2   # unlaminated
+        assert skl.info(instr).issued_uops == 1
+
+    def test_indexed_store_agu_restriction(self, skl):
+        plain = skl.info(assemble_line("mov qword ptr [rsi], rax"))
+        indexed = skl.info(
+            assemble_line("mov qword ptr [rsi+rbx*8], rax"))
+        assert frozenset({2, 3, 7}) in plain.port_sets
+        assert frozenset({2, 3}) in indexed.port_sets
+
+
+class TestFeatureGating:
+    def test_fma_rejected_on_snb(self, snb):
+        with pytest.raises(UnsupportedInstruction):
+            snb.info(assemble_line("vfmadd231ps ymm0, ymm1, ymm2"))
+
+    def test_avx1_allowed_on_snb(self, snb):
+        assert snb.info(assemble_line("vaddps ymm0, ymm1, ymm2"))
+
+
+class TestDependenceLatencies:
+    def test_alu_edges(self, skl):
+        instr = assemble_line("add rax, rbx")
+        edges = skl.dep_latencies(instr)
+        # Sources rax, rbx; destinations rax, flags.
+        assert len(edges) == 4
+        assert all(lat == 1 for _s, _d, lat in edges)
+
+    def test_load_address_pays_load_latency(self, skl):
+        instr = assemble_line("add rax, qword ptr [rsi]")
+        by_pair = {(s.name, d.name): lat
+                   for s, d, lat in skl.dep_latencies(instr)}
+        assert by_pair[("rsi", "rax")] == 5  # 4 (load) + 1 (alu)
+        assert by_pair[("rax", "rax")] == 1
+
+    def test_eliminated_move_has_zero_latency(self, skl):
+        edges = skl.dep_latencies(assemble_line("mov rax, rbx"))
+        assert all(lat == 0 for _s, _d, lat in edges)
+
+    def test_lea_latency_depends_on_components(self, skl):
+        simple = assemble_line("lea rax, [rbx+8]")
+        slow = assemble_line("lea rax, [rbx+rcx*4+8]")
+        assert skl.info(simple).latency == 1
+        assert skl.info(slow).latency == 3
+
+    def test_caching_returns_same_object(self, skl):
+        a = skl.info(assemble_line("add rax, rbx"))
+        b = skl.info(assemble_line("add rcx, rdx"))
+        assert a is b  # same template + shape → cached record

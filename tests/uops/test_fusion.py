@@ -1,0 +1,45 @@
+"""Macro-fusion rule tests."""
+
+import pytest
+
+from repro.isa.assembler import assemble_line
+from repro.uarch import uarch_by_name
+from repro.uops.fusion import can_macro_fuse
+
+
+@pytest.fixture(scope="module")
+def skl():
+    return uarch_by_name("SKL")
+
+
+def fuses(first: str, second: str, cfg) -> bool:
+    return can_macro_fuse(assemble_line(first), assemble_line(second), cfg)
+
+
+class TestFusionPairs:
+    def test_test_fuses_with_every_jcc(self, skl):
+        for cond in ("e", "ne", "b", "s", "o", "g"):
+            assert fuses("test rax, rax", f"j{cond} -5", skl)
+
+    def test_and_is_test_class(self, skl):
+        assert fuses("and rax, rbx", "js -5", skl)
+
+    def test_cmp_fuses_with_compare_conditions(self, skl):
+        assert fuses("cmp rax, rbx", "jne -5", skl)
+        assert fuses("cmp rax, rbx", "jb -5", skl)
+
+    def test_cmp_does_not_fuse_with_sign_conditions(self, skl):
+        assert not fuses("cmp rax, rbx", "js -5", skl)
+
+    def test_inc_dec_exclude_carry_conditions(self, skl):
+        assert fuses("dec rcx", "jne -5", skl)
+        assert not fuses("dec rcx", "jb -5", skl)
+
+    def test_memory_operands_block_fusion(self, skl):
+        assert not fuses("cmp qword ptr [rsi], rax", "jne -5", skl)
+
+    def test_non_flag_writers_never_fuse(self, skl):
+        assert not fuses("mov rax, rbx", "jne -5", skl)
+
+    def test_second_must_be_conditional(self, skl):
+        assert not fuses("cmp rax, rbx", "jmp -5", skl)
