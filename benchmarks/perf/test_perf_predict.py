@@ -1,0 +1,74 @@
+"""Perf harness: blocks/sec of the engine's three prediction paths.
+
+This bench runs the same measurement kernel as ``scripts/bench.py``
+(single-block, cached-batch, parallel-batch) on the fixed-seed suite.
+Set ``REPRO_BENCH_WRITE=1`` to also refresh ``BENCH_predict.json`` at
+the repository root; by default the payload is written to a temporary
+file only, so plain test runs never clobber the committed baseline with
+machine-local numbers (``scripts/bench.py`` is the canonical writer).
+Qualitative findings asserted here:
+
+* the cached batch path is substantially faster than the seed-style
+  per-call path (the paper's speed claim is the whole point of Facile,
+  and re-deriving the analysis per call was the repo's slowest path);
+* all paths produce positive, finite throughput numbers.
+
+Speedup *thresholds* are asserted conservatively — the gate for the
+committed baseline is ``scripts/bench.py`` (20% tolerance), not pytest.
+"""
+
+import os
+
+import pytest
+
+from repro.engine import bench as bench_mod
+
+pytestmark = pytest.mark.perf
+
+BENCH_JSON = os.path.abspath(os.path.join(
+    os.path.dirname(__file__), "..", "..", "BENCH_predict.json"))
+
+SIZE = int(os.environ.get("REPRO_BENCH_PERF_SIZE",
+                          str(bench_mod.DEFAULT_SIZE)))
+
+
+@pytest.fixture(scope="module")
+def payload():
+    result = bench_mod.run_perf_harness(size=SIZE)
+    print()
+    print(bench_mod.render_bench(result))
+    return result
+
+
+def test_payload_structure(payload):
+    assert payload["schema"] == 1
+    assert payload["suite"] == {"size": SIZE,
+                                "seed": bench_mod.DEFAULT_SEED}
+    for abbrev in bench_mod.DEFAULT_UARCHS:
+        for mode in ("unrolled", "loop"):
+            by_path = payload["results"][abbrev][mode]
+            assert set(by_path) == set(bench_mod.PATHS)
+            for numbers in by_path.values():
+                assert numbers["blocks_per_sec"] > 0
+                assert numbers["n_blocks"] == SIZE
+
+
+def test_cached_batch_is_faster_than_single(payload):
+    # Structurally ~6-12x; the loose threshold only guards against the
+    # cache being disconnected, not against timing noise.
+    for abbrev, by_mode in payload["speedups"].items():
+        for mode, speedups in by_mode.items():
+            assert speedups["cached_vs_single"] > 1.3, (abbrev, mode)
+
+
+def test_writes_bench_json(payload, tmp_path):
+    if os.environ.get("REPRO_BENCH_WRITE"):
+        target = BENCH_JSON
+    else:
+        target = str(tmp_path / "BENCH_predict.json")
+    bench_mod.write_bench_json(payload, target)
+    reloaded = bench_mod.load_bench_json(target)
+    assert reloaded == payload
+    # A fresh identical-config run never counts as a regression of
+    # itself.
+    assert bench_mod.find_regressions(payload, reloaded) == []

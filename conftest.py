@@ -4,3 +4,10 @@ import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: perf-regression smoke tests (fast variants of "
+        "benchmarks/perf/)")

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.components import ThroughputMode
 from repro.isa.block import BasicBlock
@@ -36,8 +36,27 @@ class Predictor(abc.ABC):
     def predict(self, block: BasicBlock, mode: ThroughputMode) -> float:
         """Predicted cycles per iteration (rounded to 2 decimals)."""
 
+    def predict_many(self, blocks: Sequence[BasicBlock],
+                     mode: ThroughputMode) -> List[float]:
+        """Predict a whole batch, preserving input order.
+
+        The default is a serial loop over :meth:`predict`; predictors
+        with a faster batch path (Facile via the engine) override this.
+        The evaluation layer always goes through this entry point.
+        """
+        return [self.predict(block, mode) for block in blocks]
+
     def prepare(self, train_oracle=None) -> None:
         """Hook for predictors that need training (learned analogs)."""
+
+    def databases(self) -> List[UopsDatabase]:
+        """Every uops database this predictor reads.
+
+        The timing harness clears the block-level analysis caches
+        attached to these before measuring a tool, so per-call runtimes
+        stay comparable across tools sharing a database.
+        """
+        return [self.db]
 
 
 _REGISTRY: Dict[str, Callable[..., Predictor]] = {}

@@ -20,9 +20,8 @@ from repro.core.components import ThroughputMode
 from repro.core.dsb import dsb_bound
 from repro.core.issue import issue_bound
 from repro.core.lsd import lsd_bound, lsd_fits
-from repro.core.ports import ports_bound
+from repro.engine.cache import AnalysisCache
 from repro.isa.block import BasicBlock
-from repro.uops.blockinfo import analyze_block, macro_ops
 
 
 @register
@@ -32,12 +31,12 @@ class CqaAnalog(Predictor):
 
     def predict(self, block: BasicBlock, mode: ThroughputMode) -> float:
         del mode  # CQA always analyzes under the loop notion
-        analyzed = analyze_block(block, self.cfg, self.db)
-        ops = macro_ops(analyzed, self.cfg)
+        analysis = AnalysisCache.shared(self.db).analysis(block)
+        ops = analysis.ops
         if lsd_fits(ops, self.cfg):
             front_end = lsd_bound(ops, self.cfg)
         else:
             front_end = dsb_bound(ops, block.num_bytes, self.cfg)
         issue = issue_bound(ops, self.cfg)
-        ports = ports_bound(ops).bound
+        ports = analysis.ports().bound
         return round(float(max(front_end, issue, ports)), 2)

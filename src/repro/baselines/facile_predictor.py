@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from repro.baselines.base import Predictor, register
 from repro.core.components import ThroughputMode
-from repro.core.model import Facile
+from repro.engine.engine import Engine
 from repro.isa.block import BasicBlock
 from repro.uarch.config import MicroArchConfig
 from repro.uops.database import UopsDatabase
@@ -14,15 +14,28 @@ from repro.uops.database import UopsDatabase
 
 @register
 class FacilePredictor(Predictor):
-    """The paper's contribution, for side-by-side comparison."""
+    """The paper's contribution, for side-by-side comparison.
+
+    Predictions are routed through the batch engine: single predictions
+    use the shared analysis cache, and ``predict_many`` additionally fans
+    out over a worker pool when a default worker count is configured
+    (``repro.engine.set_default_workers`` / ``REPRO_ENGINE_WORKERS``).
+    """
 
     name = "Facile"
     native_mode = "both"
 
     def __init__(self, cfg: MicroArchConfig,
-                 db: Optional[UopsDatabase] = None, **facile_kwargs):
+                 db: Optional[UopsDatabase] = None,
+                 n_workers: Optional[int] = None, **facile_kwargs):
         super().__init__(cfg, db)
-        self.model = Facile(cfg, db=self.db, **facile_kwargs)
+        self.engine = Engine(cfg, db=self.db, n_workers=n_workers,
+                             **facile_kwargs)
+        self.model = self.engine.model
 
     def predict(self, block: BasicBlock, mode: ThroughputMode) -> float:
-        return self.model.predict(block, mode).cycles
+        return self.engine.predict(block, mode).cycles
+
+    def predict_many(self, blocks: Sequence[BasicBlock],
+                     mode: ThroughputMode) -> List[float]:
+        return [p.cycles for p in self.engine.predict_many(blocks, mode)]

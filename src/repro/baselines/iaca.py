@@ -17,10 +17,9 @@ from typing import Optional
 from repro.baselines.base import Predictor, register
 from repro.core.components import ThroughputMode
 from repro.core.issue import issue_bound
-from repro.core.ports import ports_bound
+from repro.engine.cache import AnalysisCache
 from repro.isa.block import BasicBlock
 from repro.uarch.config import MicroArchConfig
-from repro.uops.blockinfo import analyze_block, macro_ops
 from repro.uops.database import UopsDatabase
 
 
@@ -31,9 +30,9 @@ class IacaAnalog(Predictor):
 
     def predict(self, block: BasicBlock, mode: ThroughputMode) -> float:
         del mode
-        ops = macro_ops(analyze_block(block, self.cfg, self.db), self.cfg)
-        return round(float(max(issue_bound(ops, self.cfg),
-                               ports_bound(ops).bound)), 2)
+        analysis = AnalysisCache.shared(self.db).analysis(block)
+        return round(float(max(issue_bound(analysis.ops, self.cfg),
+                               analysis.ports().bound)), 2)
 
 
 @register
@@ -51,6 +50,6 @@ class Iaca23Analog(Predictor):
 
     def predict(self, block: BasicBlock, mode: ThroughputMode) -> float:
         del mode
-        ops = macro_ops(analyze_block(block, self.cfg, self.db), self.cfg)
-        return round(float(max(issue_bound(ops, self.cfg),
-                               ports_bound(ops).bound)), 2)
+        analysis = AnalysisCache.shared(self.db).analysis(block)
+        return round(float(max(issue_bound(analysis.ops, self.cfg),
+                               analysis.ports().bound)), 2)

@@ -11,24 +11,43 @@ elimination.
 from __future__ import annotations
 
 import dataclasses
+import weakref
 from fractions import Fraction
 from typing import List, Optional
 
 from repro.baselines.base import Predictor, register
 from repro.core.components import ThroughputMode
 from repro.core.ports import ports_bound
-from repro.core.precedence import precedence_bound
+from repro.engine.cache import AnalysisCache
 from repro.isa.block import BasicBlock
 from repro.uarch.config import MicroArchConfig
-from repro.uops.blockinfo import MacroOp, analyze_block
+from repro.uops.blockinfo import MacroOp
 from repro.uops.database import UopsDatabase
+
+#: One no-elimination database per configuration object, so the three
+#: back-end-only analogs (llvm-mca-8/15, OSACA) share one analysis cache
+#: and the dependence graph of each block is built once, not three times.
+#: Entries hold only a weak reference to the config (its dict fields are
+#: unhashable, so identity is the key): when a transient config dies,
+#: its entry — database and analysis cache included — is purged, so
+#: parameter sweeps over generated configs cannot grow this unboundedly.
+_NO_ELIM_DBS: dict = {}
 
 
 def _no_elimination_db(cfg: MicroArchConfig) -> UopsDatabase:
-    """A database view without move elimination (tools that predate or
-    ignore it)."""
-    return UopsDatabase(dataclasses.replace(
+    """The shared database view without move elimination (tools that
+    predate or ignore it)."""
+    entry = _NO_ELIM_DBS.get(id(cfg))
+    if entry is not None:
+        ref, db = entry
+        if ref() is cfg:
+            return db
+    key = id(cfg)
+    db = UopsDatabase(dataclasses.replace(
         cfg, gpr_move_elim=False, vec_move_elim=False))
+    _NO_ELIM_DBS[key] = (
+        weakref.ref(cfg, lambda _ref: _NO_ELIM_DBS.pop(key, None)), db)
+    return db
 
 
 class _BackEndOnly(Predictor):
@@ -40,6 +59,9 @@ class _BackEndOnly(Predictor):
                  db: Optional[UopsDatabase] = None):
         super().__init__(cfg, db)
         self._db = _no_elimination_db(cfg)
+
+    def databases(self) -> List[UopsDatabase]:
+        return [self.db, self._db]
 
     def _unfused_ops(self, block: BasicBlock) -> List[MacroOp]:
         """Per-instruction macro-ops without fusion or elimination."""
@@ -65,7 +87,8 @@ class _BackEndOnly(Predictor):
                 for op in ops),
             self.cfg.issue_width)
         ports = ports_bound(ops).bound
-        precedence = precedence_bound(block, self._db).bound
+        precedence = AnalysisCache.shared(self._db) \
+            .analysis(block).precedence().bound
         return round(float(max(dispatch, ports, precedence)), 2)
 
 

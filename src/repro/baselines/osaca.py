@@ -13,7 +13,7 @@ from repro.baselines.base import Predictor, register
 from repro.baselines.llvm_mca import _no_elimination_db
 from repro.core.components import ThroughputMode
 from repro.core.ports import ports_bound
-from repro.core.precedence import precedence_bound
+from repro.engine.cache import AnalysisCache
 from repro.isa.block import BasicBlock
 from repro.uarch.config import MicroArchConfig
 from repro.uops.blockinfo import MacroOp
@@ -30,6 +30,9 @@ class OsacaAnalog(Predictor):
         super().__init__(cfg, db)
         self._db = _no_elimination_db(cfg)
 
+    def databases(self) -> List[UopsDatabase]:
+        return [self.db, self._db]
+
     def predict(self, block: BasicBlock, mode: ThroughputMode) -> float:
         del mode
         ops: List[MacroOp] = [
@@ -37,5 +40,6 @@ class OsacaAnalog(Predictor):
             for idx, instr in enumerate(block)
         ]
         ports = ports_bound(ops).bound
-        critical_path = precedence_bound(block, self._db).bound
+        critical_path = AnalysisCache.shared(self._db) \
+            .analysis(block).precedence().bound
         return round(float(max(ports, critical_path)), 2)

@@ -6,8 +6,10 @@ Examples::
     facile predict --uarch RKL --hex 4801d875f4
     facile table1
     facile table2 --size 50 --uarch SKL
+    facile table2 --size 300 --workers 4
     facile table4 --size 50
     facile figure6 --size 100
+    facile bench --size 80 --check
 """
 
 from __future__ import annotations
@@ -20,6 +22,8 @@ from repro.bhive.suite import default_suite
 from repro.core.components import Component, ThroughputMode
 from repro.core.counterfactual import idealized_speedup
 from repro.core.model import Facile
+from repro.engine import engine as engine_mod
+from repro.engine import bench as bench_mod
 from repro.eval import figures, tables
 from repro.isa.block import BasicBlock
 from repro.uarch import ALL_UARCHS, uarch_by_name
@@ -65,6 +69,9 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _suite(args: argparse.Namespace):
+    if getattr(args, "workers", None) is not None:
+        # Opt whole-suite evaluation into the engine's parallel path.
+        engine_mod.set_default_workers(args.workers)
     return default_suite(args.size, args.seed)
 
 
@@ -128,6 +135,68 @@ def _cmd_figure6(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the perf harness, persist BENCH_predict.json, gate regressions."""
+    # Read the baseline before the run: output and baseline default to
+    # the same committed file, which the run overwrites.
+    baseline = bench_mod.load_bench_json(args.baseline) if args.check \
+        else None
+    uarchs = tuple(args.uarch) if args.uarch else bench_mod.DEFAULT_UARCHS
+    try:
+        for abbrev in uarchs:
+            uarch_by_name(abbrev)
+    except KeyError:
+        print(f"unknown µarch {abbrev!r} (see `facile table1`)",
+              file=sys.stderr)
+        return 2
+    payload = bench_mod.run_perf_harness(
+        size=args.size, seed=args.seed, uarchs=uarchs,
+        workers=(args.workers if args.workers is not None
+                 else bench_mod.DEFAULT_WORKERS),
+        include_parallel=not args.no_parallel)
+    print(bench_mod.render_bench(payload))
+    bench_mod.write_bench_json(payload, args.output)
+    print(f"wrote {args.output}")
+
+    if not args.check:
+        return 0
+    if baseline is None:
+        print(f"no baseline at {args.baseline}; skipping regression check")
+        return 0
+    if not bench_mod.comparable(payload, baseline):
+        print(f"baseline {args.baseline} was measured with a different "
+              f"suite ({baseline.get('suite')} vs {payload['suite']}); "
+              "skipping regression check", file=sys.stderr)
+        return 0
+    if bench_mod.gated_overlap(payload, baseline) == 0:
+        print(f"baseline {args.baseline} shares no gated (µarch, mode, "
+              "path) entries with this run; skipping regression check",
+              file=sys.stderr)
+        return 0
+    regressions = bench_mod.find_regressions(payload, baseline,
+                                             args.tolerance)
+    if regressions:
+        print(f"perf regressions (> {100 * args.tolerance:.0f}% below "
+              "baseline):", file=sys.stderr)
+        for abbrev, mode, path, cur, base in regressions:
+            print(f"  {abbrev}/{mode}/{path}: {cur:.1f} blocks/s "
+                  f"(baseline {base:.1f})", file=sys.stderr)
+        return 1
+    print("no perf regressions against baseline")
+    return 0
+
+
+def _workers_arg(value: str) -> int:
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if workers < 0:
+        raise argparse.ArgumentTypeError(
+            "worker count must be >= 0 (0 = one per CPU)")
+    return workers
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="facile",
@@ -156,10 +225,39 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--size", type=int, default=50,
                          help="benchmark suite size")
         cmd.add_argument("--seed", type=int, default=2023)
+        cmd.add_argument("--workers", type=_workers_arg,
+                         default=None,
+                         help="engine worker processes for suite "
+                              "evaluation (0 = one per CPU; default "
+                              "serial)")
         if extra_uarch:
             cmd.add_argument("--uarch", default=None,
                              help="restrict to one microarchitecture")
         cmd.set_defaults(func=func)
+
+    bench = sub.add_parser(
+        "bench", help="run the perf-regression harness "
+                      "(writes BENCH_predict.json)")
+    bench.add_argument("--size", type=int, default=bench_mod.DEFAULT_SIZE)
+    bench.add_argument("--seed", type=int, default=bench_mod.DEFAULT_SEED)
+    bench.add_argument("--workers", type=_workers_arg,
+                       default=bench_mod.DEFAULT_WORKERS,
+                       help="pool size of the parallel path")
+    bench.add_argument("--uarch", action="append", default=None,
+                       help="µarch(s) to measure (repeatable; "
+                            "default SKL)")
+    bench.add_argument("--output", default="BENCH_predict.json")
+    bench.add_argument("--baseline", default="BENCH_predict.json",
+                       help="committed baseline for the regression gate")
+    bench.add_argument("--tolerance", type=float,
+                       default=bench_mod.DEFAULT_TOLERANCE,
+                       help="allowed blocks/sec drop before failing")
+    bench.add_argument("--check", action="store_true",
+                       help="exit non-zero on regression vs the baseline")
+    bench.add_argument("--no-parallel", action="store_true",
+                       help="skip the parallel path (e.g. on CI without "
+                            "fork)")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -10,7 +10,7 @@ from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.components import Component, ThroughputMode
-from repro.core.model import Facile, Prediction
+from repro.core.model import Prediction
 from repro.isa.block import BasicBlock
 from repro.uarch.config import MicroArchConfig
 
@@ -40,11 +40,18 @@ def speedup_table(cfg: MicroArchConfig, blocks: Sequence[BasicBlock],
     This regenerates one row of the paper's Table 4.  The average is the
     arithmetic mean of per-block speedups (blocks whose throughput is
     entirely due to the idealized component are skipped).
+
+    The base predictions are produced in one batch by the engine (cached
+    and, when a default worker count is configured, parallel); every
+    idealization is then a cheap recombination of the batch results.
     """
-    facile = Facile(cfg)
+    # Deferred import: the engine builds on repro.core.
+    from repro.engine.engine import Engine
+
     speedups: Dict[Component, List[float]] = {c: [] for c in components}
-    for block in blocks:
-        prediction = facile.predict(block, mode)
+    with Engine(cfg) as engine:
+        predictions = engine.predict_many(list(blocks), mode)
+    for prediction in predictions:
         for component in speedups:
             value = idealized_speedup(prediction, component)
             if value is not None:

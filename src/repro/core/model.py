@@ -31,12 +31,11 @@ from repro.core.dsb import dsb_bound
 from repro.core.issue import issue_bound
 from repro.core.jcc import affected_by_jcc_erratum
 from repro.core.lsd import lsd_bound, lsd_fits
-from repro.core.ports import PortsResult, critical_instructions, ports_bound
-from repro.core.precedence import PrecedenceResult, precedence_bound
+from repro.core.ports import PortsResult
+from repro.core.precedence import PrecedenceResult
 from repro.core.predecoder import predec_bound, simple_predec_bound
 from repro.isa.block import BasicBlock
 from repro.uarch.config import MicroArchConfig
-from repro.uops.blockinfo import analyze_block, macro_ops
 from repro.uops.database import UopsDatabase
 
 _ALL_COMPONENTS = frozenset(Component)
@@ -60,6 +59,10 @@ class Prediction:
         ports_detail / precedence_detail: interpretable feedback payloads.
         critical_instruction_indices: instructions responsible for the
             bottleneck (port contenders or the critical dependency chain).
+        ports_critical_indices: the instructions that would be critical if
+            Ports were the bottleneck; kept regardless of the actual
+            bottleneck so recombinations can report critical instructions
+            without re-analyzing the block.
     """
 
     throughput: Optional[Fraction]
@@ -72,6 +75,7 @@ class Prediction:
     ports_detail: Optional[PortsResult] = None
     precedence_detail: Optional[PrecedenceResult] = None
     critical_instruction_indices: List[int] = field(default_factory=list)
+    ports_critical_indices: List[int] = field(default_factory=list)
 
     @property
     def cycles(self) -> float:
@@ -97,6 +101,10 @@ class Prediction:
             lsd_applicable=self.lsd_applicable,
             ports_detail=self.ports_detail,
             precedence_detail=self.precedence_detail,
+            critical_instruction_indices=_critical_indices(
+                bottlenecks, self.ports_critical_indices,
+                self.precedence_detail),
+            ports_critical_indices=self.ports_critical_indices,
         )
 
 
@@ -139,6 +147,19 @@ def _combine(bounds: Dict[Component, Fraction], mode: ThroughputMode,
     return throughput, fe, bottlenecks
 
 
+def _critical_indices(bottlenecks: List[Component],
+                      ports_critical: List[int],
+                      precedence_detail: Optional[PrecedenceResult],
+                      ) -> List[int]:
+    """The critical-instruction report for a combined prediction."""
+    if bottlenecks and bottlenecks[0] is Component.PORTS:
+        return list(ports_critical)
+    if (bottlenecks and bottlenecks[0] is Component.PRECEDENCE
+            and precedence_detail is not None):
+        return list(precedence_detail.critical_chain)
+    return []
+
+
 class Facile:
     """The analytical throughput predictor.
 
@@ -151,6 +172,9 @@ class Facile:
         exclude: remove components — the "Facile w/o X" ablations and the
             counterfactual analysis.
         db: optionally share a uops database across predictors.
+        cache: optionally share an analysis cache; by default the cache
+            attached to *db* is used, so every Facile variant sharing a
+            database analyzes each block at most once.
     """
 
     def __init__(self, cfg: MicroArchConfig, *,
@@ -158,9 +182,17 @@ class Facile:
                  simple_dec: bool = False,
                  components: Optional[Iterable[Component]] = None,
                  exclude: Iterable[Component] = (),
-                 db: Optional[UopsDatabase] = None):
+                 db: Optional[UopsDatabase] = None,
+                 cache: Optional["AnalysisCache"] = None):
+        # Deferred: repro.core is imported by the engine's cache layer,
+        # so the reverse dependency must not be resolved at import time.
+        from repro.engine.cache import AnalysisCache
         self.cfg = cfg
-        self.db = db or UopsDatabase(cfg)
+        if db is None:
+            db = cache.db if cache is not None else UopsDatabase(cfg)
+        self.db = db
+        self.cache = cache if cache is not None \
+            else AnalysisCache.shared(self.db)
         self.simple_predec = simple_predec
         self.simple_dec = simple_dec
         base = frozenset(components) if components is not None \
@@ -172,12 +204,15 @@ class Facile:
     def predict(self, block: BasicBlock,
                 mode: ThroughputMode) -> Prediction:
         """Predict the throughput of *block* under *mode*."""
-        analyzed = analyze_block(block, self.cfg, self.db)
-        ops = macro_ops(analyzed, self.cfg)
+        analysis = self.cache.analysis(block)
+        block = analysis.block
+        analyzed = analysis.analyzed
+        ops = analysis.ops
 
         bounds: Dict[Component, Fraction] = {}
         ports_detail: Optional[PortsResult] = None
         precedence_detail: Optional[PrecedenceResult] = None
+        ports_critical: List[int] = []
 
         relevant = (UNROLLED_COMPONENTS if mode is ThroughputMode.UNROLLED
                     else LOOP_COMPONENTS)
@@ -200,10 +235,11 @@ class Facile:
         if Component.ISSUE in active:
             bounds[Component.ISSUE] = issue_bound(ops, self.cfg)
         if Component.PORTS in active:
-            ports_detail = ports_bound(ops)
+            ports_detail = analysis.ports()
+            ports_critical = analysis.ports_critical()
             bounds[Component.PORTS] = ports_detail.bound
         if Component.PRECEDENCE in active:
-            precedence_detail = precedence_bound(block, self.db)
+            precedence_detail = analysis.precedence()
             bounds[Component.PRECEDENCE] = precedence_detail.bound
 
         jcc_affected = (mode is ThroughputMode.LOOP
@@ -215,22 +251,25 @@ class Facile:
         tp, fe, bottlenecks = _combine(bounds, mode, self.enabled,
                                        jcc_affected, lsd_applicable)
 
-        critical: List[int] = []
-        if (bottlenecks and bottlenecks[0] is Component.PORTS
-                and ports_detail is not None):
-            critical = critical_instructions(ops, ports_detail)
-        elif (bottlenecks and bottlenecks[0] is Component.PRECEDENCE
-                and precedence_detail is not None):
-            critical = list(precedence_detail.critical_chain)
-
         return Prediction(
             throughput=tp, mode=mode, bounds=bounds,
             bottlenecks=bottlenecks, fe_component=fe,
             jcc_affected=jcc_affected, lsd_applicable=lsd_applicable,
             ports_detail=ports_detail,
             precedence_detail=precedence_detail,
-            critical_instruction_indices=critical,
+            critical_instruction_indices=_critical_indices(
+                bottlenecks, ports_critical, precedence_detail),
+            ports_critical_indices=ports_critical,
         )
+
+    def predict_many(self, blocks: Iterable[BasicBlock],
+                     mode: ThroughputMode) -> List[Prediction]:
+        """Predict every block of a batch (serial, shared analysis cache).
+
+        The parallel counterpart is
+        :meth:`repro.engine.Engine.predict_many`.
+        """
+        return [self.predict(block, mode) for block in blocks]
 
     def predict_unrolled(self, block: BasicBlock) -> Prediction:
         """TPU prediction (paper Eq. 1)."""
@@ -242,9 +281,15 @@ class Facile:
 
     def component_bound(self, block: BasicBlock, component: Component,
                         mode: ThroughputMode) -> Fraction:
-        """The raw bound of a single component ("only X" ablations)."""
-        analyzed = analyze_block(block, self.cfg, self.db)
-        ops = macro_ops(analyzed, self.cfg)
+        """The raw bound of a single component ("only X" ablations).
+
+        Routed through the shared :class:`BlockAnalysis`, so querying
+        every component of a block in a loop (as the ablation benches do)
+        analyzes the block once instead of once per query.
+        """
+        analysis = self.cache.analysis(block)
+        block = analysis.block
+        ops = analysis.ops
         if component is Component.PREDEC:
             return (simple_predec_bound(block, self.cfg, mode)
                     if self.simple_predec
@@ -259,7 +304,7 @@ class Facile:
         if component is Component.ISSUE:
             return issue_bound(ops, self.cfg)
         if component is Component.PORTS:
-            return ports_bound(ops).bound
+            return analysis.ports().bound
         if component is Component.PRECEDENCE:
-            return precedence_bound(block, self.db).bound
+            return analysis.precedence().bound
         raise ValueError(f"unknown component {component}")

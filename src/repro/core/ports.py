@@ -14,6 +14,7 @@ Both the pairwise heuristic and the exact LP (used by the ablation bench
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass
 from fractions import Fraction
@@ -53,14 +54,45 @@ def _uop_port_multiset(ops: Sequence[MacroOp]) -> Counter:
     return counts
 
 
+#: Global memo of the pairwise heuristic, keyed by the canonical port
+#: multiset (the bound is a pure function of it).  The same multiset
+#: recurs across blocks, predictors, and µarchs with equal port maps, so
+#: this deduplicates the quadratic pair-union search engine-wide.
+_PORTS_MEMO: Dict[Tuple[Tuple[Tuple[int, ...], int], ...], PortsResult] = {}
+
+
+def _multiset_key(counts: Counter) -> Tuple[Tuple[Tuple[int, ...], int], ...]:
+    """Canonical, hashable form of a µop port multiset."""
+    return tuple(sorted((tuple(sorted(ports)), cnt)
+                        for ports, cnt in counts.items()))
+
+
+def clear_ports_memo() -> None:
+    """Drop the global heuristic memo (for tests)."""
+    _PORTS_MEMO.clear()
+
+
 def ports_bound(ops: Sequence[MacroOp]) -> PortsResult:
-    """The pairwise port-combination heuristic of §4.8."""
+    """The pairwise port-combination heuristic of §4.8.
+
+    Results are memoized on the canonical port-multiset key, and the
+    pair-union candidates are visited in a deterministic order (smallest
+    combination first, then lexicographically) so ties in the bound
+    always report the same critical combination regardless of hash
+    randomization.
+    """
     counts = _uop_port_multiset(ops)
     if not counts:
         return PortsResult(Fraction(0), None, 0)
 
+    key = _multiset_key(counts)
+    cached = _PORTS_MEMO.get(key)
+    if cached is not None:
+        return cached
+
     combos = list(counts)
-    pair_unions = {pc | pc2 for pc in combos for pc2 in combos}
+    pair_unions = sorted({pc | pc2 for pc in combos for pc2 in combos},
+                         key=lambda pc: (len(pc), sorted(pc)))
 
     best = Fraction(0)
     best_combo: Optional[PortSet] = None
@@ -70,7 +102,9 @@ def ports_bound(ops: Sequence[MacroOp]) -> PortsResult:
         bound = Fraction(u, len(pc))
         if bound > best:
             best, best_combo, best_uops = bound, pc, u
-    return PortsResult(best, best_combo, best_uops)
+    result = PortsResult(best, best_combo, best_uops)
+    _PORTS_MEMO[key] = result
+    return result
 
 
 def critical_instructions(ops: Sequence[MacroOp],
@@ -144,13 +178,5 @@ def ports_bound_lp(ops: Sequence[MacroOp]) -> Fraction:
         raise RuntimeError(f"port LP failed: {res.message}")
     # The optimum is rational with a small denominator (≤ lcm of subset
     # sizes); snap the float solution back to it.
-    max_den = 1
-    for k in range(1, len(all_ports) + 1):
-        max_den = max_den * k // _gcd(max_den, k)
+    max_den = math.lcm(*range(1, len(all_ports) + 1))
     return Fraction(res.x[t_index]).limit_denominator(max_den)
-
-
-def _gcd(a: int, b: int) -> int:
-    while b:
-        a, b = b, a % b
-    return a

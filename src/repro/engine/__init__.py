@@ -1,0 +1,39 @@
+"""Batch prediction engine: shared analysis cache + parallel evaluation.
+
+The engine has three layers (see the module docstrings for details):
+
+* :mod:`repro.engine.cache` — :class:`BlockAnalysis` objects memoized per
+  (block-signature, µarch), shared by every model/predictor that shares a
+  uops database;
+* :mod:`repro.engine.engine` — :class:`Engine`, the batch front end with
+  a serial fast path and an opt-in ``multiprocessing`` pool shipping
+  compact picklable payloads to workers;
+* :mod:`repro.engine.bench` — the performance-regression harness behind
+  ``benchmarks/perf/`` and ``scripts/bench.py``.
+
+``Engine`` (and the bench helpers) are exposed lazily because they build
+on :mod:`repro.core.model`, which itself imports the cache layer from
+this package.
+"""
+
+from repro.engine.cache import AnalysisCache, BlockAnalysis
+
+__all__ = [
+    "ALL_MODES",
+    "AnalysisCache",
+    "BlockAnalysis",
+    "Engine",
+    "ModelSpec",
+    "default_workers",
+    "set_default_workers",
+]
+
+_LAZY = ("Engine", "ModelSpec", "ALL_MODES", "default_workers",
+         "set_default_workers")
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from repro.engine import engine as _engine
+        return getattr(_engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

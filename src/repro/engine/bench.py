@@ -1,0 +1,225 @@
+"""The performance-regression harness (``BENCH_predict.json``).
+
+The harness measures the throughput of Facile prediction, in blocks per
+second, for the engine's three paths on a fixed-seed generated suite:
+
+* ``single``   — seed-equivalent cold predictions (analysis re-derived
+  on every call);
+* ``cached``   — the engine's serial batch path in its steady state
+  (shared :class:`~repro.engine.cache.AnalysisCache`);
+* ``parallel`` — the engine's ``multiprocessing`` pool path, cold.
+
+Reading ``BENCH_predict.json``
+------------------------------
+
+The file is written by ``scripts/bench.py`` (and by the pytest harness
+under ``benchmarks/perf/``).  Layout::
+
+    {
+      "schema": 1,
+      "suite": {"size": ..., "seed": ...},
+      "workers": ...,            # pool size of the parallel path
+      "cpu_count": ...,          # cores of the measuring machine
+      "results": {
+        "<uarch>": {
+          "<mode>": {
+            "<path>": {"blocks_per_sec": ..., "seconds": ..., "n_blocks": ...}
+          }
+        }
+      },
+      "speedups": {
+        "<uarch>": {"<mode>": {"cached_vs_single": ...,
+                                "parallel_vs_single": ...}}
+      }
+    }
+
+``cached_vs_single`` is the headline number: how much faster repeated
+suite evaluation (the ablation/counterfactual/variant-sweep regime) is
+than the pre-engine per-call path.  ``parallel_vs_single`` depends on
+the machine's core count; on single-core CI it is expected to be < 1
+(pool overhead with no parallel hardware) and is reported for the
+trajectory, not gated.
+
+Regression gating compares ``blocks_per_sec`` per (µarch, mode) for the
+``single`` and ``cached`` paths against a committed baseline and fails
+on a drop beyond the tolerance (default 20%); the ``parallel`` number
+is recorded but not gated (see :data:`GATED_PATHS`).  Only same-machine
+comparisons are meaningful; the committed baseline tracks the
+repository's CI machine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bhive.suite import BenchmarkSuite
+from repro.core.components import ThroughputMode
+from repro.eval.timing import time_prediction_paths
+from repro.uarch import uarch_by_name
+
+#: Default harness parameters (fixed seed: the suite must be identical
+#: across runs for the trajectory to be comparable).
+DEFAULT_SIZE = 80
+DEFAULT_SEED = 2023
+DEFAULT_UARCHS = ("SKL",)
+DEFAULT_WORKERS = 2
+DEFAULT_TOLERANCE = 0.20
+
+#: Paths measured by the harness.
+PATHS = ("single", "cached", "parallel")
+
+
+def run_perf_harness(size: int = DEFAULT_SIZE, seed: int = DEFAULT_SEED,
+                     uarchs: Sequence[str] = DEFAULT_UARCHS,
+                     modes: Optional[Sequence[ThroughputMode]] = None,
+                     workers: int = DEFAULT_WORKERS,
+                     include_parallel: bool = True) -> Dict:
+    """Measure all paths and return the ``BENCH_predict.json`` payload."""
+    modes = (list(modes) if modes is not None
+             else [ThroughputMode.UNROLLED, ThroughputMode.LOOP])
+    suite = BenchmarkSuite.generate(size, seed)
+
+    results: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = {}
+    speedups: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for abbrev in uarchs:
+        cfg = uarch_by_name(abbrev)
+        results[abbrev] = {}
+        speedups[abbrev] = {}
+        for mode in modes:
+            timings = time_prediction_paths(
+                cfg, suite, mode, workers=workers,
+                include_parallel=include_parallel)
+            results[abbrev][mode.value] = {
+                path: {
+                    "blocks_per_sec": round(t.blocks_per_sec, 2),
+                    "seconds": round(t.seconds, 6),
+                    "n_blocks": t.n_blocks,
+                }
+                for path, t in timings.items()
+            }
+            single = timings["single"]
+            mode_speedups = {}
+            for path in ("cached", "parallel"):
+                if path in timings and timings[path].seconds > 0:
+                    mode_speedups[f"{path}_vs_single"] = round(
+                        single.seconds / timings[path].seconds, 2)
+            speedups[abbrev][mode.value] = mode_speedups
+
+    return {
+        "schema": 1,
+        "suite": {"size": size, "seed": seed},
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "results": results,
+        "speedups": speedups,
+    }
+
+
+def write_bench_json(payload: Dict, path: str) -> None:
+    """Write the harness payload (stable key order, trailing newline)."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_bench_json(path: str) -> Optional[Dict]:
+    """Load a baseline payload; None when absent or unreadable."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+#: Paths the regression gate enforces.  ``parallel`` is recorded for
+#: the trajectory but not gated: it scales with the machine's core
+#: count and, on small CI boxes, is dominated by pool start-up noise.
+GATED_PATHS = ("single", "cached")
+
+
+def comparable(current: Dict, baseline: Dict) -> bool:
+    """Whether two payloads were measured under the same configuration.
+
+    Blocks/sec only compare meaningfully when the suite (size and seed)
+    matches; a size-20 run gated against a size-80 baseline would mix
+    different block-cost distributions.
+    """
+    return current.get("suite") == baseline.get("suite")
+
+
+def find_regressions(current: Dict, baseline: Dict,
+                     tolerance: float = DEFAULT_TOLERANCE,
+                     ) -> List[Tuple[str, str, str, float, float]]:
+    """Compare against a baseline payload.
+
+    Returns (uarch, mode, path, current_bps, baseline_bps) tuples for
+    every gated path (see :data:`GATED_PATHS`) whose blocks/sec dropped
+    more than *tolerance* below the baseline.  Paths absent from either
+    payload are skipped, as is an incomparable baseline (different
+    suite; see :func:`comparable`) — callers should surface that case
+    rather than gate against it.
+    """
+    if not comparable(current, baseline):
+        return []
+    regressions = []
+    for abbrev, mode_value, path, cur_bps, base_bps in \
+            _gated_pairs(current, baseline):
+        if cur_bps < base_bps * (1.0 - tolerance):
+            regressions.append(
+                (abbrev, mode_value, path, cur_bps, base_bps))
+    return regressions
+
+
+def gated_overlap(current: Dict, baseline: Dict) -> int:
+    """How many gated (µarch, mode, path) entries the payloads share.
+
+    Zero means the gate would be vacuous (e.g. the baseline covers a
+    different µarch set): callers should surface that instead of
+    reporting a green check.
+    """
+    if not comparable(current, baseline):
+        return 0
+    return sum(1 for _ in _gated_pairs(current, baseline))
+
+
+def _gated_pairs(current: Dict, baseline: Dict):
+    """Yield (uarch, mode, path, current_bps, baseline_bps) for every
+    gated entry present in both payloads."""
+    for abbrev, by_mode in baseline.get("results", {}).items():
+        for mode_value, by_path in by_mode.items():
+            for path, numbers in by_path.items():
+                if path not in GATED_PATHS:
+                    continue
+                base_bps = numbers.get("blocks_per_sec")
+                cur = (current.get("results", {}).get(abbrev, {})
+                       .get(mode_value, {}).get(path))
+                if base_bps is None or cur is None:
+                    continue
+                cur_bps = cur.get("blocks_per_sec")
+                if cur_bps is not None:
+                    yield abbrev, mode_value, path, cur_bps, base_bps
+
+
+def render_bench(payload: Dict) -> str:
+    """Human-readable table of one harness run."""
+    lines = [f"suite size {payload['suite']['size']} "
+             f"(seed {payload['suite']['seed']}), "
+             f"{payload['workers']} workers, "
+             f"{payload.get('cpu_count')} cpus",
+             f"{'µarch':<6} {'mode':<9} {'path':<9} "
+             f"{'blocks/s':>10} {'speedup':>9}"]
+    for abbrev, by_mode in payload["results"].items():
+        for mode_value, by_path in by_mode.items():
+            for path in PATHS:
+                if path not in by_path:
+                    continue
+                speedup = payload["speedups"][abbrev][mode_value].get(
+                    f"{path}_vs_single")
+                lines.append(
+                    f"{abbrev:<6} {mode_value:<9} {path:<9} "
+                    f"{by_path[path]['blocks_per_sec']:>10.1f} "
+                    + (f"{speedup:>8.2f}x" if speedup is not None
+                       else f"{'—':>9}"))
+    return "\n".join(lines)

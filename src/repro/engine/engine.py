@@ -1,0 +1,332 @@
+"""The batch prediction engine (caching + batching + parallelism).
+
+:class:`Engine` makes whole-suite evaluation the first-class fast path:
+
+* the **serial fast path** routes every prediction through a shared
+  :class:`~repro.engine.cache.AnalysisCache`, so repeated evaluation of a
+  suite (ablation sweeps, counterfactuals, figure regeneration) derives
+  each block's analysis once;
+* the **opt-in parallel path** fans a batch out over a
+  ``multiprocessing`` pool.  Following AnICA's ``PredictorManager``
+  design, tasks are compact, cheaply picklable payloads — the model
+  *specification* plus ``(index, raw block bytes)`` — and every worker
+  process owns its private :class:`~repro.uops.database.UopsDatabase`
+  and analysis cache.  Results are merged deterministically by index,
+  so serial and parallel runs return identical prediction lists.
+
+Workers rebuild blocks with ``BasicBlock.from_bytes``; because the
+analysis cache keys on the raw byte signature, a round-tripped block is
+analyzed identically to the original, which keeps parallel predictions
+byte-identical to the serial path.
+
+Select the worker count with ``n_workers``:
+
+* ``None`` — use the process-wide default (``set_default_workers`` /
+  the ``REPRO_ENGINE_WORKERS`` environment variable; serial if unset);
+* ``0`` — one worker per CPU;
+* ``k > 0`` — exactly *k* workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.components import Component, ThroughputMode
+from repro.core.model import Facile, Prediction
+from repro.engine.cache import AnalysisCache
+from repro.isa.block import BasicBlock
+from repro.uarch import uarch_by_name
+from repro.uarch.config import MicroArchConfig
+from repro.uops.database import UopsDatabase
+
+#: Both throughput notions, in evaluation order.
+ALL_MODES = (ThroughputMode.UNROLLED, ThroughputMode.LOOP)
+
+
+def _env_workers() -> Optional[int]:
+    raw = os.environ.get("REPRO_ENGINE_WORKERS", "").strip().lower()
+    if raw in ("", "none", "serial"):
+        return None
+    try:
+        workers = int(raw)
+    except ValueError:
+        workers = -1
+    if workers < 0:
+        # Runs at import time: fall back to serial rather than crash
+        # every command, including those that never use workers.
+        import warnings
+        warnings.warn(
+            f"ignoring invalid REPRO_ENGINE_WORKERS={raw!r} "
+            "(expected an int >= 0, 'none', or 'serial'); running serial")
+        return None
+    return workers
+
+
+_DEFAULT_WORKERS: Optional[int] = _env_workers()
+
+
+def default_workers() -> Optional[int]:
+    """The process-wide default worker count (None means serial)."""
+    return _DEFAULT_WORKERS
+
+
+def set_default_workers(n_workers: Optional[int]) -> None:
+    """Set the default worker count used by engines created afterwards."""
+    global _DEFAULT_WORKERS
+    _DEFAULT_WORKERS = n_workers
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A picklable description of a Facile variant.
+
+    This is what travels to worker processes instead of a live model:
+    rebuilding the model from the spec inside the worker (with the
+    worker's own database and cache) is cheap, while pickling a model
+    would drag the whole µarch configuration and caches along.
+
+    Components are stored by value (strings) to keep the payload small
+    and stable under pickling.
+    """
+
+    uarch: str
+    simple_predec: bool = False
+    simple_dec: bool = False
+    components: Optional[Tuple[str, ...]] = None
+    exclude: Tuple[str, ...] = ()
+
+    def build(self, db: Optional[UopsDatabase] = None,
+              cache: Optional[AnalysisCache] = None) -> Facile:
+        """Instantiate the described model."""
+        cfg = uarch_by_name(self.uarch)
+        components = (None if self.components is None
+                      else {Component(v) for v in self.components})
+        return Facile(cfg, db=db, cache=cache,
+                      simple_predec=self.simple_predec,
+                      simple_dec=self.simple_dec,
+                      components=components,
+                      exclude={Component(v) for v in self.exclude})
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side
+# ---------------------------------------------------------------------------
+
+#: Per-process model memo: each worker builds one Facile (with its own
+#: database and analysis cache) per distinct spec and reuses it for the
+#: whole batch.
+_WORKER_MODELS: Dict[ModelSpec, Facile] = {}
+
+#: Per-process databases for measurement tasks (one per µarch).
+_WORKER_DBS: Dict[str, UopsDatabase] = {}
+
+_Task = Tuple[ModelSpec, int, bytes, str]
+
+
+def _predict_task(task: _Task) -> Tuple[int, Prediction]:
+    """Predict one compact payload inside a worker process."""
+    spec, index, raw, mode_value = task
+    model = _WORKER_MODELS.get(spec)
+    if model is None:
+        model = spec.build()
+        _WORKER_MODELS[spec] = model
+    block = BasicBlock.from_bytes(raw)
+    return index, model.predict(block, ThroughputMode(mode_value))
+
+
+def _measure_task(task: Tuple[str, int, bytes, str]) -> Tuple[int, float]:
+    """Run the oracle simulator on one compact payload in a worker."""
+    from repro.sim.measure import measure
+
+    abbrev, index, raw, mode_value = task
+    db = _WORKER_DBS.get(abbrev)
+    if db is None:
+        db = UopsDatabase(uarch_by_name(abbrev))
+        _WORKER_DBS[abbrev] = db
+    block = BasicBlock.from_bytes(raw)
+    return index, measure(block, db.cfg, ThroughputMode(mode_value), db)
+
+
+def _pool_context():
+    """Prefer fork (cheap, shares the imported package); fall back to the
+    platform default where fork is unavailable."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+class Engine:
+    """Batch prediction engine for one Facile variant on one µarch.
+
+    Args:
+        cfg: the target microarchitecture (must be a registered one when
+            the parallel path is used, so workers can rebuild it by name).
+        db / cache: optionally shared database and analysis cache.
+        n_workers: parallelism (see module docstring).
+        chunksize: payloads per pool task on the parallel path.
+        simple_predec / simple_dec / components / exclude: the Facile
+            variant, as in :class:`~repro.core.model.Facile`.
+
+    The engine can be used as a context manager; ``close()`` shuts the
+    worker pool down.
+    """
+
+    def __init__(self, cfg: MicroArchConfig, *,
+                 db: Optional[UopsDatabase] = None,
+                 cache: Optional[AnalysisCache] = None,
+                 n_workers: Optional[int] = None,
+                 chunksize: int = 16,
+                 simple_predec: bool = False,
+                 simple_dec: bool = False,
+                 components: Optional[Iterable[Component]] = None,
+                 exclude: Iterable[Component] = ()):
+        self.cfg = cfg
+        self.spec = ModelSpec(
+            uarch=cfg.abbrev,
+            simple_predec=simple_predec,
+            simple_dec=simple_dec,
+            components=(None if components is None
+                        else tuple(sorted(c.value for c in components))),
+            exclude=tuple(sorted(c.value for c in exclude)),
+        )
+        self.db = db or UopsDatabase(cfg)
+        self.cache = cache if cache is not None \
+            else AnalysisCache.shared(self.db)
+        self.model = Facile(
+            cfg, db=self.db, cache=self.cache,
+            simple_predec=simple_predec, simple_dec=simple_dec,
+            components=components, exclude=exclude)
+        self.n_workers = (n_workers if n_workers is not None
+                          else default_workers())
+        if self.n_workers is not None and self.n_workers < 0:
+            raise ValueError(
+                "n_workers must be >= 0 (0 = one per CPU, None = serial)")
+        self.chunksize = max(1, chunksize)
+        self._pool = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, trace) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op if none was started)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    @property
+    def parallel(self) -> bool:
+        """Whether batches will be fanned out over a worker pool."""
+        return self.n_workers is not None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            n = self.n_workers
+            if n == 0:
+                n = os.cpu_count() or 1
+            if uarch_by_name(self.cfg.abbrev) != self.cfg:
+                raise ValueError(
+                    f"parallel prediction requires a registered µarch; "
+                    f"{self.cfg.abbrev!r} does not match the registry")
+            self._pool = _pool_context().Pool(n)
+        return self._pool
+
+    # -- prediction ----------------------------------------------------
+
+    def predict(self, block: BasicBlock, mode: ThroughputMode) -> Prediction:
+        """Predict one block (always in-process, cached)."""
+        return self.model.predict(block, mode)
+
+    def predict_many(self, blocks: Sequence[BasicBlock],
+                     mode: ThroughputMode) -> List[Prediction]:
+        """Predict a whole batch, preserving input order.
+
+        Serial unless the engine was configured with workers; both paths
+        return identical predictions (the parallel merge is by index).
+        """
+        blocks = list(blocks)
+        if not self.parallel or len(blocks) <= 1:
+            return self.model.predict_many(blocks, mode)
+
+        pool = self._ensure_pool()
+        tasks: List[_Task] = [
+            (self.spec, index, block.raw, mode.value)
+            for index, block in enumerate(blocks)
+        ]
+        results: List[Optional[Prediction]] = [None] * len(blocks)
+        for index, prediction in pool.imap_unordered(
+                _predict_task, tasks, chunksize=self.chunksize):
+            results[index] = prediction
+        return results  # type: ignore[return-value]
+
+    def predict_suite(self, suite, modes: Optional[Sequence[ThroughputMode]]
+                      = None) -> Dict[ThroughputMode, List[Prediction]]:
+        """Predict every benchmark of a suite under each mode.
+
+        The suite's benchmarks provide ``block(loop)`` variants (BHiveU /
+        BHiveL), matching how the evaluation layer consumes them.
+        """
+        modes = list(modes) if modes is not None else list(ALL_MODES)
+        out: Dict[ThroughputMode, List[Prediction]] = {}
+        for mode in modes:
+            loop = mode is ThroughputMode.LOOP
+            out[mode] = self.predict_many(
+                [bench.block(loop) for bench in suite], mode)
+        return out
+
+
+def measure_many(cfg: MicroArchConfig, blocks: Sequence[BasicBlock],
+                 mode: ThroughputMode, *, n_workers: int,
+                 chunksize: int = 4) -> List[float]:
+    """Oracle-simulator measurements of a batch, over a worker pool.
+
+    The measurement side of suite evaluation is by far its slowest part
+    (cycle-level simulation); this fans it out the same way as
+    :meth:`Engine.predict_many` — compact ``(index, raw bytes)``
+    payloads, per-worker databases, deterministic merge by index.
+
+    The process-wide measurement cache of :mod:`repro.sim.measure` is
+    consulted first and refilled with the workers' results, so repeated
+    suite evaluations stay free regardless of which path measured them.
+    """
+    from repro.sim.measure import cached_measurement, store_measurement
+
+    if n_workers < 0:
+        raise ValueError("n_workers must be >= 0 (0 = one per CPU)")
+    if uarch_by_name(cfg.abbrev) != cfg:
+        raise ValueError(
+            f"parallel measurement requires a registered µarch; "
+            f"{cfg.abbrev!r} does not match the registry")
+    if n_workers == 0:
+        n_workers = os.cpu_count() or 1
+
+    results: List[Optional[float]] = [
+        cached_measurement(block, cfg, mode) for block in blocks]
+    tasks = [(cfg.abbrev, index, block.raw, mode.value)
+             for index, block in enumerate(blocks)
+             if results[index] is None]
+    if tasks:
+        with _pool_context().Pool(n_workers) as pool:
+            for index, cycles in pool.imap_unordered(
+                    _measure_task, tasks, chunksize=max(1, chunksize)):
+                results[index] = cycles
+                store_measurement(blocks[index], cfg, mode, cycles)
+    return results  # type: ignore[return-value]

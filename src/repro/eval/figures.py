@@ -93,11 +93,12 @@ def optimism_fraction(suite: BenchmarkSuite, uarch: str = "RKL",
     measured = measured_suite(suite, cfg, mode, db)
     model = Facile(cfg, db=db)
     loop = mode is ThroughputMode.LOOP
-    good = 0
-    for bench, m in zip(suite, measured):
-        if model.predict(bench.block(loop), mode).cycles <= m + 1e-9:
-            good += 1
-    return good / len(suite)
+    predictions = model.predict_many(
+        [bench.block(loop) for bench in suite], mode)
+    return sum(
+        1 for prediction, m in zip(predictions, measured)
+        if prediction.cycles <= m + 1e-9
+    ) / len(suite)
 
 
 # ---------------------------------------------------------------------------
@@ -159,8 +160,9 @@ def bottleneck_shares(suite: BenchmarkSuite,
     """TPU bottleneck counts per component."""
     model = Facile(cfg)
     counts = {comp.value: 0 for comp in _PRIORITY}
-    for bench in suite:
-        prediction = model.predict_unrolled(bench.block_u)
+    predictions = model.predict_many([bench.block_u for bench in suite],
+                                     ThroughputMode.UNROLLED)
+    for prediction in predictions:
         counts[primary_bottleneck(prediction).value] += 1
     return counts
 
@@ -176,12 +178,14 @@ def figure6_bottleneck_evolution(
     shares on both sides.
     """
     assignments: Dict[str, List[Component]] = {}
+    blocks = [bench.block_u for bench in suite]
     for abbr in uarch_names:
         cfg = uarch_by_name(abbr)
         model = Facile(cfg)
         assignments[abbr] = [
-            primary_bottleneck(model.predict_unrolled(bench.block_u))
-            for bench in suite
+            primary_bottleneck(prediction)
+            for prediction in model.predict_many(
+                blocks, ThroughputMode.UNROLLED)
         ]
 
     flows = []

@@ -35,10 +35,30 @@ class EvaluationResult:
 
 def measured_suite(suite: BenchmarkSuite, cfg: MicroArchConfig,
                    mode: ThroughputMode,
-                   db: Optional[UopsDatabase] = None) -> List[float]:
-    """Oracle measurements for the whole suite (cached per block)."""
-    db = db or UopsDatabase(cfg)
+                   db: Optional[UopsDatabase] = None,
+                   n_workers: Optional[int] = None) -> List[float]:
+    """Oracle measurements for the whole suite (cached per block).
+
+    When a worker count is given — or a process-wide engine default is
+    configured — the cycle-level simulations fan out over a pool, which
+    is where most of a full-suite evaluation's wall-clock goes.
+    """
+    from repro.engine.engine import default_workers, measure_many
+    from repro.uarch import uarch_by_name
+
     loop = mode is ThroughputMode.LOOP
+    workers = n_workers if n_workers is not None else default_workers()
+    if workers is not None and len(suite) > 1:
+        try:
+            registered = uarch_by_name(cfg.abbrev) == cfg
+        except KeyError:
+            registered = False
+        if registered:
+            return measure_many(cfg, [b.block(loop) for b in suite],
+                                mode, n_workers=workers)
+        # Custom configs cannot be rebuilt by name inside workers:
+        # measure serially rather than fail.
+    db = db or UopsDatabase(cfg)
     return [measure(b.block(loop), cfg, mode, db) for b in suite]
 
 
@@ -46,13 +66,19 @@ def evaluate_predictor(predictor, suite: BenchmarkSuite,
                        mode: ThroughputMode,
                        measured: Optional[List[float]] = None,
                        ) -> EvaluationResult:
-    """Run one predictor over the suite and pair it with measurements."""
+    """Run one predictor over the suite and pair it with measurements.
+
+    The suite is predicted as one batch via ``predictor.predict_many``,
+    which lets engine-backed predictors share analyses and fan out over
+    worker processes; plain predictors fall back to a serial loop.
+    """
     cfg = predictor.cfg
     loop = mode is ThroughputMode.LOOP
     if measured is None:
         measured = measured_suite(suite, cfg, mode, predictor.db)
     predictor.prepare()
-    predicted = [predictor.predict(b.block(loop), mode) for b in suite]
+    predicted = predictor.predict_many([b.block(loop) for b in suite],
+                                       mode)
     return EvaluationResult(predictor.name, cfg.abbrev, mode,
                             measured, predicted)
 

@@ -152,22 +152,25 @@ def table3(suite: BenchmarkSuite,
     DSB plays no role) are None, matching the paper's empty cells.
     """
     rows: List[Table3Row] = []
+    blocks = {mode: [bench.block(mode is ThroughputMode.LOOP)
+                     for bench in suite] for mode in _MODES}
     for abbr in uarch_names:
         cfg = uarch_by_name(abbr)
         db = UopsDatabase(cfg)
         measured = {mode: measured_suite(suite, cfg, mode, db)
                     for mode in _MODES}
+        # All variants share *db* and therefore one analysis cache: each
+        # block is analyzed once for the whole seventeen-variant sweep.
         for name, model in _variant_models(cfg, db):
             cells: Dict[ThroughputMode, Tuple[Optional[float],
                                               Optional[float]]] = {}
             for mode in _MODES:
-                loop = mode is ThroughputMode.LOOP
                 # Variants that cannot bound a block predict 0 cycles,
                 # like a crashed/timed-out tool in the paper's protocol
                 # (this is what produces the "only DSB" 100%-MAPE row).
                 predictions = [
-                    model.predict(bench.block(loop), mode).cycles
-                    for bench in suite
+                    p.cycles
+                    for p in model.predict_many(blocks[mode], mode)
                 ]
                 cells[mode] = (mape(measured[mode], predictions),
                                kendall_tau(measured[mode], predictions))

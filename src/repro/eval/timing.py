@@ -21,6 +21,8 @@ from repro.core.components import (
     UNROLLED_COMPONENTS,
 )
 from repro.core.model import Facile
+from repro.engine.cache import AnalysisCache
+from repro.engine.engine import Engine
 from repro.isa.block import BasicBlock
 from repro.uarch.config import MicroArchConfig
 from repro.uops.database import UopsDatabase
@@ -45,12 +47,27 @@ class TimingResult:
 
 def time_predictor(predictor, suite: BenchmarkSuite,
                    mode: ThroughputMode) -> TimingResult:
-    """Time one predictor over the suite (prediction only, no training)."""
+    """Time one predictor over the suite (prediction only, no training).
+
+    Block-level caches (shared analyses, the global Ports memo) are
+    dropped first: tools share databases during evaluation, and timing a
+    tool against caches warmed by a previously timed tool would
+    understate its per-call cost (Figure 5 compares tools' runtimes).
+    The per-instruction characterization cache stays warm, as in the
+    seed setup.
+    """
+    from repro.core.ports import clear_ports_memo
+
     predictor.prepare()
+    for db in predictor.databases():
+        AnalysisCache.shared(db).clear()
     loop = mode is ThroughputMode.LOOP
     samples = []
     for bench in suite:
         raw = bench.block(loop).raw
+        # Per sample, as in time_facile_components: repeated port
+        # multisets across blocks must not be served from the memo.
+        clear_ports_memo()
         start = time.perf_counter()
         # Like the real tools, the input is a binary: decoding is part of
         # the measured work.
@@ -69,27 +86,131 @@ def time_facile_components(cfg: MicroArchConfig, suite: BenchmarkSuite,
     The overhead (disassembly, block analysis, combination) is measured
     with all components deactivated; each component's cost is the
     single-component run minus that overhead.
+
+    Every variant runs with its own fresh analysis cache: sharing the
+    engine's cache across variants would make every run after the first
+    measure a cache lookup instead of the component's cost.
     """
     db = db or UopsDatabase(cfg)
     loop = mode is ThroughputMode.LOOP
     relevant = (LOOP_COMPONENTS if loop else UNROLLED_COMPONENTS)
 
     def run(model: Facile) -> List[float]:
+        # The global Ports memo would otherwise turn repeated multisets
+        # (across variants *and* across blocks within this run) into
+        # lookups — drop it before every sample so each prediction pays
+        # the full per-call price the seed code measured.
+        from repro.core.ports import clear_ports_memo
         samples = []
         for bench in suite:
             raw = bench.block(loop).raw
+            clear_ports_memo()
             start = time.perf_counter()
             block = BasicBlock.from_bytes(raw)
             model.predict(block, mode)
             samples.append(1000.0 * (time.perf_counter() - start))
         return samples
 
+    def fresh(**kwargs) -> Facile:
+        return Facile(cfg, db=db, cache=AnalysisCache(db), **kwargs)
+
     results: Dict[str, TimingResult] = {}
-    results["FACILE"] = TimingResult("FACILE", run(Facile(cfg, db=db)))
-    overhead = run(Facile(cfg, db=db, components=()))
+    results["FACILE"] = TimingResult("FACILE", run(fresh()))
+    overhead = run(fresh(components=()))
     results["Overhead"] = TimingResult("Overhead", overhead)
     for comp in relevant:
-        samples = run(Facile(cfg, db=db, components={comp}))
+        samples = run(fresh(components={comp}))
         deducted = [max(0.0, s - o) for s, o in zip(samples, overhead)]
         results[comp.value] = TimingResult(comp.value, deducted)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Engine path timing (the perf-regression harness's measurement kernel)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PathTiming:
+    """Wall-clock of one prediction path over a suite.
+
+    Attributes:
+        path: ``"single"``, ``"cached"``, or ``"parallel"``.
+        n_blocks: number of blocks predicted in the timed pass.
+        seconds: wall-clock of the timed pass.
+    """
+
+    path: str
+    n_blocks: int
+    seconds: float
+
+    @property
+    def blocks_per_sec(self) -> float:
+        if self.seconds <= 0.0:
+            return float("inf")
+        return self.n_blocks / self.seconds
+
+
+def time_prediction_paths(cfg: MicroArchConfig, suite: BenchmarkSuite,
+                          mode: ThroughputMode, *,
+                          workers: int = 2,
+                          include_parallel: bool = True,
+                          ) -> Dict[str, PathTiming]:
+    """Blocks/sec of the three engine paths on one (µarch, mode).
+
+    * ``single`` — the seed-equivalent one-shot path: each block is
+      decoded from bytes and predicted with a cold analysis cache, i.e.
+      every call re-derives the full analysis (this is what every
+      ``predict()`` cost before the engine existed).
+    * ``cached`` — the engine's serial batch path in its steady state:
+      the suite was evaluated once to warm the shared cache, and the
+      timed pass measures repeated evaluation (the ablation /
+      counterfactual / multi-variant regime).
+    * ``parallel`` — the engine's pool path, cold: compact payloads are
+      shipped to *workers* processes which decode, analyze, and predict,
+      results merged by index.  Includes pool start-up, so it reflects
+      what a fresh parallel suite evaluation costs end to end.
+    """
+    from repro.core.ports import clear_ports_memo
+
+    loop = mode is ThroughputMode.LOOP
+    raws = [bench.block(loop).raw for bench in suite]
+    results: Dict[str, PathTiming] = {}
+
+    # -- single-block path (seed-style cold predictions) ---------------
+    db = UopsDatabase(cfg)
+    cache = AnalysisCache(db)
+    model = Facile(cfg, db=db, cache=cache)
+    start = time.perf_counter()
+    for raw in raws:
+        # The seed path had no memoization at all: drop both the block
+        # cache and the global Ports memo before every call.
+        cache.clear()
+        clear_ports_memo()
+        model.predict(BasicBlock.from_bytes(raw), mode)
+    results["single"] = PathTiming("single", len(raws),
+                                   time.perf_counter() - start)
+
+    # -- cached batch path (warm shared cache, serial by construction:
+    # going through Engine here would inherit the process-wide worker
+    # default and silently measure the pool instead) -------------------
+    blocks = [BasicBlock.from_bytes(raw) for raw in raws]
+    warm_db = UopsDatabase(cfg)
+    warm_model = Facile(cfg, db=warm_db, cache=AnalysisCache(warm_db))
+    warm_model.predict_many(blocks, mode)  # warm-up pass fills the cache
+    start = time.perf_counter()
+    warm_model.predict_many(blocks, mode)
+    results["cached"] = PathTiming("cached", len(blocks),
+                                   time.perf_counter() - start)
+
+    # -- parallel batch path (cold pool) -------------------------------
+    if include_parallel:
+        # Workers are forked from this process: drop the warm Ports memo
+        # so they start as cold as a fresh parallel evaluation would.
+        clear_ports_memo()
+        with Engine(cfg, db=UopsDatabase(cfg),
+                    n_workers=workers) as parallel_engine:
+            start = time.perf_counter()
+            parallel_engine.predict_many(blocks, mode)
+            results["parallel"] = PathTiming(
+                "parallel", len(blocks), time.perf_counter() - start)
     return results

@@ -56,6 +56,19 @@ def measure_suite(blocks: Sequence[BasicBlock], cfg: MicroArchConfig,
             for block in blocks]
 
 
+def cached_measurement(block: BasicBlock, cfg: MicroArchConfig,
+                       mode: ThroughputMode) -> Optional[float]:
+    """The cached measurement of *block*, or None when not yet measured."""
+    return _CACHE.get((block.raw, cfg.abbrev, mode.value))
+
+
+def store_measurement(block: BasicBlock, cfg: MicroArchConfig,
+                      mode: ThroughputMode, cycles: float) -> None:
+    """Insert an externally produced measurement (e.g. from the engine's
+    worker pool) into the process-wide cache."""
+    _CACHE[(block.raw, cfg.abbrev, mode.value)] = cycles
+
+
 def clear_cache() -> None:
     """Drop all cached measurements (for tests)."""
     _CACHE.clear()

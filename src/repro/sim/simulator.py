@@ -7,6 +7,7 @@ from typing import Dict, List, Optional
 from repro.core.components import ThroughputMode
 from repro.core.jcc import affected_by_jcc_erratum
 from repro.core.lsd import lsd_fits
+from repro.engine.cache import AnalysisCache
 from repro.isa.block import BasicBlock
 from repro.sim.backend import BackEnd, SimOptions
 from repro.sim.frontend import (
@@ -17,7 +18,6 @@ from repro.sim.frontend import (
 )
 from repro.sim.uop import expand_macro_op
 from repro.uarch.config import MicroArchConfig
-from repro.uops.blockinfo import analyze_block, macro_ops
 from repro.uops.database import UopsDatabase
 
 
@@ -47,8 +47,11 @@ class Simulator:
                  iterations: int) -> Dict[int, int]:
         """Run *iterations* repetitions; return iteration → retire cycle."""
         cfg = self.cfg
-        analyzed = analyze_block(block, cfg, self.db)
-        ops = macro_ops(analyzed, cfg)
+        # Shared with the analytical model and every other consumer of
+        # this database: the block is characterized at most once.
+        analysis = AnalysisCache.shared(self.db).analysis(block)
+        analyzed = analysis.analyzed
+        ops = analysis.ops
         expanded = [expand_macro_op(op, cfg) for op in ops]
         fused_counts = [len(e.fused) for e in expanded]
 
