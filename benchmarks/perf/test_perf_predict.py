@@ -1,7 +1,8 @@
-"""Perf harness: blocks/sec of the engine's three prediction paths.
+"""Perf harness: blocks/sec of the engine's prediction paths.
 
 This bench runs the same measurement kernel as ``scripts/bench.py``
-(single-block, cached-batch, parallel-batch) on the fixed-seed suite.
+(single-block, cached-batch, parallel-batch, and the HTTP service
+under concurrent bulk clients) on the fixed-seed suite.
 Set ``REPRO_BENCH_WRITE=1`` to also refresh ``BENCH_predict.json`` at
 the repository root; by default the payload is written to a temporary
 file only, so plain test runs never clobber the committed baseline with
@@ -51,6 +52,19 @@ def test_payload_structure(payload):
             for numbers in by_path.values():
                 assert numbers["blocks_per_sec"] > 0
                 assert numbers["n_blocks"] == SIZE
+
+
+def test_service_throughput_recorded(payload):
+    # The service load generator (concurrent bulk-predict clients over
+    # a real socket) must land in the payload; no speed floor is
+    # asserted — per-request HTTP overhead dominates on tiny suites.
+    for abbrev in bench_mod.DEFAULT_UARCHS:
+        for mode in ("unrolled", "loop"):
+            service = payload["results"][abbrev][mode]["service"]
+            assert service["blocks_per_sec"] > 0
+            speedups = payload["speedups"][abbrev][mode]
+            assert "service_vs_single" in speedups
+    assert payload["service_clients"] == bench_mod.DEFAULT_SERVICE_CLIENTS
 
 
 def test_cached_batch_is_faster_than_single(payload):

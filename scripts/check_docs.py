@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Keep the documentation suite mechanically honest.
+
+Checks, over ``README.md`` and every ``docs/*.md``:
+
+1. **Internal links resolve** — every relative markdown link
+   ``[text](path)`` points at a file or directory that exists
+   (anchors are stripped; external ``http(s)``/``mailto`` links and
+   pure in-page anchors are skipped).
+2. **CLI coverage** — every ``facile`` subcommand registered in
+   :func:`repro.cli.build_parser` (``predict``, ``table*``,
+   ``figure*``, ``bench``, ``serve``, …) is mentioned in the README,
+   so a new subcommand cannot ship undocumented.
+
+Run directly (exits non-zero and lists problems on failure)::
+
+    python scripts/check_docs.py
+
+or through the test suite (``tests/test_docs.py``).
+"""
+
+import os
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                         ".."))
+
+#: Markdown inline links: [text](target).  Deliberately simple — the
+#: docs do not use reference-style links or angle-bracket targets.
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+
+#: Link targets that are not files to resolve.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root: str = REPO_ROOT) -> List[str]:
+    """The documentation set: README.md plus everything under docs/."""
+    files = []
+    readme = os.path.join(root, "README.md")
+    if os.path.exists(readme):
+        files.append(readme)
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        files.extend(os.path.join(docs_dir, name)
+                     for name in sorted(os.listdir(docs_dir))
+                     if name.endswith(".md"))
+    return files
+
+
+def extract_links(text: str) -> List[str]:
+    """All inline link targets of a markdown document."""
+    return LINK_RE.findall(text)
+
+
+def broken_links(path: str) -> List[Tuple[str, str]]:
+    """(target, reason) for every unresolvable internal link of *path*."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    problems = []
+    for target in extract_links(text):
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:  # pure in-page anchor
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), file_part))
+        if not os.path.exists(resolved):
+            problems.append((target, f"resolves to missing {resolved}"))
+    return problems
+
+
+def cli_subcommands() -> List[str]:
+    """Every subcommand name registered on the ``facile`` parser."""
+    import argparse
+
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.cli import build_parser
+
+    for action in build_parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return list(action.choices)
+    raise AssertionError("facile parser has no subparsers?")
+
+
+def undocumented_subcommands(readme_path: str,
+                             commands: Iterable[str]) -> List[str]:
+    """Subcommands not mentioned as ``facile <name>`` in the README."""
+    with open(readme_path, encoding="utf-8") as handle:
+        text = handle.read()
+    return [name for name in commands
+            if not re.search(rf"facile\s+{re.escape(name)}\b", text)]
+
+
+def run_checks(root: str = REPO_ROOT) -> List[str]:
+    """All problems found across the documentation set (empty = pass)."""
+    problems = []
+    files = markdown_files(root)
+    if not files:
+        return [f"no documentation files found under {root}"]
+    readme = os.path.join(root, "README.md")
+    if readme not in files:
+        problems.append("README.md is missing")
+    for path in files:
+        rel = os.path.relpath(path, root)
+        for target, reason in broken_links(path):
+            problems.append(f"{rel}: broken link {target!r} ({reason})")
+    if readme in files:
+        for name in undocumented_subcommands(readme, cli_subcommands()):
+            problems.append(
+                f"README.md: CLI subcommand {name!r} is undocumented "
+                f"(expected the text 'facile {name}')")
+    return problems
+
+
+def main() -> int:
+    problems = run_checks()
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    files = len(markdown_files())
+    commands = len(cli_subcommands())
+    print(f"check_docs: OK ({files} files, {commands} CLI subcommands "
+          "documented, all internal links resolve)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,10 @@ Examples::
     facile table4 --size 50
     facile figure6 --size 100
     facile bench --size 80 --check
+    facile serve --port 8000 --uarch SKL --workers 2
+
+Every subcommand is documented in ``README.md``; the service endpoints
+behind ``facile serve`` are specified in ``docs/SERVICE.md``.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ import sys
 from typing import List, Optional
 
 from repro.bhive.suite import default_suite
+from repro.engine.batching import DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT_MS
 from repro.core.components import Component, ThroughputMode
 from repro.core.counterfactual import idealized_speedup
 from repro.core.model import Facile
@@ -153,7 +158,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         size=args.size, seed=args.seed, uarchs=uarchs,
         workers=(args.workers if args.workers is not None
                  else bench_mod.DEFAULT_WORKERS),
-        include_parallel=not args.no_parallel)
+        include_parallel=not args.no_parallel,
+        include_service=not args.no_service)
     print(bench_mod.render_bench(payload))
     bench_mod.write_bench_json(payload, args.output)
     print(f"wrote {args.output}")
@@ -183,6 +189,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                   f"(baseline {base:.1f})", file=sys.stderr)
         return 1
     print("no perf regressions against baseline")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP prediction service until interrupted."""
+    from repro.service.server import PredictionService
+
+    try:
+        uarch_by_name(args.uarch)
+    except KeyError:
+        print(f"unknown µarch {args.uarch!r} (see `facile table1`)",
+              file=sys.stderr)
+        return 2
+    try:
+        service = PredictionService(
+            uarch=args.uarch, host=args.host, port=args.port,
+            n_workers=args.workers, max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms)
+    except (ValueError, OSError) as exc:
+        print(f"facile serve: {exc}", file=sys.stderr)
+        return 2
+    # Report the *effective* worker count: with --workers omitted the
+    # engines inherit the process-wide default (REPRO_ENGINE_WORKERS /
+    # set_default_workers), which the service resolves at construction.
+    workers = ("serial" if service.n_workers is None
+               else f"{service.n_workers} workers"
+               if service.n_workers else "one worker per CPU")
+    print(f"facile serve: http://{service.host}:{service.port}  "
+          f"(default µarch {args.uarch}, {workers}, "
+          f"micro-batch <= {args.max_batch} / {args.max_wait_ms} ms)")
+    print("endpoints: GET /health /stats; "
+          "POST /predict /predict/bulk /compare  (docs/SERVICE.md)")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        service.close()
     return 0
 
 
@@ -257,14 +301,46 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-parallel", action="store_true",
                        help="skip the parallel path (e.g. on CI without "
                             "fork)")
+    bench.add_argument("--no-service", action="store_true",
+                       help="skip the service-path measurement")
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP prediction service "
+                      "(see docs/SERVICE.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="TCP port (0 = pick an ephemeral port)")
+    serve.add_argument("--uarch", default="SKL",
+                       help="default µarch for requests that omit one")
+    serve.add_argument("--workers", type=_workers_arg, default=None,
+                       help="engine worker processes per µarch "
+                            "(0 = one per CPU; default serial)")
+    serve.add_argument("--max-batch", type=int,
+                       default=DEFAULT_MAX_BATCH,
+                       help="micro-batch window size (requests)")
+    serve.add_argument("--max-wait-ms", type=float,
+                       default=DEFAULT_MAX_WAIT_MS,
+                       help="micro-batch window timeout (milliseconds)")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Parse *argv* (default: ``sys.argv``) and run one subcommand.
+
+    Returns the process exit code: 0 on success, 1 on a failed check
+    (e.g. a ``bench`` regression), 2 on bad arguments.
+    """
     args = build_parser().parse_args(argv)
     return args.func(args)
 
 
-if __name__ == "__main__":
+def main_entry() -> None:
+    """Console-script entry point (the installed ``facile`` command)."""
     sys.exit(main())
+
+
+if __name__ == "__main__":
+    main_entry()

@@ -203,7 +203,24 @@ class Facile:
 
     def predict(self, block: BasicBlock,
                 mode: ThroughputMode) -> Prediction:
-        """Predict the throughput of *block* under *mode*."""
+        """Predict the throughput of *block* under *mode*.
+
+        Computes every enabled component bound (through the shared
+        :class:`~repro.engine.cache.AnalysisCache`, so repeated calls
+        on equal-byte blocks reuse the derived analysis) and combines
+        them with ``max`` — Eq. 1 for
+        :attr:`~repro.core.components.ThroughputMode.UNROLLED`,
+        Eqs. 2-3 for
+        :attr:`~repro.core.components.ThroughputMode.LOOP`.  The
+        returned :class:`Prediction` carries the full interpretable
+        decomposition: per-component bounds, the bottleneck set, the
+        front-end path taken, and the critical instructions.
+
+        For batches, prefer :meth:`predict_many` or the engine layer
+        (:class:`repro.engine.Engine`); for serving concurrent
+        callers, the prediction service (``facile serve``) wraps this
+        through :class:`repro.engine.MicroBatcher`.
+        """
         analysis = self.cache.analysis(block)
         block = analysis.block
         analyzed = analysis.analyzed

@@ -8,12 +8,15 @@ The engine has three layers (see the module docstrings for details):
 * :mod:`repro.engine.engine` — :class:`Engine`, the batch front end with
   a serial fast path and an opt-in ``multiprocessing`` pool shipping
   compact picklable payloads to workers;
+* :mod:`repro.engine.batching` — :class:`MicroBatcher`, the time/size-
+  windowed queue that merges concurrent single-block requests (the
+  prediction service's traffic) into ``Engine.predict_many`` calls;
 * :mod:`repro.engine.bench` — the performance-regression harness behind
   ``benchmarks/perf/`` and ``scripts/bench.py``.
 
-``Engine`` (and the bench helpers) are exposed lazily because they build
-on :mod:`repro.core.model`, which itself imports the cache layer from
-this package.
+``Engine``, ``MicroBatcher``, and the bench helpers are exposed lazily
+because they build on :mod:`repro.core.model`, which itself imports the
+cache layer from this package.
 """
 
 from repro.engine.cache import AnalysisCache, BlockAnalysis
@@ -23,17 +26,25 @@ __all__ = [
     "AnalysisCache",
     "BlockAnalysis",
     "Engine",
+    "MicroBatcher",
     "ModelSpec",
     "default_workers",
     "set_default_workers",
 ]
 
-_LAZY = ("Engine", "ModelSpec", "ALL_MODES", "default_workers",
-         "set_default_workers")
+_LAZY = {
+    "Engine": "repro.engine.engine",
+    "ModelSpec": "repro.engine.engine",
+    "ALL_MODES": "repro.engine.engine",
+    "default_workers": "repro.engine.engine",
+    "set_default_workers": "repro.engine.engine",
+    "MicroBatcher": "repro.engine.batching",
+}
 
 
 def __getattr__(name):
-    if name in _LAZY:
-        from repro.engine import engine as _engine
-        return getattr(_engine, name)
+    module = _LAZY.get(name)
+    if module is not None:
+        import importlib
+        return getattr(importlib.import_module(module), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

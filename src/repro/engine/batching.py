@@ -1,0 +1,203 @@
+"""Time/size-windowed micro-batching onto :meth:`Engine.predict_many`.
+
+The prediction service accepts requests from many concurrent clients,
+but the engine's fast path is a *batch* call: one thread walking a list
+of blocks through the shared :class:`~repro.engine.cache.AnalysisCache`
+(or fanning it out over the worker pool).  :class:`MicroBatcher`
+bridges the two worlds:
+
+* client threads :meth:`submit` single ``(block, mode)`` requests and
+  receive a :class:`concurrent.futures.Future`;
+* one dispatcher thread drains the queue in windows — a batch closes as
+  soon as it holds ``max_batch`` requests *or* ``max_wait_ms`` elapsed
+  since the window opened, whichever comes first — groups the window by
+  mode, and resolves each group with one ``Engine.predict_many`` call.
+
+Because the dispatcher is the only thread that touches the engine, the
+(unsynchronized) analysis cache is never accessed concurrently, and the
+predictions handed back are exactly what a serial
+``Engine.predict_many`` over the same blocks would return — batching
+changes latency and throughput, never results.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.components import ThroughputMode
+from repro.core.model import Prediction
+from repro.isa.block import BasicBlock
+
+#: Default batching window (requests / milliseconds).
+DEFAULT_MAX_BATCH = 64
+DEFAULT_MAX_WAIT_MS = 5.0
+
+
+class MicroBatcher:
+    """Merge concurrent single-block requests into engine batch calls.
+
+    Args:
+        engine: any object with a ``predict_many(blocks, mode)`` method
+            (normally a :class:`~repro.engine.engine.Engine`).
+        max_batch: maximum requests per dispatch window (>= 1).
+        max_wait_ms: how long an open window waits for more requests
+            before dispatching what it has.  ``0`` dispatches eagerly —
+            useful in tests that want deterministic single-request
+            batches.
+
+    Use as a context manager or call :meth:`close`; submitting to a
+    closed batcher raises :class:`RuntimeError`, while requests already
+    queued at close time are still dispatched (graceful drain) so no
+    client is left hanging.
+    """
+
+    def __init__(self, engine, *, max_batch: int = DEFAULT_MAX_BATCH,
+                 max_wait_ms: float = DEFAULT_MAX_WAIT_MS):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.engine = engine
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self._lock = threading.Lock()
+        self._pending_cond = threading.Condition(self._lock)
+        self._pending: List[Tuple[BasicBlock, ThroughputMode, Future]] = []
+        self._closed = False
+        # Lifetime statistics (surfaced at the service's /stats).
+        self.requests = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch_seen = 0
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-microbatcher",
+            daemon=True)
+        self._dispatcher.start()
+
+    # -- client side ---------------------------------------------------
+
+    def submit(self, block: BasicBlock,
+               mode: ThroughputMode) -> "Future[Prediction]":
+        """Enqueue one prediction request; resolves to a ``Prediction``."""
+        future: "Future[Prediction]" = Future()
+        with self._pending_cond:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            self._pending.append((block, mode, future))
+            self.requests += 1
+            self._pending_cond.notify()
+        return future
+
+    def predict(self, block: BasicBlock, mode: ThroughputMode,
+                timeout: Optional[float] = None) -> Prediction:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(block, mode).result(timeout=timeout)
+
+    def predict_many(self, blocks: Sequence[BasicBlock],
+                     mode: ThroughputMode,
+                     timeout: Optional[float] = None) -> List[Prediction]:
+        """Submit a bulk request and wait for all of its predictions.
+
+        Each block rides the shared batching queue individually, so
+        bulk requests from different clients merge into common windows.
+        Results preserve input order.
+        """
+        futures = [self.submit(block, mode) for block in blocks]
+        return [future.result(timeout=timeout) for future in futures]
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, exc_type, exc_value, trace) -> None:
+        self.close()
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop accepting requests, drain the queue, stop dispatching.
+
+        Requests enqueued before the close are still dispatched; new
+        :meth:`submit` calls raise immediately.
+        """
+        with self._pending_cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._pending_cond.notify_all()
+        self._dispatcher.join(timeout=timeout)
+
+    # -- dispatcher side -----------------------------------------------
+
+    def _take_window(self) -> List[Tuple[BasicBlock, ThroughputMode,
+                                         Future]]:
+        """Block until a window is ready, then claim its requests.
+
+        Returns an empty list exactly once, when the batcher closes.
+        """
+        with self._pending_cond:
+            while not self._pending and not self._closed:
+                self._pending_cond.wait()
+            if self._pending and not self._closed:
+                # Window open: wait for it to fill or to time out.
+                remaining = self.max_wait_ms / 1000.0
+                while (len(self._pending) < self.max_batch
+                       and remaining > 0 and not self._closed):
+                    start = time.monotonic()
+                    self._pending_cond.wait(timeout=remaining)
+                    remaining -= time.monotonic() - start
+            window = self._pending[:self.max_batch]
+            del self._pending[:len(window)]
+            return window
+
+    def _dispatch_loop(self) -> None:
+        # _take_window keeps handing out windows after close() until
+        # the queue is drained (submit() already refuses new entries),
+        # so an empty window means: drained and closed — exit.
+        while True:
+            window = self._take_window()
+            if not window:
+                break
+            self._dispatch(window)
+
+    def _dispatch(self, window) -> None:
+        """Resolve one window with one engine call per mode group."""
+        self.batches += 1
+        self.batched_requests += len(window)
+        self.max_batch_seen = max(self.max_batch_seen, len(window))
+        groups: Dict[ThroughputMode, List[Tuple[BasicBlock, Future]]] = {}
+        for block, mode, future in window:
+            groups.setdefault(mode, []).append((block, future))
+        for mode, entries in groups.items():
+            try:
+                predictions = self.engine.predict_many(
+                    [block for block, _ in entries], mode)
+            except Exception as exc:  # pragma: no cover - engine failure
+                for _, future in entries:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            for (_, future), prediction in zip(entries, predictions):
+                if not future.done():
+                    future.set_result(prediction)
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average requests per dispatched window (0.0 before traffic)."""
+        return (self.batched_requests / self.batches
+                if self.batches else 0.0)
+
+    def stats(self) -> Dict[str, float]:
+        """A JSON-ready snapshot of the batching counters."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+            "max_batch_seen": self.max_batch_seen,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+        }

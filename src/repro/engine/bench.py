@@ -7,7 +7,12 @@ second, for the engine's three paths on a fixed-seed generated suite:
   on every call);
 * ``cached``   — the engine's serial batch path in its steady state
   (shared :class:`~repro.engine.cache.AnalysisCache`);
-* ``parallel`` — the engine's ``multiprocessing`` pool path, cold.
+* ``parallel`` — the engine's ``multiprocessing`` pool path, cold;
+* ``service``  — the HTTP prediction service in its steady state:
+  concurrent bulk-predict clients against an in-process
+  ``facile serve`` (micro-batching + shared cache), measured after one
+  warm-up pass.  This is the load generator behind the service's
+  throughput number.
 
 Reading ``BENCH_predict.json``
 ------------------------------
@@ -19,6 +24,7 @@ under ``benchmarks/perf/``).  Layout::
       "schema": 1,
       "suite": {"size": ..., "seed": ...},
       "workers": ...,            # pool size of the parallel path
+      "service_clients": ...,    # concurrent clients of the service path
       "cpu_count": ...,          # cores of the measuring machine
       "results": {
         "<uarch>": {
@@ -67,15 +73,21 @@ DEFAULT_UARCHS = ("SKL",)
 DEFAULT_WORKERS = 2
 DEFAULT_TOLERANCE = 0.20
 
+#: Concurrent bulk-predict clients of the service load generator.
+DEFAULT_SERVICE_CLIENTS = 8
+
 #: Paths measured by the harness.
-PATHS = ("single", "cached", "parallel")
+PATHS = ("single", "cached", "parallel", "service")
 
 
 def run_perf_harness(size: int = DEFAULT_SIZE, seed: int = DEFAULT_SEED,
                      uarchs: Sequence[str] = DEFAULT_UARCHS,
                      modes: Optional[Sequence[ThroughputMode]] = None,
                      workers: int = DEFAULT_WORKERS,
-                     include_parallel: bool = True) -> Dict:
+                     include_parallel: bool = True,
+                     include_service: bool = True,
+                     service_clients: int = DEFAULT_SERVICE_CLIENTS,
+                     ) -> Dict:
     """Measure all paths and return the ``BENCH_predict.json`` payload."""
     modes = (list(modes) if modes is not None
              else [ThroughputMode.UNROLLED, ThroughputMode.LOOP])
@@ -91,6 +103,9 @@ def run_perf_harness(size: int = DEFAULT_SIZE, seed: int = DEFAULT_SEED,
             timings = time_prediction_paths(
                 cfg, suite, mode, workers=workers,
                 include_parallel=include_parallel)
+            if include_service:
+                timings["service"] = time_service_path(
+                    cfg, suite, mode, clients=service_clients)
             results[abbrev][mode.value] = {
                 path: {
                     "blocks_per_sec": round(t.blocks_per_sec, 2),
@@ -101,7 +116,7 @@ def run_perf_harness(size: int = DEFAULT_SIZE, seed: int = DEFAULT_SEED,
             }
             single = timings["single"]
             mode_speedups = {}
-            for path in ("cached", "parallel"):
+            for path in ("cached", "parallel", "service"):
                 if path in timings and timings[path].seconds > 0:
                     mode_speedups[f"{path}_vs_single"] = round(
                         single.seconds / timings[path].seconds, 2)
@@ -111,10 +126,60 @@ def run_perf_harness(size: int = DEFAULT_SIZE, seed: int = DEFAULT_SEED,
         "schema": 1,
         "suite": {"size": size, "seed": seed},
         "workers": workers,
+        "service_clients": (service_clients if include_service else None),
         "cpu_count": os.cpu_count(),
         "results": results,
         "speedups": speedups,
     }
+
+
+def time_service_path(cfg, suite: BenchmarkSuite, mode: ThroughputMode,
+                      *, clients: int = DEFAULT_SERVICE_CLIENTS):
+    """Steady-state blocks/sec of the HTTP service under concurrency.
+
+    The load generator starts an in-process
+    :class:`~repro.service.server.PredictionService` on an ephemeral
+    port, warms its cache with one bulk pass, then shards the suite
+    round-robin over *clients* concurrent bulk-predict clients and
+    times the sharded pass end to end (HTTP + JSON + micro-batching +
+    cached prediction).  Comparable to ``cached`` (both measure the
+    steady state); the delta is the serving overhead.
+    """
+    import threading
+    import time
+
+    from repro.eval.timing import PathTiming
+    from repro.service.client import ServiceClient
+    from repro.service.server import PredictionService
+
+    loop = mode is ThroughputMode.LOOP
+    hexes = [bench.block(loop).raw.hex() for bench in suite]
+    with PredictionService(uarch=cfg.abbrev, port=0) as service:
+        warm = ServiceClient(port=service.port)
+        warm.predict_bulk(hexes, mode=mode.value)
+
+        shards = [hexes[i::clients] for i in range(clients)]
+        shards = [shard for shard in shards if shard]
+        failures: List[BaseException] = []
+
+        def worker(shard: List[str]) -> None:
+            try:
+                client = ServiceClient(port=service.port)
+                client.predict_bulk(shard, mode=mode.value)
+            except BaseException as exc:  # surfaced after join
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(shard,))
+                   for shard in shards]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seconds = time.perf_counter() - start
+        if failures:
+            raise failures[0]
+    return PathTiming("service", len(hexes), seconds)
 
 
 def write_bench_json(payload: Dict, path: str) -> None:

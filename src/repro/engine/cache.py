@@ -28,12 +28,21 @@ Cache-key design
   :func:`repro.core.ports.ports_bound`), which deduplicates across
   blocks, µarchs with equal port maps, and predictors.
 
+The cache is **LRU-bounded** (``max_blocks``, default
+:data:`DEFAULT_MAX_BLOCKS`) and keeps lifetime ``hits`` / ``misses`` /
+``evictions`` counters; :meth:`AnalysisCache.stats` returns them as the
+JSON payload the prediction service serves at ``/stats``.
+
 The cached artifacts are treated as immutable by all consumers; do not
-mutate ``analyzed``/``ops`` in place.
+mutate ``analyzed``/``ops`` in place.  The cache itself is **not**
+thread-safe: batch consumers route all lookups through one thread (the
+service's :class:`~repro.engine.batching.MicroBatcher` dispatcher does
+exactly this).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from repro.core.ports import PortsResult, critical_instructions, ports_bound
@@ -103,8 +112,10 @@ class BlockAnalysis:
 
 
 #: Default cache capacity.  Suites are a few hundred blocks; the cap
-#: only matters for process-lifetime shared databases (e.g. the no-elim
-#: baseline database), where it bounds memory on long batch runs.
+#: matters for process-lifetime shared databases (e.g. the no-elim
+#: baseline database) and for the long-lived prediction service, where
+#: it bounds memory while the LRU policy keeps the hot working set
+#: resident.
 DEFAULT_MAX_BLOCKS = 65536
 
 
@@ -115,22 +126,31 @@ class AnalysisCache:
     consumers sharing a database should share the cache via
     :meth:`shared` so analysis work is deduplicated across them.
 
-    Capacity-bounded: once *max_blocks* analyses are held, the oldest
-    entry is evicted per insertion (FIFO).  Eviction only costs a
-    re-analysis on a later lookup — results never change.
+    Capacity-bounded with LRU replacement: once *max_blocks* analyses
+    are held, each insertion evicts the least-recently-used entry (a
+    hit refreshes the entry's recency).  Eviction only costs a
+    re-analysis on a later lookup — results never change.  The LRU
+    policy is what makes a bounded cache serve a long-lived prediction
+    service well: a hot working set of blocks stays resident while
+    one-off blocks age out.
 
     Attributes:
-        hits / misses: lookup statistics (useful in tests and benches).
+        hits / misses / evictions: lifetime lookup statistics (also
+            surfaced by the service's ``/stats`` endpoint via
+            :meth:`stats`).
     """
 
     def __init__(self, db: UopsDatabase,
                  max_blocks: int = DEFAULT_MAX_BLOCKS):
+        if max_blocks < 1:
+            raise ValueError("max_blocks must be >= 1")
         self.db = db
         self.cfg: MicroArchConfig = db.cfg
         self.max_blocks = max_blocks
-        self._blocks: Dict[bytes, BlockAnalysis] = {}
+        self._blocks: "OrderedDict[bytes, BlockAnalysis]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @classmethod
     def shared(cls, db: UopsDatabase) -> "AnalysisCache":
@@ -147,18 +167,45 @@ class AnalysisCache:
         return cache
 
     def analysis(self, block: BasicBlock) -> BlockAnalysis:
-        """The (memoized) analysis of *block*."""
+        """The (memoized) analysis of *block*.
+
+        A hit refreshes the entry's LRU recency; a miss computes the
+        analysis lazily and may evict the least-recently-used entry.
+        """
         signature = block.raw
         found = self._blocks.get(signature)
         if found is None:
             self.misses += 1
             found = BlockAnalysis(block, self.db)
             while len(self._blocks) >= self.max_blocks:
-                self._blocks.pop(next(iter(self._blocks)))
+                self._blocks.popitem(last=False)
+                self.evictions += 1
             self._blocks[signature] = found
         else:
             self.hits += 1
+            self._blocks.move_to_end(signature)
         return found
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """A JSON-ready snapshot of the cache counters.
+
+        This is the payload behind the ``cache`` field of the prediction
+        service's ``/stats`` endpoint (see ``docs/SERVICE.md``).
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._blocks),
+            "max_blocks": self.max_blocks,
+            "hit_rate": round(self.hit_rate, 4),
+        }
 
     def clear(self) -> None:
         """Drop all cached analyses (statistics are kept)."""

@@ -176,6 +176,11 @@ class Engine:
 
     The engine can be used as a context manager; ``close()`` shuts the
     worker pool down.
+
+    The engine itself is not thread-safe; concurrent callers should go
+    through :class:`repro.engine.MicroBatcher` (as the prediction
+    service does), which funnels all traffic into one dispatcher
+    thread.
     """
 
     def __init__(self, cfg: MicroArchConfig, *,

@@ -1,0 +1,31 @@
+"""The prediction service: Facile as long-lived infrastructure.
+
+``facile serve`` exposes the batch engine of :mod:`repro.engine` over
+HTTP (stdlib only, JSON bodies).  The package has three modules:
+
+* :mod:`repro.service.serialize` — the wire format: request parsing and
+  canonical JSON encoding of :class:`~repro.core.model.Prediction`
+  values (deterministic bytes, so batching never changes responses);
+* :mod:`repro.service.server` — :class:`PredictionService`, a
+  ``ThreadingHTTPServer`` whose handler feeds every predict request
+  through a per-µarch :class:`~repro.engine.batching.MicroBatcher`;
+* :mod:`repro.service.client` — :class:`ServiceClient`, the small
+  ``urllib``-based client used by the tests, the examples, and the
+  service load generator in :mod:`repro.engine.bench`.
+
+Endpoint reference and schemas: ``docs/SERVICE.md``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.serialize import RequestError, json_bytes, \
+    prediction_to_dict
+from repro.service.server import PredictionService
+
+__all__ = [
+    "PredictionService",
+    "RequestError",
+    "ServiceClient",
+    "ServiceError",
+    "json_bytes",
+    "prediction_to_dict",
+]

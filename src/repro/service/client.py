@@ -1,0 +1,127 @@
+"""A minimal stdlib client for the prediction service.
+
+Used by the test suite, the examples, and the service load generator in
+:mod:`repro.engine.bench`; it is also the reference for how to talk to
+``facile serve`` from any other HTTP client (see ``docs/SERVICE.md``
+for the raw schemas and equivalent ``curl`` invocations).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence, Union
+
+
+class ServiceError(Exception):
+    """An error response from the service.
+
+    Attributes:
+        status: the HTTP status code.
+        message: the ``error`` field of the JSON error body.
+    """
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+#: A block as the wire format accepts it: hex string or {"hex"/"asm": ...}.
+BlockLike = Union[str, Dict[str, str]]
+
+
+def _block_obj(block: BlockLike) -> Dict[str, str]:
+    if isinstance(block, str):
+        return {"hex": block}
+    return block
+
+
+class ServiceClient:
+    """Talk to a running :class:`~repro.service.server.PredictionService`.
+
+    Args:
+        host / port: where the service listens.
+        timeout: per-request socket timeout in seconds.
+
+    Blocks are passed as hex strings (``"4801d8"``), or as dicts in the
+    wire format (``{"asm": "add rax, rbx"}``).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8000,
+                 timeout: float = 60.0):
+        self.base_url = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def request_raw(self, path: str,
+                    body: Optional[Dict] = None) -> bytes:
+        """One request; returns the raw response bytes.
+
+        GET when *body* is None, POST otherwise.  Error statuses raise
+        :class:`ServiceError` with the server's message.
+        """
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path, data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+            method="POST" if data is not None else "GET")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw.decode("utf-8"))["error"]
+            except Exception:
+                message = raw.decode("utf-8", "replace") or exc.reason
+            raise ServiceError(exc.code, message) from None
+
+    def request(self, path: str, body: Optional[Dict] = None) -> Dict:
+        """Like :meth:`request_raw`, but decodes the JSON payload."""
+        return json.loads(self.request_raw(path, body).decode("utf-8"))
+
+    # -- endpoints -----------------------------------------------------
+
+    def health(self) -> Dict:
+        """``GET /health``."""
+        return self.request("/health")
+
+    def stats(self) -> Dict:
+        """``GET /stats``."""
+        return self.request("/stats")
+
+    def predict(self, block: BlockLike, *, mode: str = "loop",
+                uarch: Optional[str] = None,
+                counterfactuals: bool = False) -> Dict:
+        """``POST /predict`` — one block, full interpretable output."""
+        body: Dict = {**_block_obj(block), "mode": mode}
+        if uarch is not None:
+            body["uarch"] = uarch
+        if counterfactuals:
+            body["counterfactuals"] = True
+        return self.request("/predict", body)
+
+    def predict_bulk(self, blocks: Sequence[BlockLike], *,
+                     mode: str = "loop",
+                     uarch: Optional[str] = None) -> Dict:
+        """``POST /predict/bulk`` — many blocks, order-preserving."""
+        body: Dict = {"blocks": [_block_obj(b) for b in blocks],
+                      "mode": mode}
+        if uarch is not None:
+            body["uarch"] = uarch
+        return self.request("/predict/bulk", body)
+
+    def compare(self, block: BlockLike, *, mode: str = "loop",
+                uarch: Optional[str] = None,
+                predictors: Optional[List[str]] = None) -> Dict:
+        """``POST /compare`` — Facile vs. the baseline analogs."""
+        body: Dict = {**_block_obj(block), "mode": mode}
+        if uarch is not None:
+            body["uarch"] = uarch
+        if predictors is not None:
+            body["predictors"] = predictors
+        return self.request("/compare", body)

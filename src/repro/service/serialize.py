@@ -1,0 +1,178 @@
+"""The service wire format: request parsing and canonical JSON.
+
+Responses are encoded with :func:`json_bytes` — sorted keys, no
+whitespace — so a response's bytes are a pure function of its payload.
+That is what makes the service's acceptance property testable: a bulk
+response must be *byte-identical* to serializing the predictions of a
+serial :meth:`Engine.predict_many` over the same blocks.
+
+Prediction values carry exact :class:`fractions.Fraction` bounds; the
+wire format keeps both views — ``cycles`` (the paper's 2-digit float
+rounding) and ``exact`` (the fraction as a string) — so clients never
+lose precision to JSON's float type.
+
+Request-side helpers raise :class:`RequestError`, which carries the
+HTTP status the server should answer with (400 for malformed bodies,
+404 for unknown µarchs/predictors).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+import json
+
+from repro.core.components import ThroughputMode
+from repro.core.counterfactual import idealized_speedup
+from repro.core.model import Prediction
+from repro.isa.block import BasicBlock
+
+
+class RequestError(Exception):
+    """A client error, answered with *status* and a JSON error body."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def json_bytes(payload: Dict) -> bytes:
+    """Canonical JSON encoding (sorted keys, compact, UTF-8).
+
+    Deterministic by construction: equal payloads always serialize to
+    equal bytes, regardless of how the predictions behind them were
+    batched.
+    """
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def _fraction_str(value: Fraction) -> str:
+    return (f"{value.numerator}/{value.denominator}"
+            if value.denominator != 1 else str(value.numerator))
+
+
+def prediction_to_dict(prediction: Prediction, block: BasicBlock,
+                       uarch: str, *,
+                       counterfactuals: bool = False) -> Dict:
+    """The wire representation of one prediction (see docs/SERVICE.md).
+
+    Args:
+        prediction: the model output to serialize.
+        block: the predicted block (for the ``block`` echo field).
+        uarch: µarch abbreviation the prediction was made on.
+        counterfactuals: include per-component idealization speedups
+            (the Table-4 analysis) under ``counterfactual_speedups``.
+    """
+    payload = {
+        "block": {
+            "hex": block.raw.hex(),
+            "instructions": len(block),
+            "bytes": block.num_bytes,
+        },
+        "uarch": uarch,
+        "mode": prediction.mode.value,
+        "cycles": prediction.cycles,
+        "exact": (_fraction_str(prediction.throughput)
+                  if prediction.throughput is not None else None),
+        "bounds": {comp.value: round(float(bound), 2)
+                   for comp, bound in prediction.bounds.items()},
+        "exact_bounds": {comp.value: _fraction_str(bound)
+                         for comp, bound in prediction.bounds.items()},
+        "bottlenecks": [comp.value for comp in prediction.bottlenecks],
+        "fe_component": (prediction.fe_component.value
+                         if prediction.fe_component is not None else None),
+        "jcc_affected": prediction.jcc_affected,
+        "lsd_applicable": prediction.lsd_applicable,
+        "critical_instructions":
+            list(prediction.critical_instruction_indices),
+    }
+    if counterfactuals:
+        speedups = {}
+        for comp in prediction.bounds:
+            speedup = idealized_speedup(prediction, comp)
+            if speedup is not None:
+                speedups[comp.value] = round(speedup, 2)
+        payload["counterfactual_speedups"] = speedups
+    return payload
+
+
+def parse_json_body(raw: bytes) -> Dict:
+    """Decode a request body; must be a JSON object."""
+    if not raw:
+        raise RequestError("empty request body (expected a JSON object)")
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise RequestError(f"invalid JSON body: {exc}")
+    if not isinstance(body, dict):
+        raise RequestError("request body must be a JSON object")
+    return body
+
+
+def parse_block(obj: Dict, *, field: str = "request") -> BasicBlock:
+    """Build a block from a ``{"hex": ...}`` or ``{"asm": ...}`` object."""
+    if not isinstance(obj, dict):
+        raise RequestError(f"{field} must be an object with "
+                           "an 'hex' or 'asm' field")
+    raw_hex = obj.get("hex")
+    asm = obj.get("asm")
+    if (raw_hex is None) == (asm is None):
+        raise RequestError(
+            f"{field} needs exactly one of 'hex' or 'asm'")
+    try:
+        if raw_hex is not None:
+            if not isinstance(raw_hex, str):
+                raise ValueError("'hex' must be a string")
+            return BasicBlock.from_bytes(bytes.fromhex(raw_hex))
+        if not isinstance(asm, str):
+            raise ValueError("'asm' must be a string")
+        return BasicBlock.from_asm(asm.replace("\\n", "\n"))
+    except RequestError:
+        raise
+    except Exception as exc:
+        raise RequestError(f"undecodable {field}: {exc}")
+
+
+def parse_mode(body: Dict) -> ThroughputMode:
+    """The throughput notion of a request (default: loop/TPL)."""
+    value = body.get("mode", ThroughputMode.LOOP.value)
+    try:
+        return ThroughputMode(value)
+    except ValueError:
+        raise RequestError(
+            f"unknown mode {value!r} (expected 'unrolled' or 'loop')")
+
+
+def parse_blocks(body: Dict, *, max_blocks: int) -> List[BasicBlock]:
+    """The block list of a bulk request (bounded, order-preserving)."""
+    blocks = body.get("blocks")
+    if not isinstance(blocks, list) or not blocks:
+        raise RequestError("'blocks' must be a non-empty array")
+    if len(blocks) > max_blocks:
+        raise RequestError(
+            f"bulk request too large ({len(blocks)} blocks; "
+            f"the server accepts at most {max_blocks})", status=413)
+    return [parse_block(obj, field=f"blocks[{index}]")
+            for index, obj in enumerate(blocks)]
+
+
+def parse_counterfactuals(body: Dict) -> bool:
+    value = body.get("counterfactuals", False)
+    if not isinstance(value, bool):
+        raise RequestError("'counterfactuals' must be a boolean")
+    return value
+
+
+def parse_uarch(body: Dict, default: str,
+                known: Optional[List[str]] = None) -> str:
+    """The µarch of a request (404 on unknown names)."""
+    value = body.get("uarch", default)
+    if not isinstance(value, str):
+        raise RequestError("'uarch' must be a string")
+    if known is not None and value not in known:
+        raise RequestError(
+            f"unknown uarch {value!r} (available: {', '.join(known)})",
+            status=404)
+    return value

@@ -1,0 +1,420 @@
+"""``facile serve``: the long-lived HTTP prediction service.
+
+:class:`PredictionService` wraps a stdlib ``ThreadingHTTPServer``.  Each
+request thread parses its JSON body and submits blocks to the per-µarch
+:class:`~repro.engine.batching.MicroBatcher`, so concurrent clients are
+micro-batched onto one ``Engine.predict_many`` call per window and all
+share the engine's :class:`~repro.engine.cache.AnalysisCache` (and
+worker pool, when the service was started with workers).
+
+Endpoints (reference with schemas in ``docs/SERVICE.md``):
+
+=======================  ==================================================
+``GET  /health``         liveness + loaded µarchs
+``GET  /stats``          request counters, cache and batcher statistics
+``POST /predict``        one block → full interpretable prediction
+``POST /predict/bulk``   many blocks → predictions, order-preserving
+``POST /compare``        one block → Facile vs. the baseline analogs
+=======================  ==================================================
+
+Responses are canonical JSON (:func:`repro.service.serialize.json_bytes`)
+— equal payloads are equal bytes, so micro-batching can never change
+what a client observes.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional
+
+from repro.core.components import ThroughputMode
+from repro.engine.batching import DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT_MS, \
+    MicroBatcher
+from repro.engine.engine import Engine, default_workers
+from repro.service import serialize
+from repro.service.serialize import RequestError, json_bytes
+from repro.uarch import ALL_UARCHS, uarch_by_name
+
+#: Baselines offered by ``POST /compare`` when the request does not name
+#: predictors explicitly.  The learned analogs (Ithemal, DiffTune,
+#: learning-bl) are opt-in: their first use trains a model, which would
+#: turn an unsuspecting comparison request into a multi-second call.
+DEFAULT_COMPARE_PREDICTORS = (
+    "Facile", "uiCA", "llvm-mca-15", "CQA", "IACA 3.0", "OSACA",
+)
+
+#: Hard cap on blocks per bulk request (larger requests get a 413).
+DEFAULT_MAX_BULK = 4096
+
+#: Hard cap on request body size in bytes (larger requests get a 413).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _ThreadingServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` tuned for bursty client fleets.
+
+    The stdlib default listen backlog (5) drops connections when a few
+    dozen clients connect in the same instant — the exact load the
+    service exists to serve — so the queue is sized to ride out a burst
+    of at least the acceptance-test fleet (32 concurrent clients).
+    """
+
+    daemon_threads = True
+    request_queue_size = 128
+
+
+class _UarchRuntime:
+    """Everything the service holds per loaded µarch."""
+
+    def __init__(self, abbrev: str, *, n_workers: Optional[int],
+                 max_batch: int, max_wait_ms: float):
+        cfg = uarch_by_name(abbrev)
+        self.cfg = cfg
+        self.engine = Engine(cfg, n_workers=n_workers)
+        self.batcher = MicroBatcher(self.engine, max_batch=max_batch,
+                                    max_wait_ms=max_wait_ms)
+        # The comparison predictors run in request threads, not through
+        # the batcher's dispatcher; they get a private database (hence a
+        # private analysis cache) plus a lock, so they can never race
+        # the dispatcher on the engine's unsynchronized cache.
+        self.compare_lock = threading.Lock()
+        self._predictors: Dict[str, object] = {}
+
+    def predictor(self, name: str):
+        """The (memoized) baseline predictor *name* on this µarch."""
+        from repro.baselines import all_predictors, predictor_names
+        if name not in self._predictors:
+            if name not in predictor_names():
+                raise RequestError(
+                    f"unknown predictor {name!r} "
+                    f"(available: {', '.join(predictor_names())})",
+                    status=404)
+            predictor, = all_predictors(self.cfg, names=[name])
+            predictor.prepare()
+            self._predictors[name] = predictor
+        return self._predictors[name]
+
+    def close(self) -> None:
+        self.batcher.close()
+        self.engine.close()
+
+
+class PredictionService:
+    """The embeddable prediction server behind ``facile serve``.
+
+    Args:
+        uarch: default µarch for requests that do not name one.
+        host / port: bind address; port 0 picks an ephemeral port
+            (read it back from :attr:`port` — this is how the tests and
+            the bench load generator run hermetically).
+        n_workers: engine worker processes per µarch (as in
+            :class:`~repro.engine.engine.Engine`: ``0`` one per CPU;
+            ``None`` resolves to the process-wide default —
+            ``set_default_workers`` / ``REPRO_ENGINE_WORKERS`` — at
+            construction time, so the banner and ``/stats`` report
+            what the engines actually use).
+        max_batch / max_wait_ms: the micro-batching window (see
+            :class:`~repro.engine.batching.MicroBatcher`).
+        max_bulk: maximum blocks accepted in one bulk request.
+
+    Usable as a context manager::
+
+        with PredictionService(uarch="SKL", port=0) as service:
+            client = ServiceClient(port=service.port)
+            client.predict(hex="4801d8")
+    """
+
+    def __init__(self, uarch: str = "SKL", *, host: str = "127.0.0.1",
+                 port: int = 0, n_workers: Optional[int] = None,
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+                 max_bulk: int = DEFAULT_MAX_BULK):
+        # Fail fast at construction: these would otherwise surface as a
+        # 500 on the first request (runtimes are built lazily).
+        uarch_by_name(uarch)
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if max_bulk < 1:
+            raise ValueError("max_bulk must be >= 1")
+        self.default_uarch = uarch
+        self.n_workers = (n_workers if n_workers is not None
+                          else default_workers())
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.max_bulk = max_bulk
+        self.known_uarchs: List[str] = [cfg.abbrev for cfg in ALL_UARCHS]
+        self._runtimes: Dict[str, _UarchRuntime] = {}
+        self._runtimes_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._requests_by_endpoint: Dict[str, int] = {}
+        self._errors = 0
+        self._started_at = time.monotonic()
+        self._thread: Optional[threading.Thread] = None
+        self._httpd = _ThreadingServer((host, port), _Handler)
+        self._httpd.service = self  # type: ignore[attr-defined]
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved even when constructed with port 0)."""
+        return self._httpd.server_address[1]
+
+    def start(self) -> "PredictionService":
+        """Serve in a background thread (returns once the socket is up)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="facile-serve", daemon=True)
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``facile serve`` loop)."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving and shut down batchers, pools, and the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        with self._runtimes_lock:
+            runtimes = list(self._runtimes.values())
+        for runtime in runtimes:
+            runtime.close()
+
+    def __enter__(self) -> "PredictionService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, trace) -> None:
+        self.close()
+
+    # -- runtimes ------------------------------------------------------
+
+    def runtime(self, uarch: str) -> _UarchRuntime:
+        """The engine+batcher pair for *uarch*, created on first use."""
+        with self._runtimes_lock:
+            runtime = self._runtimes.get(uarch)
+            if runtime is None:
+                runtime = _UarchRuntime(
+                    uarch, n_workers=self.n_workers,
+                    max_batch=self.max_batch,
+                    max_wait_ms=self.max_wait_ms)
+                self._runtimes[uarch] = runtime
+            return runtime
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _count(self, endpoint: str, error: bool = False) -> None:
+        with self._stats_lock:
+            self._requests_by_endpoint[endpoint] = \
+                self._requests_by_endpoint.get(endpoint, 0) + 1
+            if error:
+                self._errors += 1
+
+    # -- endpoint payloads ---------------------------------------------
+
+    def health_payload(self) -> Dict:
+        with self._runtimes_lock:
+            loaded = sorted(self._runtimes)
+        return {
+            "status": "ok",
+            "service": "facile",
+            "default_uarch": self.default_uarch,
+            "uarchs_available": self.known_uarchs,
+            "uarchs_loaded": loaded,
+            "uptime_sec": round(time.monotonic() - self._started_at, 3),
+        }
+
+    def stats_payload(self) -> Dict:
+        with self._runtimes_lock:
+            runtimes = dict(self._runtimes)
+        with self._stats_lock:
+            by_endpoint = dict(self._requests_by_endpoint)
+            errors = self._errors
+        return {
+            "uptime_sec": round(time.monotonic() - self._started_at, 3),
+            "workers": self.n_workers,
+            "requests": {
+                "total": sum(by_endpoint.values()),
+                "by_endpoint": by_endpoint,
+                "errors": errors,
+            },
+            "uarchs": {
+                abbrev: {
+                    "cache": runtime.engine.cache.stats(),
+                    "batcher": runtime.batcher.stats(),
+                }
+                for abbrev, runtime in runtimes.items()
+            },
+        }
+
+    def predict_payload(self, body: Dict) -> Dict:
+        uarch = serialize.parse_uarch(body, self.default_uarch,
+                                      self.known_uarchs)
+        mode = serialize.parse_mode(body)
+        block = serialize.parse_block(body)
+        counterfactuals = serialize.parse_counterfactuals(body)
+        prediction = self.runtime(uarch).batcher.predict(block, mode)
+        return serialize.prediction_to_dict(
+            prediction, block, uarch, counterfactuals=counterfactuals)
+
+    def bulk_payload(self, body: Dict) -> Dict:
+        uarch = serialize.parse_uarch(body, self.default_uarch,
+                                      self.known_uarchs)
+        mode = serialize.parse_mode(body)
+        blocks = serialize.parse_blocks(body, max_blocks=self.max_bulk)
+        counterfactuals = serialize.parse_counterfactuals(body)
+        predictions = self.runtime(uarch).batcher.predict_many(blocks,
+                                                               mode)
+        return {
+            "uarch": uarch,
+            "mode": mode.value,
+            "n_blocks": len(blocks),
+            "predictions": [
+                serialize.prediction_to_dict(
+                    prediction, block, uarch,
+                    counterfactuals=counterfactuals)
+                for prediction, block in zip(predictions, blocks)
+            ],
+        }
+
+    def compare_payload(self, body: Dict) -> Dict:
+        uarch = serialize.parse_uarch(body, self.default_uarch,
+                                      self.known_uarchs)
+        mode = serialize.parse_mode(body)
+        block = serialize.parse_block(body)
+        names = body.get("predictors", list(DEFAULT_COMPARE_PREDICTORS))
+        if (not isinstance(names, list)
+                or not all(isinstance(n, str) for n in names)
+                or not names):
+            raise RequestError(
+                "'predictors' must be a non-empty array of names")
+        runtime = self.runtime(uarch)
+        predictions = {}
+        with runtime.compare_lock:
+            for name in names:
+                predictor = runtime.predictor(name)
+                predictions[name] = round(
+                    float(predictor.predict(block, mode)), 2)
+        return {
+            "block": {"hex": block.raw.hex(),
+                      "instructions": len(block),
+                      "bytes": block.num_bytes},
+            "uarch": uarch,
+            "mode": mode.value,
+            "predictions": predictions,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto :class:`PredictionService` payloads."""
+
+    server_version = "facile-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    #: Endpoint tables: path -> payload-builder name.
+    GET_ROUTES = {"/health": "health_payload", "/stats": "stats_payload"}
+    POST_ROUTES = {"/predict": "predict_payload",
+                   "/predict/bulk": "bulk_payload",
+                   "/compare": "compare_payload"}
+
+    @property
+    def service(self) -> PredictionService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        """Silence per-request stderr logging (stats carry the counts)."""
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send_json(self, status: int, payload: Dict, *,
+                   close: bool = False) -> None:
+        body = json_bytes(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if close:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        # Error paths may not have drained the request body (404/405
+        # routes, oversized bodies); leftover bytes would be parsed as
+        # the next request line on a kept-alive connection, so close it.
+        # (send_header("Connection", "close") also sets
+        # self.close_connection for the stdlib handler loop.)
+        self._send_json(status, {"error": message}, close=True)
+
+    def _read_body(self) -> bytes:
+        length = self.headers.get("Content-Length")
+        try:
+            length = int(length or 0)
+        except ValueError:
+            raise RequestError("invalid Content-Length header")
+        if length < 0:
+            raise RequestError("invalid Content-Length header")
+        if length > MAX_BODY_BYTES:
+            raise RequestError(
+                f"request body too large (> {MAX_BODY_BYTES} bytes)",
+                status=413)
+        return self.rfile.read(length)
+
+    def _dispatch(self, routes: Dict[str, str],
+                  other_routes: Dict[str, str], with_body: bool) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        builder_name = routes.get(path)
+        if builder_name is None:
+            if path in other_routes:
+                self.service._count(path, error=True)
+                self._send_error_json(
+                    405, f"method not allowed for {path} "
+                         f"(use {'GET' if with_body else 'POST'} "
+                         "endpoints as documented in docs/SERVICE.md)")
+            else:
+                # Folded into one counter: client-chosen paths must not
+                # grow the stats dict (the server may be long-lived and
+                # internet-facing).
+                self.service._count("unknown", error=True)
+                self._send_error_json(404, f"unknown endpoint {path!r}")
+            return
+        try:
+            builder = getattr(self.service, builder_name)
+            if with_body:
+                body = serialize.parse_json_body(self._read_body())
+                payload = builder(body)
+            else:
+                payload = builder()
+        except RequestError as exc:
+            self.service._count(path, error=True)
+            self._send_error_json(exc.status, str(exc))
+            return
+        except Exception:  # pragma: no cover - defensive
+            # Detail stays server-side: exception text can carry paths
+            # and internals that an untrusted client has no business
+            # seeing.
+            import traceback
+            traceback.print_exc(file=sys.stderr)
+            self.service._count(path, error=True)
+            self._send_error_json(500, "internal error")
+            return
+        self.service._count(path)
+        self._send_json(200, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch(self.GET_ROUTES, self.POST_ROUTES, with_body=False)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch(self.POST_ROUTES, self.GET_ROUTES, with_body=True)

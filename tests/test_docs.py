@@ -1,0 +1,82 @@
+"""Documentation health: links resolve, CLI subcommands are documented.
+
+Wires ``scripts/check_docs.py`` into tier-1 so README/docs rot fails
+the suite, and unit-tests the checker against fabricated breakage so
+the green path is known to be meaningful.
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                         ".."))
+CHECKER = os.path.join(REPO_ROOT, "scripts", "check_docs.py")
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location("check_docs", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = load_checker()
+
+
+class TestRepositoryDocs:
+    def test_all_checks_pass(self):
+        assert check_docs.run_checks(REPO_ROOT) == []
+
+    def test_cli_subcommands_include_serve_and_bench(self):
+        commands = check_docs.cli_subcommands()
+        assert "serve" in commands
+        assert "bench" in commands
+        assert "predict" in commands
+
+    def test_docs_directory_is_covered(self):
+        files = {os.path.basename(p)
+                 for p in check_docs.markdown_files(REPO_ROOT)}
+        assert {"README.md", "ARCHITECTURE.md", "SERVICE.md"} <= files
+
+    def test_script_entry_point(self):
+        result = subprocess.run([sys.executable, CHECKER],
+                                capture_output=True, text=True,
+                                timeout=120)
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout
+
+
+class TestCheckerCatchesBreakage:
+    def test_broken_link_detected(self, tmp_path):
+        doc = tmp_path / "README.md"
+        doc.write_text("see [the docs](docs/NOPE.md) and "
+                       "[the web](https://example.com)")
+        problems = check_docs.broken_links(str(doc))
+        assert len(problems) == 1
+        assert problems[0][0] == "docs/NOPE.md"
+
+    def test_anchor_only_and_external_links_skipped(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("[a](#section) [b](mailto:x@y.z) "
+                       "[c](http://x) [d](https://x)")
+        assert check_docs.broken_links(str(doc)) == []
+
+    def test_anchored_file_link_resolves_on_file_part(self, tmp_path):
+        (tmp_path / "other.md").write_text("# hi")
+        doc = tmp_path / "doc.md"
+        doc.write_text("[ok](other.md#hi) [bad](missing.md#hi)")
+        problems = check_docs.broken_links(str(doc))
+        assert [target for target, _ in problems] == ["missing.md#hi"]
+
+    def test_undocumented_subcommand_detected(self, tmp_path):
+        readme = tmp_path / "README.md"
+        readme.write_text("only `facile predict` is described here")
+        missing = check_docs.undocumented_subcommands(
+            str(readme), ["predict", "serve"])
+        assert missing == ["serve"]
+
+    def test_run_checks_reports_missing_docs(self, tmp_path):
+        problems = check_docs.run_checks(str(tmp_path))
+        assert problems  # an empty tree must not look healthy

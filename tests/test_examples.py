@@ -1,0 +1,48 @@
+"""Run every documented example as a smoke test.
+
+``examples/*.py`` are quoted in the README and must keep working; each
+is executed as a subprocess (the way a reader would run it), pinned to
+small suite sizes where the script accepts them so the whole directory
+stays fast in tier-1.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                         ".."))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+
+#: Extra argv per example (keep the slow ones small in CI).
+EXAMPLE_ARGS = {
+    "compare_predictors.py": ["SKL", "10"],
+}
+
+EXAMPLES = sorted(name for name in os.listdir(EXAMPLES_DIR)
+                  if name.endswith(".py"))
+
+
+def test_every_example_is_covered():
+    # A new example lands in this test automatically; a stale argv
+    # override for a deleted example fails loudly.
+    assert EXAMPLES, "examples/ directory is empty?"
+    assert set(EXAMPLE_ARGS) <= set(EXAMPLES)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)]
+        + EXAMPLE_ARGS.get(name, []),
+        capture_output=True, text=True, timeout=300, cwd=REPO_ROOT,
+        env=env)
+    assert result.returncode == 0, (
+        f"{name} exited {result.returncode}\n"
+        f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}")
+    assert result.stdout.strip(), f"{name} printed nothing"
