@@ -1,0 +1,54 @@
+"""Hunt for predictor deviations with a tiny campaign budget.
+
+A miniature of ``facile hunt``: generate a seeded candidate corpus,
+fan Facile, a baseline analog, and the oracle simulator over it, then
+minimize and cluster the deviating blocks.  Prints the top cluster and
+its strongest (minimized) witness.
+
+Run:
+    python examples/deviation_hunt.py [budget] [uarch]
+"""
+
+import sys
+
+from repro.discovery import CampaignConfig, run_campaign
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    uarch = sys.argv[2] if len(sys.argv) > 2 else "SKL"
+
+    config = CampaignConfig(seed=0, budget=budget, uarchs=(uarch,),
+                            modes=("unrolled",), max_witnesses=3)
+    print(f"Hunting on {uarch}: {budget} candidates, tools "
+          f"{', '.join(config.predictors)} + oracle ...")
+    result = run_campaign(config)
+
+    stats = result.stats[uarch]
+    print(f"{stats['deviating']} deviating blocks, "
+          f"{stats['witnesses']} minimized witnesses, "
+          f"{len(result.clusters)} clusters")
+    if not result.clusters:
+        print("No deviations at this budget — try a larger one.")
+        return
+
+    top = result.clusters[0]
+    sig = top.signature
+    print(f"\nTop cluster ({top.size} witnesses, max score "
+          f"{top.max_score:.2f}):")
+    print(f"  category {sig.category}, bottleneck {sig.bottleneck}, "
+          f"ports {sig.ports}")
+    print(f"  deviating pair: {sig.pair[0]} vs {sig.pair[1]}")
+
+    witness = top.witnesses[0]
+    print(f"\nStrongest witness (minimized "
+          f"{len(witness.original_lines)} -> "
+          f"{len(witness.minimized_lines)} instructions):")
+    for line in witness.asm.splitlines():
+        print(f"    {line}")
+    for name, cycles in sorted(witness.values.items()):
+        print(f"  {name:<13} {cycles:6.2f} cycles/iter")
+
+
+if __name__ == "__main__":
+    main()

@@ -76,6 +76,14 @@ def predictor_names() -> List[str]:
 def all_predictors(cfg: MicroArchConfig,
                    db: Optional[UopsDatabase] = None,
                    names: Optional[List[str]] = None) -> List[Predictor]:
-    """Instantiate registered predictors for *cfg*."""
+    """Instantiate registered predictors for *cfg*.
+
+    Unknown names raise ``KeyError`` listing the registry, so callers
+    taking user input (``facile hunt --predictors``) fail helpfully.
+    """
     chosen = names if names is not None else predictor_names()
+    unknown = [name for name in chosen if name not in _REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown predictor(s) {unknown!r}; "
+                       f"registered: {predictor_names()}")
     return [_REGISTRY[name](cfg, db) for name in chosen]

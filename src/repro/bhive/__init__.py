@@ -22,7 +22,7 @@ and L1-resident memory traffic only).
 """
 
 from repro.bhive.categories import CATEGORIES, Category
-from repro.bhive.generator import BlockGenerator
+from repro.bhive.generator import MUTATIONS, BlockGenerator
 from repro.bhive.suite import Benchmark, BenchmarkSuite, default_suite
 
 __all__ = [
@@ -31,5 +31,6 @@ __all__ = [
     "BlockGenerator",
     "CATEGORIES",
     "Category",
+    "MUTATIONS",
     "default_suite",
 ]

@@ -244,6 +244,35 @@ _MENUS: Dict[str, List[Tuple[float, _Builder]]] = {
 }
 
 
+#: The mutation operators of the deviation-discovery layer, in the order
+#: the generator's RNG draws them.  Each takes a block body (assembly
+#: lines) and returns a syntactically valid body of at least one line:
+#:
+#: * ``drop``       — remove one instruction;
+#: * ``duplicate``  — re-insert a copy of one instruction;
+#: * ``substitute`` — replace one instruction with a fresh draw from the
+#:   block's category menu.
+MUTATIONS = ("drop", "duplicate", "substitute")
+
+#: Back-edge conditions loop (BHiveL) variants draw from.
+LOOP_CONDS = ("ne", "e", "l", "ge")
+
+
+def loop_back_edge(body_len: int, cond: str) -> str:
+    """The backward conditional jump closing a loop body.
+
+    The displacement targets the body's first instruction: rel8 when it
+    reaches (a 2-byte jcc), rel32 (6 bytes) otherwise.  Shared by the
+    suite generator and the discovery layer's candidates so both build
+    identical loop conventions.
+    """
+    if body_len + 2 <= 128:
+        disp = -(body_len + 2)
+    else:
+        disp = -(body_len + 6)
+    return f"j{cond} {disp}"
+
+
 class BlockGenerator:
     """Deterministic benchmark generator.
 
@@ -259,21 +288,53 @@ class BlockGenerator:
     def __init__(self, seed: int = 2023):
         self.rng = random.Random(seed)
 
+    def draw_line(self, category: Category,
+                  state: Optional[_GenState] = None) -> str:
+        """Draw one instruction from the category's weighted menu."""
+        rng = self.rng
+        if state is None:
+            state = _GenState(rng)
+        menu = _MENUS[category.name]
+        builder = rng.choices([b for _, b in menu],
+                              weights=[w for w, _ in menu])[0]
+        chain = rng.random() < category.chain_probability
+        return builder(state, chain)
+
     def body(self, category: Category) -> List[str]:
         """Generate the assembly lines of one block body."""
         rng = self.rng
         state = _GenState(rng)
-        menu = _MENUS[category.name]
-        weights = [w for w, _ in menu]
-        builders = [b for _, b in menu]
         n = rng.randint(category.min_instructions,
                         category.max_instructions)
-        lines = []
-        for _ in range(n):
-            builder = rng.choices(builders, weights=weights)[0]
-            chain = rng.random() < category.chain_probability
-            lines.append(builder(state, chain))
-        return lines
+        return [self.draw_line(category, state) for _ in range(n)]
+
+    def mutate(self, lines: Sequence[str], category: Category,
+               mutation: Optional[str] = None) -> Tuple[List[str], str]:
+        """Apply one mutation to a block body (discovery campaigns).
+
+        Returns ``(new_lines, mutation_name)``.  The result always
+        assembles: drop/duplicate permute existing (valid) lines, and
+        substitutions come from the same menus as generated blocks.  A
+        one-line body is never dropped to zero — ``drop`` falls back to
+        ``substitute`` there.
+        """
+        rng = self.rng
+        lines = list(lines)
+        if mutation is None:
+            mutation = rng.choice(MUTATIONS)
+        if mutation not in MUTATIONS:
+            raise ValueError(f"unknown mutation {mutation!r} "
+                             f"(expected one of {MUTATIONS})")
+        if mutation == "drop" and len(lines) <= 1:
+            mutation = "substitute"
+        index = rng.randrange(len(lines))
+        if mutation == "drop":
+            del lines[index]
+        elif mutation == "duplicate":
+            lines.insert(rng.randrange(len(lines) + 1), lines[index])
+        else:  # substitute
+            lines[index] = self.draw_line(category)
+        return lines, mutation
 
     def block_pair(self, category: Category
                    ) -> Tuple[BasicBlock, BasicBlock]:
@@ -282,15 +343,11 @@ class BlockGenerator:
         block_u = BasicBlock(assemble("\n".join(lines)))
 
         loop_lines = list(lines)
-        cond = self.rng.choice(("ne", "e", "l", "ge"))
+        cond = self.rng.choice(LOOP_CONDS)
         if self.rng.random() < 0.5:
             loop_lines.append(f"cmp {_DATA_REGS[self.rng.randrange(8)]}, "
                               f"{_DATA_REGS[self.rng.randrange(8)]}")
         body_len = BasicBlock(assemble("\n".join(loop_lines))).num_bytes
-        if body_len + 2 <= 128:
-            disp = -(body_len + 2)
-        else:
-            disp = -(body_len + 6)
-        loop_lines.append(f"j{cond} {disp}")
+        loop_lines.append(loop_back_edge(body_len, cond))
         block_l = BasicBlock(assemble("\n".join(loop_lines)))
         return block_u, block_l

@@ -11,9 +11,12 @@ Examples::
     facile figure6 --size 100
     facile bench --size 80 --check
     facile serve --port 8000 --uarch SKL --workers 2
+    facile hunt --seed 0 --budget 200 --out hunt.json
 
 Every subcommand is documented in ``README.md``; the service endpoints
-behind ``facile serve`` are specified in ``docs/SERVICE.md``.
+behind ``facile serve`` are specified in ``docs/SERVICE.md``, and the
+deviation-discovery campaigns behind ``facile hunt`` in
+``docs/DISCOVERY.md``.
 """
 
 from __future__ import annotations
@@ -23,6 +26,18 @@ import sys
 from typing import List, Optional
 
 from repro.bhive.suite import default_suite
+from repro.discovery import (
+    CampaignConfig,
+    DEFAULT_BUDGET,
+    DEFAULT_MAX_WITNESSES,
+    DEFAULT_MUTATION_RATE,
+    DEFAULT_PREDICTORS,
+    DEFAULT_THRESHOLD,
+    campaign_report,
+    render_json,
+    render_markdown,
+    run_campaign,
+)
 from repro.engine.batching import DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT_MS
 from repro.core.components import Component, ThroughputMode
 from repro.core.counterfactual import idealized_speedup
@@ -230,6 +245,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hunt(args: argparse.Namespace) -> int:
+    """Run a deviation-discovery campaign (see docs/DISCOVERY.md)."""
+    modes = (("unrolled", "loop") if args.mode == "both"
+             else (args.mode,))
+    config = CampaignConfig(
+        seed=args.seed, budget=args.budget,
+        uarchs=tuple(args.uarchs), predictors=tuple(args.predictors),
+        modes=modes, threshold=args.threshold,
+        mutation_rate=args.mutation_rate,
+        max_witnesses=args.max_witnesses, n_workers=args.workers)
+    try:
+        config.validate()
+    except ValueError as exc:
+        print(f"facile hunt: {exc}", file=sys.stderr)
+        return 2
+    report = campaign_report(run_campaign(config))
+    print(render_markdown(report), end="")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(render_json(report))
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def _workers_arg(value: str) -> int:
     try:
         workers = int(value)
@@ -324,6 +363,44 @@ def build_parser() -> argparse.ArgumentParser:
                        default=DEFAULT_MAX_WAIT_MS,
                        help="micro-batch window timeout (milliseconds)")
     serve.set_defaults(func=_cmd_serve)
+
+    hunt = sub.add_parser(
+        "hunt", help="run a deviation-discovery campaign "
+                     "(see docs/DISCOVERY.md)")
+    hunt.add_argument("--seed", type=int, default=0,
+                      help="campaign seed (results are a pure function "
+                           "of it and the other campaign options)")
+    hunt.add_argument("--budget", type=int, default=DEFAULT_BUDGET,
+                      help="candidate blocks per µarch (generated + "
+                           "mutants)")
+    hunt.add_argument("--uarchs", nargs="+", default=["SKL"],
+                      metavar="UARCH",
+                      help="µarch(s) to hunt on (default SKL)")
+    hunt.add_argument("--predictors", nargs="+",
+                      default=list(DEFAULT_PREDICTORS), metavar="NAME",
+                      help="predictors to compare (the oracle simulator "
+                           "always participates); default "
+                           f"{' '.join(DEFAULT_PREDICTORS)}")
+    hunt.add_argument("--mode", choices=("unrolled", "loop", "both"),
+                      default="both",
+                      help="throughput notion(s) to evaluate")
+    hunt.add_argument("--threshold", type=float,
+                      default=DEFAULT_THRESHOLD,
+                      help="interestingness threshold (max pairwise "
+                           "relative disagreement)")
+    hunt.add_argument("--mutation-rate", type=float,
+                      default=DEFAULT_MUTATION_RATE,
+                      help="fraction of the budget spent mutating "
+                           "interesting candidates")
+    hunt.add_argument("--max-witnesses", type=int,
+                      default=DEFAULT_MAX_WITNESSES,
+                      help="deviations minimized per µarch")
+    hunt.add_argument("--workers", type=_workers_arg, default=None,
+                      help="engine worker processes (0 = one per CPU; "
+                           "default serial; never changes results)")
+    hunt.add_argument("--out", default=None,
+                      help="write the canonical JSON report here")
+    hunt.set_defaults(func=_cmd_hunt)
     return parser
 
 

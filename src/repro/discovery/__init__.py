@@ -1,0 +1,77 @@
+"""Deviation discovery: differential testing of throughput predictors.
+
+Facile's speed makes systematic differential testing practical: in the
+time other predictors analyze one block, a campaign can generate,
+predict, and compare hundreds.  This package composes the repo's
+generator, batch engine, baselines, and metrics into the AnICA-style
+loop behind ``facile hunt``:
+
+* :mod:`~repro.discovery.campaign` — seeded campaign orchestration
+  (generate candidates + mutants, fan out all tools, score, minimize,
+  cluster);
+* :mod:`~repro.discovery.interestingness` — scoring predictor
+  disagreement (the oracle simulator participates as a tool);
+* :mod:`~repro.discovery.minimize` — greedy instruction-dropping
+  while the deviation persists;
+* :mod:`~repro.discovery.cluster` — grouping minimized witnesses by
+  generalization signature (category, bottleneck, port multiset,
+  deviating pair);
+* :mod:`~repro.discovery.report` — canonical (byte-reproducible) JSON
+  reports plus markdown summaries.
+
+Reference: ``docs/DISCOVERY.md``.
+"""
+
+from repro.discovery.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    Candidate,
+    DEFAULT_BUDGET,
+    DEFAULT_MAX_WITNESSES,
+    DEFAULT_MUTATION_RATE,
+    DEFAULT_PREDICTORS,
+    Witness,
+    run_campaign,
+)
+from repro.discovery.cluster import (
+    Cluster,
+    Signature,
+    cluster_witnesses,
+    port_multiset_signature,
+)
+from repro.discovery.interestingness import (
+    DEFAULT_THRESHOLD,
+    ORACLE,
+    BlockScore,
+    score_values,
+)
+from repro.discovery.minimize import minimize_lines
+from repro.discovery.report import (
+    campaign_report,
+    render_json,
+    render_markdown,
+)
+
+__all__ = [
+    "BlockScore",
+    "CampaignConfig",
+    "CampaignResult",
+    "Candidate",
+    "Cluster",
+    "DEFAULT_BUDGET",
+    "DEFAULT_MAX_WITNESSES",
+    "DEFAULT_MUTATION_RATE",
+    "DEFAULT_PREDICTORS",
+    "DEFAULT_THRESHOLD",
+    "ORACLE",
+    "Signature",
+    "Witness",
+    "campaign_report",
+    "cluster_witnesses",
+    "minimize_lines",
+    "port_multiset_signature",
+    "render_json",
+    "render_markdown",
+    "run_campaign",
+    "score_values",
+]

@@ -1,0 +1,424 @@
+"""Seeded differential-testing campaigns (the ``facile hunt`` core).
+
+A campaign composes the repo's existing ingredients into an AnICA-style
+discovery loop:
+
+1. **Generate** — seeded candidate blocks per category
+   (:class:`~repro.bhive.generator.BlockGenerator`), plus mutants of the
+   most interesting candidates (the generator's drop / duplicate /
+   substitute hooks);
+2. **Evaluate** — fan every selected predictor and the oracle simulator
+   over the candidates: Facile goes through
+   :meth:`repro.engine.Engine.predict_many` (shared analysis cache,
+   opt-in worker pool), measurements through
+   :func:`repro.engine.engine.measure_many` when workers are configured;
+3. **Score** — each (block, mode) evaluation gets an interestingness
+   score (:mod:`repro.discovery.interestingness`);
+4. **Minimize** — deviating blocks are shrunk by greedy instruction
+   dropping while the deviation persists
+   (:mod:`repro.discovery.minimize`);
+5. **Cluster** — minimized witnesses are grouped by generalization
+   signature and ranked (:mod:`repro.discovery.cluster`).
+
+Everything downstream of the config is deterministic: candidates come
+from one seeded RNG, evaluations are pure functions of block bytes, and
+worker counts change wall-clock only — a campaign run with ``n_workers``
+set produces results identical to a serial run (the engine merges by
+index and measurements are rounded identically on both paths).  The
+worker count is therefore an *execution* detail and deliberately not
+part of the campaign report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines import all_predictors, predictor_names
+from repro.bhive.categories import CATEGORIES, Category
+from repro.bhive.generator import LOOP_CONDS, BlockGenerator, \
+    loop_back_edge
+from repro.core.components import ThroughputMode
+from repro.discovery.cluster import (
+    Cluster,
+    Signature,
+    cluster_witnesses,
+    port_multiset_signature,
+)
+from repro.discovery.interestingness import (
+    DEFAULT_THRESHOLD,
+    ORACLE,
+    BlockScore,
+    score_values,
+)
+from repro.discovery.minimize import minimize_lines
+from repro.engine.engine import Engine, measure_many
+from repro.isa.assembler import assemble
+from repro.isa.block import BasicBlock
+from repro.sim.measure import measure
+from repro.uarch import uarch_by_name
+from repro.uops.database import UopsDatabase
+
+#: Default tool set: Facile, the simulation-grade analog (uiCA) and the
+#: back-end-only analog (llvm-mca) — cheap, deterministic, and spanning
+#: the modeling-scope spectrum.  Learned analogs (Ithemal, DiffTune,
+#: learning-bl) can be selected explicitly but train on first use.
+DEFAULT_PREDICTORS: Tuple[str, ...] = ("Facile", "uiCA", "llvm-mca-15")
+
+#: Default campaign shape (mirrors the CLI defaults).
+DEFAULT_BUDGET = 200
+DEFAULT_MUTATION_RATE = 0.3
+DEFAULT_MAX_WITNESSES = 20
+
+_CATEGORY_BY_NAME: Dict[str, Category] = {c.name: c for c in CATEGORIES}
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that determines a campaign's results.
+
+    ``n_workers`` is the one exception: it selects the engine's parallel
+    path (``None`` = serial, ``0`` = one worker per CPU) but never
+    changes results, and is excluded from the canonical report.
+    """
+
+    seed: int = 0
+    budget: int = DEFAULT_BUDGET
+    uarchs: Tuple[str, ...] = ("SKL",)
+    predictors: Tuple[str, ...] = DEFAULT_PREDICTORS
+    modes: Tuple[str, ...] = ("unrolled", "loop")
+    threshold: float = DEFAULT_THRESHOLD
+    mutation_rate: float = DEFAULT_MUTATION_RATE
+    max_witnesses: int = DEFAULT_MAX_WITNESSES
+    n_workers: Optional[int] = None
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any inconsistent field."""
+        if self.budget < 1:
+            raise ValueError("budget must be >= 1")
+        if not self.uarchs:
+            raise ValueError("need at least one µarch")
+        for abbrev in self.uarchs:
+            try:
+                uarch_by_name(abbrev)
+            except KeyError:
+                raise ValueError(f"unknown µarch {abbrev!r} "
+                                 "(see `facile table1`)") from None
+        if len(set(self.uarchs)) != len(self.uarchs):
+            raise ValueError("duplicate µarch names")
+        if not self.predictors:
+            raise ValueError("need at least one predictor "
+                             "(the oracle simulator always participates)")
+        known = set(predictor_names())
+        unknown = [n for n in self.predictors if n not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown predictor(s) {unknown!r}; "
+                f"registered: {sorted(known)}")
+        if len(set(self.predictors)) != len(self.predictors):
+            raise ValueError("duplicate predictor names")
+        if not self.modes:
+            raise ValueError("need at least one throughput mode")
+        for mode in self.modes:
+            ThroughputMode(mode)  # raises ValueError on bad names
+        if len(set(self.modes)) != len(self.modes):
+            raise ValueError("duplicate modes")
+        if not self.threshold > 0:
+            raise ValueError("threshold must be > 0")
+        if not 0 <= self.mutation_rate <= 1:
+            raise ValueError("mutation_rate must be within [0, 1]")
+        if self.max_witnesses < 1:
+            raise ValueError("max_witnesses must be >= 1")
+        if self.n_workers is not None and self.n_workers < 0:
+            raise ValueError(
+                "n_workers must be >= 0 (0 = one per CPU, None = serial)")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One candidate block of a campaign, kept in source-line form.
+
+    Carrying the assembly lines (not just bytes) is what makes
+    minimization trivially sound: dropping a line and reassembling
+    always yields a valid block, and the loop variant's back edge is
+    re-encoded with a correct displacement at every size.
+    """
+
+    index: int
+    category: str
+    origin: str  # "generated" or "mutant:<op>"
+    lines: Tuple[str, ...]
+    loop_cond: str
+
+    def block(self, mode: ThroughputMode) -> BasicBlock:
+        """The concrete block evaluated under *mode* (loop variants end
+        in a conditional branch back to the first instruction)."""
+        body = "\n".join(self.lines)
+        if mode is ThroughputMode.UNROLLED:
+            return BasicBlock(assemble(body))
+        body_len = BasicBlock(assemble(body)).num_bytes
+        back_edge = loop_back_edge(body_len, self.loop_cond)
+        return BasicBlock(assemble(f"{body}\n{back_edge}"))
+
+
+@dataclass
+class Witness:
+    """One minimized, clustered deviation."""
+
+    uarch: str
+    mode: str
+    category: str
+    origin: str
+    original_lines: Tuple[str, ...]
+    minimized_lines: Tuple[str, ...]
+    original_score: float
+    score: float
+    pair: Tuple[str, str]
+    pair_values: Tuple[float, float]
+    oracle_error: Optional[float]
+    values: Dict[str, float]
+    raw_hex: str
+    asm: str
+    minimize_trials: int
+    signature: Signature
+
+
+@dataclass
+class CampaignResult:
+    """A finished campaign: per-µarch stats, witnesses, ranked clusters."""
+
+    config: CampaignConfig
+    stats: Dict[str, Dict[str, int]]
+    witnesses: List[Witness]
+    clusters: List[Cluster] = field(default_factory=list)
+
+
+class _Evaluator:
+    """Per-µarch fan-out of all selected tools plus the oracle.
+
+    Facile routes through the batch :class:`Engine` (shared
+    ``AnalysisCache``; parallel when workers are configured); baseline
+    analogs share the same :class:`UopsDatabase`; oracle measurements go
+    through :func:`measure_many` on the parallel path and the (equally
+    cached, equally rounded) serial :func:`measure` otherwise.
+    """
+
+    def __init__(self, abbrev: str, predictors: Sequence[str],
+                 n_workers: Optional[int]):
+        self.cfg = uarch_by_name(abbrev)
+        self.db = UopsDatabase(self.cfg)
+        self.n_workers = n_workers
+        self.engine = Engine(self.cfg, db=self.db, n_workers=n_workers)
+        self.use_facile = "Facile" in predictors
+        self.baselines = all_predictors(
+            self.cfg, self.db,
+            names=[name for name in predictors if name != "Facile"])
+        for predictor in self.baselines:
+            predictor.prepare()
+        self.blocks_evaluated = 0
+
+    def evaluate(self, blocks: Sequence[BasicBlock],
+                 mode: ThroughputMode) -> List[Dict[str, float]]:
+        """Per-tool cycles for every block (the :data:`ORACLE` included)."""
+        blocks = list(blocks)
+        if not blocks:
+            return []
+        values: List[Dict[str, float]] = [{} for _ in blocks]
+        if self.use_facile:
+            predictions = self.engine.predict_many(blocks, mode)
+            for entry, prediction in zip(values, predictions):
+                entry["Facile"] = prediction.cycles
+        for predictor in self.baselines:
+            for entry, cycles in zip(
+                    values, predictor.predict_many(blocks, mode)):
+                entry[predictor.name] = cycles
+        # measure_many spins a pool up per call, so fan out only when
+        # the batch can amortize it (campaign sweeps and large
+        # minimization rounds); smaller batches measure serially
+        # through the same cache with identical rounding — which path
+        # a batch takes never changes results.
+        if self.n_workers is not None and len(blocks) >= 8:
+            measured = measure_many(self.cfg, blocks, mode,
+                                    n_workers=self.n_workers)
+        else:
+            measured = [measure(block, self.cfg, mode, self.db)
+                        for block in blocks]
+        for entry, cycles in zip(values, measured):
+            entry[ORACLE] = cycles
+        self.blocks_evaluated += len(blocks)
+        return values
+
+    def close(self) -> None:
+        self.engine.close()
+
+
+_Scored = Tuple[Candidate, ThroughputMode, BlockScore]
+
+
+def _score_candidates(evaluator: _Evaluator,
+                      candidates: Sequence[Candidate],
+                      modes: Sequence[ThroughputMode]) -> List[_Scored]:
+    """Evaluate candidates under every mode; keep each one's best mode.
+
+    Ties go to the earlier mode in config order, keeping the selection
+    deterministic.
+    """
+    if not candidates:
+        return []
+    per_mode = {
+        mode: [score_values(values) for values in evaluator.evaluate(
+            [candidate.block(mode) for candidate in candidates], mode)]
+        for mode in modes
+    }
+    scored: List[_Scored] = []
+    for i, candidate in enumerate(candidates):
+        best_mode = modes[0]
+        best = per_mode[best_mode][i]
+        for mode in modes[1:]:
+            if per_mode[mode][i].score > best.score:
+                best, best_mode = per_mode[mode][i], mode
+        scored.append((candidate, best_mode, best))
+    return scored
+
+
+def _signature(evaluator: _Evaluator, abbrev: str, mode: ThroughputMode,
+               candidate: Candidate, block: BasicBlock,
+               score: BlockScore) -> Signature:
+    """The generalization signature of one minimized witness."""
+    prediction = evaluator.engine.predict(block, mode)
+    bottleneck = (prediction.bottlenecks[0].value
+                  if prediction.bottlenecks else "-")
+    ports = port_multiset_signature(
+        evaluator.engine.cache.analysis(block).ops)
+    return Signature(uarch=abbrev, mode=mode.value,
+                     category=candidate.category, bottleneck=bottleneck,
+                     ports=ports, pair=score.pair)
+
+
+def _hunt_uarch(abbrev: str, config: CampaignConfig,
+                modes: Sequence[ThroughputMode],
+                ) -> Tuple[List[Witness], Dict[str, int]]:
+    """Run one µarch's generate → evaluate → minimize pipeline."""
+    evaluator = _Evaluator(abbrev, config.predictors, config.n_workers)
+    try:
+        # Each µarch restarts the generator from the campaign seed, so
+        # every µarch hunts over the same candidate corpus and µarchs
+        # can be added/removed without perturbing each other's results.
+        generator = BlockGenerator(config.seed)
+        rng = generator.rng
+
+        n_mutants = int(round(config.budget * config.mutation_rate))
+        n_fresh = max(1, config.budget - n_mutants)
+        n_mutants = config.budget - n_fresh
+
+        weights = [c.weight for c in CATEGORIES]
+        candidates = []
+        for index in range(n_fresh):
+            category = rng.choices(CATEGORIES, weights=weights)[0]
+            lines = tuple(generator.body(category))
+            candidates.append(Candidate(
+                index=index, category=category.name, origin="generated",
+                lines=lines, loop_cond=rng.choice(LOOP_CONDS)))
+        scored = _score_candidates(evaluator, candidates, modes)
+
+        # Mutation phase: perturb the interesting candidates (fall back
+        # to the whole corpus while nothing deviates yet).
+        parents = [entry[0] for entry in
+                   sorted((e for e in scored
+                           if e[2].score >= config.threshold),
+                          key=lambda e: (-e[2].score, e[0].index))]
+        if not parents:
+            parents = list(candidates)
+        mutants = []
+        for offset in range(n_mutants):
+            parent = parents[rng.randrange(len(parents))]
+            lines, op = generator.mutate(
+                parent.lines, _CATEGORY_BY_NAME[parent.category])
+            mutants.append(Candidate(
+                index=n_fresh + offset, category=parent.category,
+                origin=f"mutant:{op}", lines=tuple(lines),
+                loop_cond=parent.loop_cond))
+        scored.extend(_score_candidates(evaluator, mutants, modes))
+
+        deviations = [entry for entry in scored
+                      if entry[2].score >= config.threshold]
+        deviations.sort(key=lambda e: (-e[2].score, e[0].index))
+
+        witnesses: List[Witness] = []
+        seen = set()
+        minimize_trials = 0
+        # Minimize until max_witnesses *distinct* witnesses exist:
+        # different candidates can shrink to the same minimal block, so
+        # walk past duplicates into the remaining deviations — bounded
+        # at 2x the cap so a corpus where everything minimizes
+        # identically stays cheap.
+        for candidate, mode, original in \
+                deviations[:2 * config.max_witnesses]:
+            if len(witnesses) >= config.max_witnesses:
+                break
+            def score_bodies(bodies, _mode=mode, _cand=candidate):
+                trials = [Candidate(
+                    index=_cand.index, category=_cand.category,
+                    origin=_cand.origin, lines=body,
+                    loop_cond=_cand.loop_cond) for body in bodies]
+                return [score_values(values).score
+                        for values in evaluator.evaluate(
+                            [t.block(_mode) for t in trials], _mode)]
+
+            minimized, trials = minimize_lines(
+                candidate.lines, score_bodies, config.threshold)
+            minimize_trials += trials
+            final_candidate = Candidate(
+                index=candidate.index, category=candidate.category,
+                origin=candidate.origin, lines=minimized,
+                loop_cond=candidate.loop_cond)
+            block = final_candidate.block(mode)
+            key = (mode.value, block.raw)
+            if key in seen:  # two candidates shrank to the same witness
+                continue
+            seen.add(key)
+            values = evaluator.evaluate([block], mode)[0]
+            final = score_values(values)
+            witnesses.append(Witness(
+                uarch=abbrev, mode=mode.value,
+                category=candidate.category, origin=candidate.origin,
+                original_lines=candidate.lines,
+                minimized_lines=minimized,
+                original_score=original.score, score=final.score,
+                pair=final.pair, pair_values=final.pair_values,
+                oracle_error=final.oracle_error, values=values,
+                raw_hex=block.raw.hex(), asm=block.text(),
+                minimize_trials=trials,
+                signature=_signature(evaluator, abbrev, mode,
+                                     final_candidate, block, final)))
+        stats = {
+            "candidates": n_fresh,
+            "mutants": n_mutants,
+            "deviating": len(deviations),
+            "witnesses": len(witnesses),
+            "minimize_trials": minimize_trials,
+            "blocks_evaluated": evaluator.blocks_evaluated,
+        }
+        return witnesses, stats
+    finally:
+        evaluator.close()
+
+
+def run_campaign(config: CampaignConfig) -> CampaignResult:
+    """Run a full deviation-discovery campaign.
+
+    Deterministic given the config (minus ``n_workers``): two runs with
+    the same seed/budget/tool set produce identical witnesses, clusters,
+    and (canonical) reports.
+    """
+    config.validate()
+    modes = tuple(ThroughputMode(m) for m in config.modes)
+    witnesses: List[Witness] = []
+    stats: Dict[str, Dict[str, int]] = {}
+    for abbrev in config.uarchs:
+        uarch_witnesses, uarch_stats = _hunt_uarch(abbrev, config, modes)
+        witnesses.extend(uarch_witnesses)
+        stats[abbrev] = uarch_stats
+    return CampaignResult(config=config, stats=stats,
+                          witnesses=witnesses,
+                          clusters=cluster_witnesses(witnesses))

@@ -1,0 +1,96 @@
+"""Deviation clustering: group minimized witnesses that generalize alike.
+
+A campaign typically finds many concrete witnesses of the same
+underlying modeling difference (e.g. "tool X has no front end, so every
+predecoder-bound block deviates").  Witnesses are therefore grouped by a
+**generalization signature** — the abstract features that determine how
+the deviation generalizes, not the concrete instruction bytes:
+
+* the µarch and throughput notion the deviation was observed under;
+* the generator category the block came from;
+* the bottleneck component Facile reports for the minimized block (the
+  argmax of its per-component bounds, i.e. what
+  ``Facile.component_bound`` maximizes over);
+* the canonical port-usage multiset of the minimized block's µops (the
+  same key the global Ports memo uses);
+* the deviating tool pair.
+
+Clusters are ranked by their strongest witness (then size, then
+signature) so reports lead with the most dramatic deviation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Signature:
+    """The generalization signature one witness clusters under."""
+
+    uarch: str
+    mode: str
+    category: str
+    bottleneck: str
+    ports: str
+    pair: Tuple[str, str]
+
+    def key(self) -> Tuple[str, str, str, str, str, Tuple[str, str]]:
+        """Deterministic sort/grouping key."""
+        return (self.uarch, self.mode, self.category, self.bottleneck,
+                self.ports, self.pair)
+
+
+def port_multiset_signature(ops) -> str:
+    """Canonical string form of a macro-op stream's port-usage multiset.
+
+    E.g. ``"2x(0,1,5) 1x(2,3)"`` — two µops steerable to ports {0,1,5}
+    and one load µop on {2,3}.  Eliminated µops and NOPs contribute no
+    port sets (they are never dispatched) and an empty multiset renders
+    as ``"-"``.
+    """
+    counts: Counter = Counter()
+    for op in ops:
+        for ports in op.info.port_sets:
+            counts[tuple(sorted(ports))] += 1
+    if not counts:
+        return "-"
+    return " ".join(f"{count}x({','.join(str(p) for p in ports)})"
+                    for ports, count in sorted(counts.items()))
+
+
+@dataclass
+class Cluster:
+    """All witnesses sharing one generalization signature."""
+
+    signature: Signature
+    witnesses: List  # of repro.discovery.campaign.Witness
+
+    @property
+    def size(self) -> int:
+        return len(self.witnesses)
+
+    @property
+    def max_score(self) -> float:
+        return max(w.score for w in self.witnesses)
+
+
+def cluster_witnesses(witnesses: Sequence) -> List[Cluster]:
+    """Group witnesses by signature and rank the clusters.
+
+    Within a cluster, witnesses are ordered strongest-first; clusters
+    are ranked by (max score, size) descending with the signature as a
+    deterministic tiebreaker.
+    """
+    groups: Dict[Signature, List] = {}
+    for witness in witnesses:
+        groups.setdefault(witness.signature, []).append(witness)
+    clusters = []
+    for signature, members in groups.items():
+        members.sort(key=lambda w: (-w.score, w.minimized_lines))
+        clusters.append(Cluster(signature, members))
+    clusters.sort(key=lambda c: (-c.max_score, -c.size,
+                                 c.signature.key()))
+    return clusters

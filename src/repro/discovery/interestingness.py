@@ -1,0 +1,87 @@
+"""Scoring how *interesting* a block's predictor disagreement is.
+
+Following AnICA (Ritter & Hack, 2022), a candidate block is interesting
+when the tools under test disagree about it.  The oracle simulator
+participates as just another tool (named :data:`ORACLE`), so "predictor
+X deviates from the measurement" and "predictor X deviates from
+predictor Y" are ranked on one scale:
+
+* the **score** is the maximum pairwise relative disagreement over all
+  tool pairs (:func:`repro.eval.metrics.relative_disagreement` — the
+  absolute difference normalized by the pair mean, symmetric and
+  bounded by 2);
+* the **oracle error** additionally reports the worst relative error of
+  any predictor against the oracle
+  (:func:`repro.eval.metrics.relative_error`), when an oracle value is
+  present.
+
+All ties are broken on the lexicographically smallest tool pair, so a
+score — like everything else in the discovery layer — is a pure,
+deterministic function of the (rounded) per-tool predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.eval.metrics import relative_disagreement, relative_error
+
+#: The tool name under which oracle-simulator measurements participate.
+ORACLE = "oracle"
+
+#: Default interestingness threshold: the deviating pair differs by
+#: at least ~50% of its mean — well past what rounding or mild modeling
+#: differences produce, but easily reached when a tool misses a whole
+#: pipeline effect (a missing front end, fusion, move elimination, ...).
+DEFAULT_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class BlockScore:
+    """The interestingness verdict for one (block, mode) evaluation.
+
+    Attributes:
+        score: max pairwise relative disagreement over all tools.
+        pair: the (alphabetically ordered) tool pair attaining it.
+        pair_values: the two predictions of that pair, in pair order.
+        oracle_error: worst predictor-vs-oracle relative error, or
+            ``None`` when the evaluation carried no oracle measurement.
+    """
+
+    score: float
+    pair: Tuple[str, str]
+    pair_values: Tuple[float, float]
+    oracle_error: Optional[float]
+
+    def interesting(self, threshold: float = DEFAULT_THRESHOLD) -> bool:
+        return self.score >= threshold
+
+
+def score_values(values: Mapping[str, float]) -> BlockScore:
+    """Score one block's per-tool predictions (oracle included).
+
+    Args:
+        values: tool name -> predicted (or, for :data:`ORACLE`,
+            measured) cycles per iteration.  Needs at least two tools.
+    """
+    names = sorted(values)
+    if len(names) < 2:
+        raise ValueError("need at least two tools to disagree")
+    best_score = -1.0
+    best_pair = (names[0], names[0])
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            disagreement = relative_disagreement(values[a], values[b])
+            if disagreement > best_score:
+                best_score = disagreement
+                best_pair = (a, b)
+    oracle_error: Optional[float] = None
+    if ORACLE in values:
+        oracle_error = max(
+            relative_error(values[ORACLE], values[name])
+            for name in names if name != ORACLE)
+    return BlockScore(
+        score=best_score, pair=best_pair,
+        pair_values=(values[best_pair[0]], values[best_pair[1]]),
+        oracle_error=oracle_error)

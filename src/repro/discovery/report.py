@@ -1,0 +1,171 @@
+"""Campaign reports: canonical JSON plus a human-readable summary.
+
+The JSON report is **canonical**: keys are sorted, floats are rounded
+to fixed precision, non-finite values are nulled, and nothing
+run-dependent (timestamps, host names, worker counts) is included — so
+two runs of the same campaign config produce *byte-identical* files,
+which is what makes reports diffable across code changes and lets the
+test suite assert determinism directly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional
+
+from repro.discovery.campaign import CampaignResult, Witness
+from repro.discovery.cluster import Cluster
+from repro.discovery.interestingness import ORACLE
+
+#: Report format identifier (bump on breaking layout changes).
+SCHEMA = "facile-hunt-report/v1"
+
+#: Decimal places for scores/errors (cycle values are already rounded
+#: to 2 by every tool, so 4 places lose nothing).
+_SCORE_DIGITS = 4
+
+
+def _score(value: Optional[float]) -> Optional[float]:
+    """Fixed-precision, JSON-safe rendering of a score/error."""
+    if value is None or not math.isfinite(value):
+        return None
+    return round(value, _SCORE_DIGITS)
+
+
+def _witness_entry(witness: Witness) -> Dict[str, Any]:
+    return {
+        "uarch": witness.uarch,
+        "mode": witness.mode,
+        "category": witness.category,
+        "origin": witness.origin,
+        "score": _score(witness.score),
+        "original_score": _score(witness.original_score),
+        "oracle_error": _score(witness.oracle_error),
+        "pair": list(witness.pair),
+        "pair_values": [_score(v) for v in witness.pair_values],
+        "values": {name: _score(value)
+                   for name, value in sorted(witness.values.items())},
+        "instructions_before": len(witness.original_lines),
+        "instructions_after": len(witness.minimized_lines),
+        "minimize_trials": witness.minimize_trials,
+        "lines": list(witness.minimized_lines),
+        "asm": witness.asm.splitlines(),
+        "hex": witness.raw_hex,
+    }
+
+
+def _cluster_entry(cluster: Cluster) -> Dict[str, Any]:
+    signature = cluster.signature
+    return {
+        "signature": {
+            "uarch": signature.uarch,
+            "mode": signature.mode,
+            "category": signature.category,
+            "bottleneck": signature.bottleneck,
+            "ports": signature.ports,
+            "pair": list(signature.pair),
+        },
+        "size": cluster.size,
+        "max_score": _score(cluster.max_score),
+        "witnesses": [_witness_entry(w) for w in cluster.witnesses],
+    }
+
+
+def campaign_report(result: CampaignResult) -> Dict[str, Any]:
+    """The canonical JSON-ready report of one campaign."""
+    config = result.config
+    return {
+        "schema": SCHEMA,
+        "oracle": ORACLE,
+        "config": {
+            # n_workers is deliberately absent: parallelism never
+            # changes results, so serial and parallel runs of the same
+            # campaign must produce byte-identical reports.
+            "seed": config.seed,
+            "budget": config.budget,
+            "uarchs": list(config.uarchs),
+            "predictors": list(config.predictors),
+            "modes": list(config.modes),
+            "threshold": config.threshold,
+            "mutation_rate": config.mutation_rate,
+            "max_witnesses": config.max_witnesses,
+        },
+        "stats": {abbrev: dict(sorted(entries.items()))
+                  for abbrev, entries in sorted(result.stats.items())},
+        "summary": {
+            "witnesses": len(result.witnesses),
+            "clusters": len(result.clusters),
+            "top_score": _score(max(
+                (w.score for w in result.witnesses), default=None)),
+        },
+        "clusters": [_cluster_entry(c) for c in result.clusters],
+    }
+
+
+def render_json(report: Dict[str, Any]) -> str:
+    """Serialize a report canonically (sorted keys, trailing newline)."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def render_markdown(report: Dict[str, Any], max_clusters: int = 10,
+                    ) -> str:
+    """A human-readable summary of a report (``facile hunt`` output)."""
+    config = report["config"]
+    summary = report["summary"]
+    lines: List[str] = ["# facile hunt: deviation report", ""]
+    lines.append(
+        f"seed {config['seed']} · budget {config['budget']} · µarchs "
+        f"{', '.join(config['uarchs'])} · tools "
+        f"{', '.join(config['predictors'])} + {report['oracle']} · "
+        f"threshold {config['threshold']}")
+    lines.append("")
+    for abbrev, stats in report["stats"].items():
+        lines.append(
+            f"- {abbrev}: {stats['candidates']} generated + "
+            f"{stats['mutants']} mutants -> {stats['deviating']} "
+            f"deviating, {stats['witnesses']} minimized witnesses "
+            f"({stats['blocks_evaluated']} block evaluations)")
+    lines.append("")
+    if not report["clusters"]:
+        lines.append("No deviations at this threshold — lower "
+                     "`--threshold` or raise `--budget`.")
+        return "\n".join(lines) + "\n"
+
+    lines.append(f"## Clusters ({summary['clusters']} total, "
+                 f"top score {summary['top_score']})")
+    lines.append("")
+    lines.append("| # | µarch | mode | category | bottleneck | "
+                 "deviating pair | size | max score |")
+    lines.append("|---|-------|------|----------|------------|"
+                 "----------------|------|-----------|")
+    for rank, cluster in enumerate(report["clusters"][:max_clusters], 1):
+        signature = cluster["signature"]
+        lines.append(
+            f"| {rank} | {signature['uarch']} | {signature['mode']} "
+            f"| {signature['category']} | {signature['bottleneck']} "
+            f"| {' vs '.join(signature['pair'])} | {cluster['size']} "
+            f"| {cluster['max_score']} |")
+    hidden = len(report["clusters"]) - max_clusters
+    if hidden > 0:
+        lines.append("")
+        lines.append(f"(… {hidden} more cluster(s) in the JSON report)")
+
+    top = report["clusters"][0]
+    witness = top["witnesses"][0]
+    lines.append("")
+    lines.append("## Strongest witness (cluster 1, minimized from "
+                 f"{witness['instructions_before']} to "
+                 f"{witness['instructions_after']} instructions)")
+    lines.append("")
+    lines.append("```asm")
+    lines.extend(witness["asm"])
+    lines.append("```")
+    lines.append("")
+    values = " · ".join(f"{name}: {value}"
+                        for name, value in witness["values"].items())
+    lines.append(f"predictions (cycles/iter): {values}")
+    lines.append(f"deviating pair: {' vs '.join(witness['pair'])} "
+                 f"(score {witness['score']}); ports "
+                 f"{top['signature']['ports']}")
+    return "\n".join(lines) + "\n"

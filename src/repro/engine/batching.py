@@ -164,6 +164,8 @@ class MicroBatcher:
 
     def _dispatch(self, window) -> None:
         """Resolve one window with one engine call per mode group."""
+        if not window:  # a window that closed empty: nothing to do
+            return
         self.batches += 1
         self.batched_requests += len(window)
         self.max_batch_seen = max(self.max_batch_seen, len(window))

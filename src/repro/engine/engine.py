@@ -268,7 +268,9 @@ class Engine:
         return identical predictions (the parallel merge is by index).
         """
         blocks = list(blocks)
-        if not self.parallel or len(blocks) <= 1:
+        if not blocks:
+            return []
+        if not self.parallel or len(blocks) == 1:
             return self.model.predict_many(blocks, mode)
 
         pool = self._ensure_pool()
@@ -316,6 +318,9 @@ def measure_many(cfg: MicroArchConfig, blocks: Sequence[BasicBlock],
 
     if n_workers < 0:
         raise ValueError("n_workers must be >= 0 (0 = one per CPU)")
+    blocks = list(blocks)
+    if not blocks:
+        return []
     if uarch_by_name(cfg.abbrev) != cfg:
         raise ValueError(
             f"parallel measurement requires a registered µarch; "

@@ -1,8 +1,36 @@
-"""Accuracy metrics: MAPE and Kendall's tau (paper §6.2)."""
+"""Accuracy metrics: MAPE and Kendall's tau (paper §6.2), plus the
+per-block comparison primitives the deviation-discovery subsystem
+(:mod:`repro.discovery`) scores candidates with."""
 
 from __future__ import annotations
 
 from typing import Sequence, Tuple
+
+
+def relative_error(measured: float, predicted: float) -> float:
+    """``|predicted - measured| / measured`` for one block.
+
+    The per-pair term of :func:`mape`, exposed for the discovery layer
+    (deviation of one predictor from the oracle on one block).  A zero
+    measurement cannot be normalized: the error is 0 when the prediction
+    agrees exactly and ``inf`` otherwise (an always-interesting pair).
+    """
+    if measured == 0:
+        return 0.0 if predicted == 0 else float("inf")
+    return abs(predicted - measured) / abs(measured)
+
+
+def relative_disagreement(a: float, b: float) -> float:
+    """Symmetric relative difference of two predictions of one block.
+
+    ``|a - b|`` normalized by the pair mean (AnICA's interestingness
+    term), so it is symmetric, bounded by 2, and needs no choice of
+    reference tool.  Both values zero means perfect agreement (0.0).
+    """
+    denom = (abs(a) + abs(b)) / 2.0
+    if denom == 0:
+        return 0.0
+    return abs(a - b) / denom
 
 
 def mape(measured: Sequence[float], predicted: Sequence[float]) -> float:

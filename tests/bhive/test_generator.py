@@ -5,8 +5,10 @@ import collections
 import pytest
 
 from repro.bhive.categories import CATEGORIES
-from repro.bhive.generator import BlockGenerator
+from repro.bhive.generator import MUTATIONS, BlockGenerator
 from repro.bhive.suite import BenchmarkSuite, default_suite
+from repro.isa.assembler import assemble
+from repro.isa.block import BasicBlock
 from repro.isa.decoder import decode_block
 from repro.uarch import ALL_UARCHS
 from repro.uops.database import UopsDatabase
@@ -17,6 +19,19 @@ class TestDeterminism:
         a = BenchmarkSuite.generate(25, seed=99)
         b = BenchmarkSuite.generate(25, seed=99)
         assert [x.block_u.raw for x in a] == [y.block_u.raw for y in b]
+
+    @pytest.mark.parametrize("category", CATEGORIES,
+                             ids=[c.name for c in CATEGORIES])
+    def test_same_seed_byte_identical_per_category(self, category):
+        # Same seed => byte-identical encodings, for every category.
+        for seed in (0, 7, 2023):
+            a = BlockGenerator(seed)
+            b = BlockGenerator(seed)
+            raws_a = [BasicBlock(assemble("\n".join(a.body(category)))).raw
+                      for _ in range(5)]
+            raws_b = [BasicBlock(assemble("\n".join(b.body(category)))).raw
+                      for _ in range(5)]
+            assert raws_a == raws_b
 
     def test_different_seeds_differ(self):
         a = BenchmarkSuite.generate(25, seed=1)
@@ -79,3 +94,55 @@ class TestDiversity:
             model.predict_unrolled(b.block_u).bottlenecks[0].value
             for b in suite)
         assert len(counts) >= 3  # several distinct bottleneck kinds
+
+
+class TestMutations:
+    """The discovery layer's drop/duplicate/substitute hooks."""
+
+    @pytest.mark.parametrize("category", CATEGORIES,
+                             ids=[c.name for c in CATEGORIES])
+    def test_mutants_always_assemble(self, category):
+        generator = BlockGenerator(11)
+        lines = generator.body(category)
+        for _ in range(40):
+            lines, op = generator.mutate(lines, category)
+            assert op in MUTATIONS
+            assert len(lines) >= 1
+            block = BasicBlock(assemble("\n".join(lines)))
+            assert decode_block(block.raw)  # round-trips through bytes
+
+    def test_each_operator_behaves(self):
+        category = CATEGORIES[0]
+        generator = BlockGenerator(5)
+        lines = generator.body(category)
+        dropped, op = generator.mutate(lines, category, "drop")
+        assert op == "drop" and len(dropped) == len(lines) - 1
+        duplicated, op = generator.mutate(lines, category, "duplicate")
+        assert op == "duplicate" and len(duplicated) == len(lines) + 1
+        substituted, op = generator.mutate(lines, category, "substitute")
+        assert op == "substitute" and len(substituted) == len(lines)
+
+    def test_drop_on_single_line_falls_back_to_substitute(self):
+        category = CATEGORIES[0]
+        generator = BlockGenerator(5)
+        mutated, op = generator.mutate(["add rax, rbx"], category, "drop")
+        assert op == "substitute"
+        assert len(mutated) == 1
+
+    def test_unknown_operator_rejected(self):
+        generator = BlockGenerator(5)
+        with pytest.raises(ValueError):
+            generator.mutate(["add rax, rbx"], CATEGORIES[0], "explode")
+
+    def test_mutations_deterministic(self):
+        category = CATEGORIES[2]
+        runs = []
+        for _ in range(2):
+            generator = BlockGenerator(42)
+            lines = generator.body(category)
+            trail = []
+            for _ in range(10):
+                lines, op = generator.mutate(lines, category)
+                trail.append((op, tuple(lines)))
+            runs.append(trail)
+        assert runs[0] == runs[1]

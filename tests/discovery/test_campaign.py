@@ -1,0 +1,119 @@
+"""End-to-end campaign tests (tiny budgets, cheap tool set).
+
+The tool set is restricted to Facile + the back-end-only analog so the
+only cycle-level simulation is the oracle measurement (cached process
+wide), keeping these tier-1 tests fast while still exercising the full
+generate → evaluate → score → minimize → cluster → report pipeline.
+"""
+
+import json
+
+import pytest
+
+from repro.core.components import ThroughputMode
+from repro.discovery import (
+    CampaignConfig,
+    Candidate,
+    campaign_report,
+    render_json,
+    render_markdown,
+    run_campaign,
+)
+
+_FAST = dict(seed=0, budget=12, uarchs=("SKL",),
+             predictors=("Facile", "llvm-mca-15"),
+             modes=("unrolled",), max_witnesses=4)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_campaign(CampaignConfig(**_FAST))
+
+
+@pytest.fixture(scope="module")
+def report(result):
+    return campaign_report(result)
+
+
+class TestCampaign:
+    def test_surfaces_a_minimized_clustered_deviation(self, result):
+        assert result.witnesses, "seeded corpus produced no deviation"
+        assert result.clusters
+        witness = result.clusters[0].witnesses[0]
+        assert witness.score >= CampaignConfig(**_FAST).threshold
+        assert "Facile" in witness.pair or "oracle" in witness.pair
+        assert len(witness.minimized_lines) <= len(witness.original_lines)
+
+    def test_budget_is_respected(self, result):
+        stats = result.stats["SKL"]
+        assert stats["candidates"] + stats["mutants"] == _FAST["budget"]
+
+    def test_deterministic(self, result):
+        again = run_campaign(CampaignConfig(**_FAST))
+        assert render_json(campaign_report(again)) == \
+            render_json(campaign_report(result))
+
+    def test_parallel_results_identical_to_serial(self, result):
+        parallel = run_campaign(CampaignConfig(**_FAST, n_workers=2))
+        assert render_json(campaign_report(parallel)) == \
+            render_json(campaign_report(result))
+
+    def test_witness_blocks_reassemble(self, result):
+        for witness in result.witnesses:
+            mode = ThroughputMode(witness.mode)
+            candidate = Candidate(index=0, category=witness.category,
+                                  origin=witness.origin,
+                                  lines=witness.minimized_lines,
+                                  loop_cond="ne")
+            block = candidate.block(mode)
+            assert len(block) >= 1
+            if mode is ThroughputMode.LOOP:
+                assert block.ends_in_branch
+
+
+class TestReport:
+    def test_canonical_json_round_trips(self, report):
+        text = render_json(report)
+        assert text.endswith("\n")
+        assert json.loads(text) == report
+        # Canonical: re-serializing the parsed document is a no-op.
+        assert render_json(json.loads(text)) == text
+
+    def test_excludes_execution_details(self, report):
+        assert "n_workers" not in json.dumps(report)
+
+    def test_markdown_summary(self, report):
+        text = render_markdown(report)
+        assert "facile hunt: deviation report" in text
+        assert "Strongest witness" in text
+        assert "```asm" in text
+
+    def test_stats_and_summary_consistent(self, report):
+        assert report["schema"] == "facile-hunt-report/v1"
+        total = sum(len(c["witnesses"]) for c in report["clusters"])
+        assert total == report["summary"]["witnesses"]
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("overrides", [
+        dict(budget=0),
+        dict(uarchs=()),
+        dict(uarchs=("NOPE",)),
+        dict(uarchs=("SKL", "SKL")),
+        dict(predictors=()),
+        dict(predictors=("Facile", "not-a-tool")),
+        dict(predictors=("Facile", "Facile")),
+        dict(modes=("sideways",)),
+        dict(modes=()),
+        dict(threshold=0.0),
+        dict(mutation_rate=1.5),
+        dict(max_witnesses=0),
+        dict(n_workers=-1),
+    ])
+    def test_rejects_bad_configs(self, overrides):
+        config = CampaignConfig(**{**_FAST, **overrides})
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_default_config_is_valid(self):
+        CampaignConfig().validate()

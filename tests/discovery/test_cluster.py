@@ -1,0 +1,72 @@
+"""Deviation-clustering tests."""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.discovery.cluster import (
+    Signature,
+    cluster_witnesses,
+    port_multiset_signature,
+)
+
+
+@dataclass
+class _FakeWitness:
+    signature: Signature
+    score: float
+    minimized_lines: Tuple[str, ...] = ("imul rax, rbx",)
+
+
+def _sig(**overrides):
+    base = dict(uarch="SKL", mode="unrolled", category="scalar_int",
+                bottleneck="Ports", ports="1x(0,1,5,6)",
+                pair=("Facile", "llvm-mca-15"))
+    base.update(overrides)
+    return Signature(**base)
+
+
+class TestClustering:
+    def test_same_signature_groups(self):
+        witnesses = [_FakeWitness(_sig(), 0.8),
+                     _FakeWitness(_sig(), 1.2),
+                     _FakeWitness(_sig(category="memory"), 0.9)]
+        clusters = cluster_witnesses(witnesses)
+        assert [c.size for c in clusters] == [2, 1]
+
+    def test_ranked_by_max_score_then_size(self):
+        witnesses = [_FakeWitness(_sig(category="memory"), 0.9),
+                     _FakeWitness(_sig(), 1.5),
+                     _FakeWitness(_sig(), 0.6)]
+        clusters = cluster_witnesses(witnesses)
+        assert clusters[0].max_score == 1.5
+        assert clusters[0].signature.category == "scalar_int"
+        # Witnesses inside a cluster are strongest-first.
+        assert [w.score for w in clusters[0].witnesses] == [1.5, 0.6]
+
+    def test_empty_input(self):
+        assert cluster_witnesses([]) == []
+
+    def test_signature_key_is_deterministic(self):
+        a, b = _sig(), _sig()
+        assert a == b and a.key() == b.key()
+        assert _sig(mode="loop") != a
+
+
+class _FakeInfo:
+    def __init__(self, port_sets):
+        self.port_sets = port_sets
+
+
+class _FakeOp:
+    def __init__(self, port_sets):
+        self.info = _FakeInfo(port_sets)
+
+
+class TestPortMultiset:
+    def test_canonical_string(self):
+        ops = [_FakeOp((frozenset({1, 0, 5}),)),
+               _FakeOp((frozenset({0, 1, 5}), frozenset({2, 3})))]
+        assert port_multiset_signature(ops) == "2x(0,1,5) 1x(2,3)"
+
+    def test_no_dispatched_uops(self):
+        assert port_multiset_signature([_FakeOp(())]) == "-"

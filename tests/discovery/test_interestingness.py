@@ -1,0 +1,60 @@
+"""Interestingness-scoring tests."""
+
+import math
+
+import pytest
+
+from repro.discovery.interestingness import (
+    DEFAULT_THRESHOLD,
+    ORACLE,
+    score_values,
+)
+from repro.eval.metrics import relative_disagreement, relative_error
+
+
+class TestMetricPrimitives:
+    def test_relative_error_matches_mape_term(self):
+        assert relative_error(2.0, 3.0) == pytest.approx(0.5)
+        assert relative_error(4.0, 4.0) == 0.0
+
+    def test_relative_error_zero_measurement(self):
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(0.0, 1.0) == math.inf
+
+    def test_relative_disagreement_symmetric_and_bounded(self):
+        assert relative_disagreement(1.0, 3.0) == \
+            relative_disagreement(3.0, 1.0) == pytest.approx(1.0)
+        assert relative_disagreement(0.0, 5.0) == pytest.approx(2.0)
+        assert relative_disagreement(0.0, 0.0) == 0.0
+
+
+class TestScoreValues:
+    def test_agreement_scores_zero(self):
+        score = score_values({"a": 2.0, "b": 2.0, ORACLE: 2.0})
+        assert score.score == 0.0
+        assert not score.interesting()
+
+    def test_max_pair_wins(self):
+        score = score_values({"a": 1.0, "b": 1.1, "c": 3.0})
+        assert score.pair == ("a", "c")
+        assert score.score == pytest.approx(1.0)
+        assert score.pair_values == (1.0, 3.0)
+        assert score.interesting(DEFAULT_THRESHOLD)
+
+    def test_pair_is_alphabetical_and_ties_deterministic(self):
+        # Both pairs disagree identically; the lexicographically first
+        # pair must win so reports are stable.
+        score = score_values({"b": 1.0, "c": 2.0, "a": 2.0})
+        assert score.pair == ("a", "b")
+
+    def test_oracle_participates_as_a_tool(self):
+        score = score_values({"x": 1.0, ORACLE: 3.0})
+        assert score.pair == ("oracle", "x")
+        assert score.oracle_error == pytest.approx(2.0 / 3.0)
+
+    def test_oracle_error_none_without_oracle(self):
+        assert score_values({"a": 1.0, "b": 2.0}).oracle_error is None
+
+    def test_needs_two_tools(self):
+        with pytest.raises(ValueError):
+            score_values({"only": 1.0})

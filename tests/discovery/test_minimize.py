@@ -1,0 +1,55 @@
+"""Witness-minimization tests (synthetic scorers, no simulator)."""
+
+import pytest
+
+from repro.discovery.minimize import minimize_lines
+
+
+def _scorer(predicate):
+    """Score 1.0 for bodies satisfying *predicate*, else 0.0."""
+    def evaluate(bodies):
+        return [1.0 if predicate(body) else 0.0 for body in bodies]
+    return evaluate
+
+
+class TestMinimizeLines:
+    def test_shrinks_to_the_responsible_instruction(self):
+        lines = ("add rax, rbx", "imul rcx, rdx", "mov r8, r9")
+        minimized, trials = minimize_lines(
+            lines, _scorer(lambda body: any("imul" in l for l in body)),
+            threshold=0.5)
+        assert minimized == ("imul rcx, rdx",)
+        assert trials > 0
+
+    def test_keeps_all_when_nothing_droppable(self):
+        # Deviation requires BOTH instructions: any drop kills it.
+        lines = ("add rax, rbx", "imul rcx, rdx")
+        minimized, trials = minimize_lines(
+            lines,
+            _scorer(lambda body: len(body) == 2),
+            threshold=0.5)
+        assert minimized == lines
+        assert trials == 2  # one round of two candidates, none accepted
+
+    def test_single_line_body_is_already_minimal(self):
+        calls = []
+        minimized, trials = minimize_lines(
+            ("imul rcx, rdx",),
+            lambda bodies: calls.append(bodies) or [],
+            threshold=0.5)
+        assert minimized == ("imul rcx, rdx",)
+        assert trials == 0
+        assert not calls  # never evaluates: dropping would empty it
+
+    def test_prefers_lowest_index_drop(self):
+        # Both drops keep the deviation; the index-0 drop must win so
+        # minimization is deterministic.
+        lines = ("mov r8, r9", "mov r10, r11", "imul rcx, rdx")
+        minimized, _ = minimize_lines(
+            lines, _scorer(lambda body: any("imul" in l for l in body)),
+            threshold=0.5)
+        assert minimized == ("imul rcx, rdx",)
+
+    def test_rejects_incomplete_score_batches(self):
+        with pytest.raises(ValueError):
+            minimize_lines(("a", "b"), lambda bodies: [1.0], 0.5)

@@ -45,3 +45,31 @@ class TestTables:
     def test_figure6_small(self, capsys):
         assert main(["figure6", "--size", "8"]) == 0
         assert "SNB -> HSW" in capsys.readouterr().out
+
+
+class TestHunt:
+    def test_hunt_tiny_campaign_with_report(self, tmp_path, capsys):
+        out = tmp_path / "hunt.json"
+        code = main(["hunt", "--seed", "0", "--budget", "8",
+                     "--mode", "unrolled", "--max-witnesses", "2",
+                     "--predictors", "Facile", "llvm-mca-15",
+                     "--out", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "facile hunt: deviation report" in text
+        assert f"wrote {out}" in text
+        import json
+        report = json.loads(out.read_text())
+        assert report["schema"] == "facile-hunt-report/v1"
+        assert report["config"]["budget"] == 8
+
+    def test_hunt_rejects_unknown_uarch(self, capsys):
+        code = main(["hunt", "--budget", "4", "--uarchs", "NOPE"])
+        assert code == 2
+        assert "unknown µarch" in capsys.readouterr().err
+
+    def test_hunt_rejects_unknown_predictor(self, capsys):
+        code = main(["hunt", "--budget", "4",
+                     "--predictors", "Facile", "wat"])
+        assert code == 2
+        assert "unknown predictor" in capsys.readouterr().err

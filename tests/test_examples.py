@@ -19,6 +19,7 @@ EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
 #: Extra argv per example (keep the slow ones small in CI).
 EXAMPLE_ARGS = {
     "compare_predictors.py": ["SKL", "10"],
+    "deviation_hunt.py": ["8"],
 }
 
 EXAMPLES = sorted(name for name in os.listdir(EXAMPLES_DIR)
