@@ -11,3 +11,7 @@ def pytest_configure(config):
         "markers",
         "perf: perf-regression smoke tests (fast variants of "
         "benchmarks/perf/)")
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection smoke tests (run with an active "
+        "REPRO_FAULTS plan in CI's chaos job; see docs/ROBUSTNESS.md)")

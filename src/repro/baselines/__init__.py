@@ -29,7 +29,8 @@ relative ordering and failure modes (e.g. TPU-trained learned models
 collapsing on BHiveL).
 """
 
-from repro.baselines.base import Predictor, all_predictors, predictor_names
+from repro.baselines.base import GuardedPredictor, Predictor, \
+    all_predictors, predictor_names
 from repro.baselines.facile_predictor import FacilePredictor
 from repro.baselines.uica import UicaAnalog
 from repro.baselines.llvm_mca import LlvmMcaAnalog
@@ -44,6 +45,7 @@ __all__ = [
     "CqaAnalog",
     "DiffTuneAnalog",
     "FacilePredictor",
+    "GuardedPredictor",
     "IacaAnalog",
     "IthemalAnalog",
     "LearningBaseline",

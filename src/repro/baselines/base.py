@@ -1,4 +1,4 @@
-"""The predictor interface and registry."""
+"""The predictor interface, registry, and fault-isolation wrapper."""
 
 from __future__ import annotations
 
@@ -7,6 +7,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.components import ThroughputMode
 from repro.isa.block import BasicBlock
+from repro.robustness.breaker import CircuitBreaker
+from repro.robustness.faults import maybe_inject
+from repro.robustness.retry import RetryPolicy
 from repro.uarch.config import MicroArchConfig
 from repro.uops.database import UopsDatabase
 
@@ -57,6 +60,82 @@ class Predictor(abc.ABC):
         stay comparable across tools sharing a database.
         """
         return [self.db]
+
+
+class GuardedPredictor(Predictor):
+    """Fault isolation around any :class:`Predictor`.
+
+    Wraps *inner* with the repo's two containment primitives (see
+    ``docs/ROBUSTNESS.md``):
+
+    * transient failures of :meth:`predict` are retried per block with
+      bounded, jittered backoff (:class:`RetryPolicy`);
+    * calls that exhaust their retries count against a
+      :class:`CircuitBreaker` — after enough consecutive broken calls
+      the breaker opens and further calls fail *fast* with
+      :class:`~repro.robustness.errors.CircuitOpenError` until a
+      cooldown probe succeeds.
+
+    The wrapper also exposes the predictor's deterministic fault site
+    (``predictor.<name>``), so a :class:`~repro.robustness.faults.
+    FaultPlan` can break any baseline on chosen call indices.
+
+    A guarded predictor is a drop-in :class:`Predictor`: same ``name``,
+    same ``native_mode``, delegated :meth:`prepare` / :meth:`databases`.
+    """
+
+    def __init__(self, inner: Predictor, *,
+                 breaker: Optional[CircuitBreaker] = None,
+                 retry: Optional[RetryPolicy] = None):
+        # No super().__init__: cfg/db mirror the wrapped predictor's
+        # (building a fresh UopsDatabase here would defeat sharing).
+        self.inner = inner
+        self.cfg = inner.cfg
+        self.db = inner.db
+        self.name = inner.name
+        self.native_mode = inner.native_mode
+        self.breaker = (breaker if breaker is not None
+                        else CircuitBreaker(inner.name))
+        self.retry = (retry if retry is not None
+                      else RetryPolicy(base=0.05, cap=0.5))
+
+    @property
+    def site(self) -> str:
+        """The fault-injection site name of this predictor."""
+        return f"predictor.{self.name}"
+
+    def predict(self, block: BasicBlock, mode: ThroughputMode) -> float:
+        self.breaker.before_call()  # CircuitOpenError when open
+        attempt = 0
+        while True:
+            try:
+                maybe_inject(self.site)
+                value = self.inner.predict(block, mode)
+            except Exception:
+                if not self.retry.attempts_left(attempt + 1):
+                    # The whole call failed, retries included: that is
+                    # what the breaker counts — a transient blip that a
+                    # retry absorbed never moves it.
+                    self.breaker.record_failure()
+                    raise
+                self.retry.backoff(attempt)
+                attempt += 1
+                continue
+            self.breaker.record_success()
+            return value
+
+    def predict_many(self, blocks: Sequence[BasicBlock],
+                     mode: ThroughputMode) -> List[float]:
+        # Per-block (not per-batch) retry granularity: one poisoned
+        # block should not force the whole batch through the retry
+        # schedule.
+        return [self.predict(block, mode) for block in blocks]
+
+    def prepare(self, train_oracle=None) -> None:
+        self.inner.prepare(train_oracle)
+
+    def databases(self) -> List[UopsDatabase]:
+        return self.inner.databases()
 
 
 _REGISTRY: Dict[str, Callable[..., Predictor]] = {}

@@ -28,7 +28,11 @@ from typing import List, Optional
 from repro.bhive.suite import default_suite
 from repro.discovery import (
     CampaignConfig,
+    CampaignInterrupted,
+    CheckpointError,
+    CheckpointStore,
     DEFAULT_BUDGET,
+    DEFAULT_CHECKPOINT_EVERY,
     DEFAULT_MAX_WITNESSES,
     DEFAULT_MUTATION_RATE,
     DEFAULT_PREDICTORS,
@@ -39,6 +43,7 @@ from repro.discovery import (
     run_campaign,
 )
 from repro.engine.batching import DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT_MS
+from repro.service.server import DEFAULT_MAX_QUEUE
 from repro.core.components import Component, ThroughputMode
 from repro.core.counterfactual import idealized_speedup
 from repro.core.model import Facile
@@ -221,7 +226,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service = PredictionService(
             uarch=args.uarch, host=args.host, port=args.port,
             n_workers=args.workers, max_batch=args.max_batch,
-            max_wait_ms=args.max_wait_ms)
+            max_wait_ms=args.max_wait_ms,
+            max_queue=(args.max_queue if args.max_queue > 0 else None))
     except (ValueError, OSError) as exc:
         print(f"facile serve: {exc}", file=sys.stderr)
         return 2
@@ -260,12 +266,44 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"facile hunt: {exc}", file=sys.stderr)
         return 2
-    report = campaign_report(run_campaign(config))
+    checkpoint = None
+    try:
+        if args.resume:
+            # --resume loads the cache; writes continue to --checkpoint
+            # when given, else back to the same file.
+            checkpoint = CheckpointStore.resume(
+                args.resume, config, path=args.checkpoint or args.resume,
+                every=args.checkpoint_every)
+            print(f"facile hunt: resuming from {args.resume} "
+                  f"({len(checkpoint)} cached evaluations)",
+                  file=sys.stderr)
+        elif args.checkpoint:
+            checkpoint = CheckpointStore(args.checkpoint, config,
+                                         every=args.checkpoint_every)
+    except (CheckpointError, ValueError) as exc:
+        print(f"facile hunt: {exc}", file=sys.stderr)
+        return 2
+    interrupted = False
+    try:
+        result = run_campaign(config, checkpoint=checkpoint)
+    except CampaignInterrupted as exc:
+        result = exc.result
+        interrupted = True
+    report = campaign_report(result)
     print(render_markdown(report), end="")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(render_json(report))
-        print(f"\nwrote {args.out}")
+        print(f"\nwrote {args.out}" + (" (partial)" if interrupted
+                                       else ""))
+    if interrupted:
+        print("facile hunt: interrupted — partial report above"
+              + (f"; evaluations saved to {checkpoint.path}, continue "
+                 f"with --resume {checkpoint.path}"
+                 if checkpoint is not None else
+                 " (run with --checkpoint to make interrupted hunts "
+                 "resumable)"), file=sys.stderr)
+        return 130
     return 0
 
 
@@ -359,6 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-batch", type=int,
                        default=DEFAULT_MAX_BATCH,
                        help="micro-batch window size (requests)")
+    serve.add_argument("--max-queue", type=int,
+                       default=DEFAULT_MAX_QUEUE,
+                       help="bound on queued requests per µarch before "
+                            "the service sheds with 429 (default "
+                            f"{DEFAULT_MAX_QUEUE}; 0 = unbounded)")
     serve.add_argument("--max-wait-ms", type=float,
                        default=DEFAULT_MAX_WAIT_MS,
                        help="micro-batch window timeout (milliseconds)")
@@ -398,6 +441,19 @@ def build_parser() -> argparse.ArgumentParser:
     hunt.add_argument("--workers", type=_workers_arg, default=None,
                       help="engine worker processes (0 = one per CPU; "
                            "default serial; never changes results)")
+    hunt.add_argument("--checkpoint", default=None,
+                      help="write periodic evaluation checkpoints to "
+                           "this file (canonical JSON; atomic writes)")
+    hunt.add_argument("--checkpoint-every", type=int,
+                      default=DEFAULT_CHECKPOINT_EVERY,
+                      help="flush the checkpoint after this many newly "
+                           "evaluated blocks (default "
+                           f"{DEFAULT_CHECKPOINT_EVERY})")
+    hunt.add_argument("--resume", default=None,
+                      help="resume from a checkpoint file written by "
+                           "--checkpoint; the campaign config must "
+                           "match, and the report comes out identical "
+                           "to an uninterrupted run")
     hunt.add_argument("--out", default=None,
                       help="write the canonical JSON report here")
     hunt.set_defaults(func=_cmd_hunt)

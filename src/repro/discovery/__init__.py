@@ -24,6 +24,7 @@ Reference: ``docs/DISCOVERY.md``.
 
 from repro.discovery.campaign import (
     CampaignConfig,
+    CampaignInterrupted,
     CampaignResult,
     Candidate,
     DEFAULT_BUDGET,
@@ -32,6 +33,11 @@ from repro.discovery.campaign import (
     DEFAULT_PREDICTORS,
     Witness,
     run_campaign,
+)
+from repro.discovery.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    DEFAULT_EVERY as DEFAULT_CHECKPOINT_EVERY,
 )
 from repro.discovery.cluster import (
     Cluster,
@@ -55,10 +61,14 @@ from repro.discovery.report import (
 __all__ = [
     "BlockScore",
     "CampaignConfig",
+    "CampaignInterrupted",
     "CampaignResult",
     "Candidate",
+    "CheckpointError",
+    "CheckpointStore",
     "Cluster",
     "DEFAULT_BUDGET",
+    "DEFAULT_CHECKPOINT_EVERY",
     "DEFAULT_MAX_WITNESSES",
     "DEFAULT_MUTATION_RATE",
     "DEFAULT_PREDICTORS",

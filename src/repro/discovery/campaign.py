@@ -34,11 +34,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.baselines import all_predictors, predictor_names
+from repro.baselines import GuardedPredictor, all_predictors, \
+    predictor_names
 from repro.bhive.categories import CATEGORIES, Category
 from repro.bhive.generator import LOOP_CONDS, BlockGenerator, \
     loop_back_edge
 from repro.core.components import ThroughputMode
+from repro.discovery.checkpoint import CheckpointStore
 from repro.discovery.cluster import (
     Cluster,
     Signature,
@@ -55,6 +57,7 @@ from repro.discovery.minimize import minimize_lines
 from repro.engine.engine import Engine, measure_many
 from repro.isa.assembler import assemble
 from repro.isa.block import BasicBlock
+from repro.robustness.errors import CircuitOpenError
 from repro.sim.measure import measure
 from repro.uarch import uarch_by_name
 from repro.uops.database import UopsDatabase
@@ -185,12 +188,37 @@ class Witness:
 
 @dataclass
 class CampaignResult:
-    """A finished campaign: per-µarch stats, witnesses, ranked clusters."""
+    """A finished campaign: per-µarch stats, witnesses, ranked clusters.
+
+    ``incidents`` records *unrecovered* robustness events — a predictor
+    whose circuit breaker stayed open, a tool skipped for a whole batch
+    — as typed entries; transient failures that retries absorbed leave
+    no trace here, so a fault-injected run that fully recovers reports
+    byte-identically to a fault-free one.  ``partial`` marks a result
+    raised out of an interrupted campaign.
+    """
 
     config: CampaignConfig
     stats: Dict[str, Dict[str, int]]
     witnesses: List[Witness]
     clusters: List[Cluster] = field(default_factory=list)
+    incidents: List[Dict[str, object]] = field(default_factory=list)
+    partial: bool = False
+
+
+class CampaignInterrupted(Exception):
+    """``facile hunt`` was interrupted; carries the partial result.
+
+    Raised by :func:`run_campaign` on ``KeyboardInterrupt`` after
+    flushing the checkpoint (when one is attached): completed µarchs
+    keep their witnesses, and the CLI renders the partial report with
+    ``partial: true`` before exiting non-zero.
+    """
+
+    def __init__(self, result: CampaignResult):
+        super().__init__(
+            "campaign interrupted; partial results attached")
+        self.result = result
 
 
 class _Evaluator:
@@ -204,33 +232,80 @@ class _Evaluator:
     """
 
     def __init__(self, abbrev: str, predictors: Sequence[str],
-                 n_workers: Optional[int]):
+                 n_workers: Optional[int],
+                 checkpoint: Optional[CheckpointStore] = None):
+        self.abbrev = abbrev
         self.cfg = uarch_by_name(abbrev)
         self.db = UopsDatabase(self.cfg)
         self.n_workers = n_workers
         self.engine = Engine(self.cfg, db=self.db, n_workers=n_workers)
         self.use_facile = "Facile" in predictors
-        self.baselines = all_predictors(
-            self.cfg, self.db,
-            names=[name for name in predictors if name != "Facile"])
+        self.baselines = [
+            GuardedPredictor(predictor)
+            for predictor in all_predictors(
+                self.cfg, self.db,
+                names=[name for name in predictors if name != "Facile"])
+        ]
         for predictor in self.baselines:
             predictor.prepare()
+        self.checkpoint = checkpoint
+        # All tools an evaluation must cover for a checkpoint entry to
+        # substitute for re-running it.
+        self._required = frozenset(
+            (["Facile"] if self.use_facile else [])
+            + [predictor.name for predictor in self.baselines]
+            + [ORACLE])
         self.blocks_evaluated = 0
+        # (predictor, reason) -> [first detail, batch count]; only
+        # *unrecovered* events land here (see CampaignResult.incidents).
+        self._incidents: Dict[Tuple[str, str], List[object]] = {}
 
-    def evaluate(self, blocks: Sequence[BasicBlock],
+    def incidents(self) -> List[Dict[str, object]]:
+        """Typed, deterministic records of unrecovered tool failures."""
+        return [
+            {"uarch": self.abbrev, "predictor": predictor,
+             "reason": reason, "detail": detail, "batches": count}
+            for (predictor, reason), (detail, count)
+            in sorted(self._incidents.items())
+        ]
+
+    def _record_incident(self, predictor: str, reason: str,
+                         detail: str) -> None:
+        entry = self._incidents.setdefault((predictor, reason),
+                                           [detail, 0])
+        entry[1] += 1
+
+    def _compute(self, blocks: Sequence[BasicBlock],
                  mode: ThroughputMode) -> List[Dict[str, float]]:
-        """Per-tool cycles for every block (the :data:`ORACLE` included)."""
-        blocks = list(blocks)
-        if not blocks:
-            return []
+        """Run every tool plus the oracle over *blocks* (no cache)."""
         values: List[Dict[str, float]] = [{} for _ in blocks]
         if self.use_facile:
             predictions = self.engine.predict_many(blocks, mode)
             for entry, prediction in zip(values, predictions):
                 entry["Facile"] = prediction.cycles
         for predictor in self.baselines:
-            for entry, cycles in zip(
-                    values, predictor.predict_many(blocks, mode)):
+            try:
+                batch = predictor.predict_many(blocks, mode)
+            except CircuitOpenError:
+                # The breaker opened (or already was open): skip the
+                # tool for this batch, record the skip, keep hunting
+                # with the remaining tools.
+                self._record_incident(
+                    predictor.name, "circuit_open",
+                    "circuit breaker open after "
+                    f"{predictor.breaker.failure_threshold} consecutive "
+                    "failed calls")
+                continue
+            except Exception as exc:
+                # One block kept failing past its retries: values for
+                # the batch are incomplete, so the tool sits this batch
+                # out entirely (partial per-block coverage would make
+                # scores depend on *where* in a batch a tool broke).
+                self._record_incident(
+                    predictor.name, "error",
+                    f"{type(exc).__name__}: {exc}")
+                continue
+            for entry, cycles in zip(values, batch):
                 entry[predictor.name] = cycles
         # measure_many spins a pool up per call, so fan out only when
         # the batch can amortize it (campaign sweeps and large
@@ -245,10 +320,49 @@ class _Evaluator:
                         for block in blocks]
         for entry, cycles in zip(values, measured):
             entry[ORACLE] = cycles
-        self.blocks_evaluated += len(blocks)
         return values
 
+    def evaluate(self, blocks: Sequence[BasicBlock],
+                 mode: ThroughputMode) -> List[Dict[str, float]]:
+        """Per-tool cycles for every block (the :data:`ORACLE` included).
+
+        With a checkpoint attached, evaluations already in the store
+        are read back instead of re-executed (that is what makes
+        ``--resume`` cheap), and fresh evaluations are written through.
+        ``blocks_evaluated`` counts *logical* evaluations either way,
+        so a resumed campaign reports the same statistics as an
+        uninterrupted one.
+        """
+        blocks = list(blocks)
+        if not blocks:
+            return []
+        self.blocks_evaluated += len(blocks)
+        if self.checkpoint is None:
+            return self._compute(blocks, mode)
+        results: List[Optional[Dict[str, float]]] = [None] * len(blocks)
+        missing: List[int] = []
+        for index, block in enumerate(blocks):
+            entry = self.checkpoint.get(self.abbrev, mode.value,
+                                        block.raw.hex())
+            # An entry only counts when it covers every tool of *this*
+            # campaign — an entry recorded while a breaker was open is
+            # incomplete and gets re-evaluated rather than replayed.
+            if entry is not None and self._required <= set(entry):
+                results[index] = {name: entry[name]
+                                  for name in self._required}
+            else:
+                missing.append(index)
+        if missing:
+            computed = self._compute([blocks[i] for i in missing], mode)
+            for index, values in zip(missing, computed):
+                results[index] = values
+                self.checkpoint.put(self.abbrev, mode.value,
+                                    blocks[index].raw.hex(), values)
+        return results  # type: ignore[return-value]
+
     def close(self) -> None:
+        if self.checkpoint is not None:
+            self.checkpoint.flush()
         self.engine.close()
 
 
@@ -297,9 +411,12 @@ def _signature(evaluator: _Evaluator, abbrev: str, mode: ThroughputMode,
 
 def _hunt_uarch(abbrev: str, config: CampaignConfig,
                 modes: Sequence[ThroughputMode],
-                ) -> Tuple[List[Witness], Dict[str, int]]:
+                checkpoint: Optional[CheckpointStore] = None,
+                ) -> Tuple[List[Witness], Dict[str, int],
+                           List[Dict[str, object]]]:
     """Run one µarch's generate → evaluate → minimize pipeline."""
-    evaluator = _Evaluator(abbrev, config.predictors, config.n_workers)
+    evaluator = _Evaluator(abbrev, config.predictors, config.n_workers,
+                           checkpoint=checkpoint)
     try:
         # Each µarch restarts the generator from the campaign seed, so
         # every µarch hunts over the same candidate corpus and µarchs
@@ -399,26 +516,48 @@ def _hunt_uarch(abbrev: str, config: CampaignConfig,
             "minimize_trials": minimize_trials,
             "blocks_evaluated": evaluator.blocks_evaluated,
         }
-        return witnesses, stats
+        return witnesses, stats, evaluator.incidents()
     finally:
         evaluator.close()
 
 
-def run_campaign(config: CampaignConfig) -> CampaignResult:
+def run_campaign(config: CampaignConfig,
+                 checkpoint: Optional[CheckpointStore] = None
+                 ) -> CampaignResult:
     """Run a full deviation-discovery campaign.
 
     Deterministic given the config (minus ``n_workers``): two runs with
     the same seed/budget/tool set produce identical witnesses, clusters,
-    and (canonical) reports.
+    and (canonical) reports.  A resumed campaign (same config, a
+    *checkpoint* holding earlier evaluations) replays the identical
+    control flow against the cache and is byte-identical too.
+
+    Raises:
+        CampaignInterrupted: on ``KeyboardInterrupt`` — the checkpoint
+            (when attached) is flushed first, and the exception carries
+            the partial result of the µarchs that completed.
     """
     config.validate()
     modes = tuple(ThroughputMode(m) for m in config.modes)
     witnesses: List[Witness] = []
     stats: Dict[str, Dict[str, int]] = {}
-    for abbrev in config.uarchs:
-        uarch_witnesses, uarch_stats = _hunt_uarch(abbrev, config, modes)
-        witnesses.extend(uarch_witnesses)
-        stats[abbrev] = uarch_stats
+    incidents: List[Dict[str, object]] = []
+    try:
+        for abbrev in config.uarchs:
+            uarch_witnesses, uarch_stats, uarch_incidents = \
+                _hunt_uarch(abbrev, config, modes,
+                            checkpoint=checkpoint)
+            witnesses.extend(uarch_witnesses)
+            stats[abbrev] = uarch_stats
+            incidents.extend(uarch_incidents)
+    except KeyboardInterrupt:
+        # The evaluator's close() (the finally in _hunt_uarch) already
+        # flushed the checkpoint; hand back what completed.
+        raise CampaignInterrupted(CampaignResult(
+            config=config, stats=stats, witnesses=witnesses,
+            clusters=cluster_witnesses(witnesses),
+            incidents=incidents, partial=True)) from None
     return CampaignResult(config=config, stats=stats,
                           witnesses=witnesses,
-                          clusters=cluster_witnesses(witnesses))
+                          clusters=cluster_witnesses(witnesses),
+                          incidents=incidents)

@@ -1,0 +1,188 @@
+"""Campaign checkpoints: periodic, resumable evaluation caches.
+
+A checkpoint is *not* a snapshot of campaign control flow — it is the
+campaign's **evaluation cache**, persisted as canonical JSON: a map
+from ``(µarch, mode, block hex)`` to the per-tool cycle values that
+evaluation produced.  Because everything downstream of the config is a
+pure function of these values (generation is seeded, scoring /
+minimization / clustering are deterministic), resuming a hunt replays
+the exact same control flow and merely *reads* the already-evaluated
+blocks from the cache instead of re-running the tools.  The resumed
+report is therefore byte-identical to an uninterrupted run's.
+
+Layout (schema ``facile-hunt-checkpoint/v1``)::
+
+    {
+      "schema": "facile-hunt-checkpoint/v1",
+      "config": { ... the campaign's canonical config ... },
+      "evaluations": {
+        "SKL|loop|4801d875f4": {"Facile": 1.0, "uiCA": 1.0,
+                                 "oracle": 1.0},
+        ...
+      }
+    }
+
+The embedded config is the same canonical dict the report carries
+(``n_workers`` excluded — parallelism never changes results), and a
+resume refuses a checkpoint whose config differs from the requested
+campaign: silently mixing values from a different seed or tool set
+would produce a report that *looks* valid but corresponds to no
+actual configuration.
+
+Writes are atomic (temp file + ``os.replace``) so an interrupt — the
+exact event checkpoints exist for — can never leave a half-written
+file behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+#: Checkpoint format identifier (bump on breaking layout changes).
+SCHEMA = "facile-hunt-checkpoint/v1"
+
+#: Default flush cadence: one atomic write per this many newly
+#: evaluated blocks (the CLI's ``--checkpoint-every``).
+DEFAULT_EVERY = 50
+
+
+class CheckpointError(ValueError):
+    """An unusable checkpoint file (bad JSON, schema, or config)."""
+
+
+def config_fingerprint(config) -> Dict:
+    """The canonical config dict a checkpoint binds to.
+
+    Matches the report's ``config`` section exactly: every field that
+    determines results, and nothing (``n_workers``) that does not.
+    """
+    return {
+        "seed": config.seed,
+        "budget": config.budget,
+        "uarchs": list(config.uarchs),
+        "predictors": list(config.predictors),
+        "modes": list(config.modes),
+        "threshold": config.threshold,
+        "mutation_rate": config.mutation_rate,
+        "max_witnesses": config.max_witnesses,
+    }
+
+
+class CheckpointStore:
+    """The evaluation cache behind ``--checkpoint`` / ``--resume``.
+
+    Args:
+        path: where flushes write the checkpoint (atomically).
+        config: the campaign the store belongs to; recorded in the
+            file and enforced on :meth:`resume`.
+        every: flush after this many :meth:`put` calls (>= 1).
+
+    Use :meth:`resume` instead of the constructor to continue from an
+    existing checkpoint file.
+    """
+
+    def __init__(self, path: str, config, *, every: int = DEFAULT_EVERY):
+        if every < 1:
+            raise ValueError("checkpoint cadence must be >= 1")
+        self.path = path
+        self.every = every
+        self._fingerprint = config_fingerprint(config)
+        self._entries: Dict[str, Dict[str, float]] = {}
+        self._dirty = 0
+        self.hits = 0
+        self.flushes = 0
+
+    @classmethod
+    def resume(cls, resume_path: str, config, *,
+               path: Optional[str] = None,
+               every: int = DEFAULT_EVERY) -> "CheckpointStore":
+        """Load *resume_path* and continue writing to *path* (defaults
+        to the same file).
+
+        Raises:
+            CheckpointError: unreadable file, wrong schema, or a config
+                that differs from *config* (a checkpoint only resumes
+                the exact campaign it was taken from).
+        """
+        try:
+            with open(resume_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {resume_path!r}: {exc}") from None
+        except ValueError as exc:
+            raise CheckpointError(
+                f"checkpoint {resume_path!r} is not valid JSON: "
+                f"{exc}") from None
+        if not isinstance(data, dict) or data.get("schema") != SCHEMA:
+            raise CheckpointError(
+                f"checkpoint {resume_path!r} has schema "
+                f"{data.get('schema')!r} (expected {SCHEMA!r})"
+                if isinstance(data, dict) else
+                f"checkpoint {resume_path!r} is not a JSON object")
+        store = cls(path if path is not None else resume_path, config,
+                    every=every)
+        if data.get("config") != store._fingerprint:
+            raise CheckpointError(
+                f"checkpoint {resume_path!r} was taken from a different "
+                "campaign config; resume with the original seed / "
+                "budget / tool set, or start fresh without --resume")
+        evaluations = data.get("evaluations")
+        if not isinstance(evaluations, dict):
+            raise CheckpointError(
+                f"checkpoint {resume_path!r} has no 'evaluations' map")
+        for key, values in evaluations.items():
+            if (not isinstance(values, dict)
+                    or not all(isinstance(v, (int, float))
+                               and not isinstance(v, bool)
+                               for v in values.values())):
+                raise CheckpointError(
+                    f"checkpoint {resume_path!r}: malformed entry "
+                    f"{key!r}")
+            store._entries[key] = {name: float(value)
+                                   for name, value in values.items()}
+        return store
+
+    # -- cache protocol ------------------------------------------------
+
+    @staticmethod
+    def _key(uarch: str, mode: str, raw_hex: str) -> str:
+        return f"{uarch}|{mode}|{raw_hex}"
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, uarch: str, mode: str,
+            raw_hex: str) -> Optional[Dict[str, float]]:
+        """The cached per-tool values of one evaluation, if present."""
+        values = self._entries.get(self._key(uarch, mode, raw_hex))
+        if values is not None:
+            self.hits += 1
+        return values
+
+    def put(self, uarch: str, mode: str, raw_hex: str,
+            values: Dict[str, float]) -> None:
+        """Record one evaluation; flushes every :attr:`every` puts."""
+        self._entries[self._key(uarch, mode, raw_hex)] = dict(values)
+        self._dirty += 1
+        if self._dirty >= self.every:
+            self.flush()
+
+    # -- persistence ---------------------------------------------------
+
+    def flush(self) -> None:
+        """Write the checkpoint atomically (canonical JSON)."""
+        payload = {
+            "schema": SCHEMA,
+            "config": self._fingerprint,
+            "evaluations": self._entries,
+        }
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, self.path)
+        self._dirty = 0
+        self.flushes += 1

@@ -93,6 +93,14 @@ def campaign_report(result: CampaignResult) -> Dict[str, Any]:
         },
         "stats": {abbrev: dict(sorted(entries.items()))
                   for abbrev, entries in sorted(result.stats.items())},
+        # Unrecovered robustness events (open breakers, skipped tools);
+        # always present and [] in a clean run, so fault-injected runs
+        # that fully recover stay byte-identical to fault-free ones.
+        "incidents": [dict(sorted(entry.items()))
+                      for entry in result.incidents],
+        # True only for reports rendered out of an interrupted
+        # campaign (``facile hunt`` after Ctrl-C).
+        "partial": result.partial,
         "summary": {
             "witnesses": len(result.witnesses),
             "clusters": len(result.clusters),
@@ -114,6 +122,10 @@ def render_markdown(report: Dict[str, Any], max_clusters: int = 10,
     config = report["config"]
     summary = report["summary"]
     lines: List[str] = ["# facile hunt: deviation report", ""]
+    if report.get("partial"):
+        lines.append("**PARTIAL REPORT** — the campaign was "
+                     "interrupted; completed µarchs only.")
+        lines.append("")
     lines.append(
         f"seed {config['seed']} · budget {config['budget']} · µarchs "
         f"{', '.join(config['uarchs'])} · tools "
@@ -126,6 +138,11 @@ def render_markdown(report: Dict[str, Any], max_clusters: int = 10,
             f"{stats['mutants']} mutants -> {stats['deviating']} "
             f"deviating, {stats['witnesses']} minimized witnesses "
             f"({stats['blocks_evaluated']} block evaluations)")
+    for incident in report.get("incidents", []):
+        lines.append(
+            f"- ⚠ {incident['uarch']}: {incident['predictor']} skipped "
+            f"({incident['reason']}, {incident['batches']} batch(es)): "
+            f"{incident['detail']}")
     lines.append("")
     if not report["clusters"]:
         lines.append("No deviations at this threshold — lower "

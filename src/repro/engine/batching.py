@@ -18,10 +18,23 @@ Because the dispatcher is the only thread that touches the engine, the
 predictions handed back are exactly what a serial
 ``Engine.predict_many`` over the same blocks would return — batching
 changes latency and throughput, never results.
+
+Overload behavior (see ``docs/ROBUSTNESS.md``):
+
+* the queue is **bounded** when ``max_queue`` is set: a submit that
+  would exceed it raises :class:`QueueFullError` immediately (the
+  service turns this into ``429`` + ``Retry-After``) instead of letting
+  latency grow without bound;
+* requests may carry a **deadline** (a ``time.monotonic`` timestamp).
+  A request whose deadline passed while it queued is dropped at
+  dispatch time — its future fails with :class:`DeadlineExceeded`
+  (HTTP 504) and, crucially, no engine time is spent on work nobody is
+  waiting for anymore.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from concurrent.futures import Future
@@ -30,10 +43,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.components import ThroughputMode
 from repro.core.model import Prediction
 from repro.isa.block import BasicBlock
+from repro.robustness.errors import DeadlineExceeded, QueueFullError
 
 #: Default batching window (requests / milliseconds).
 DEFAULT_MAX_BATCH = 64
 DEFAULT_MAX_WAIT_MS = 5.0
+
+#: One queued request: block, mode, future, optional deadline.
+_Entry = Tuple[BasicBlock, ThroughputMode, Future, Optional[float]]
 
 
 class MicroBatcher:
@@ -47,6 +64,10 @@ class MicroBatcher:
             before dispatching what it has.  ``0`` dispatches eagerly —
             useful in tests that want deterministic single-request
             batches.
+        max_queue: bound on queued (not yet dispatched) requests;
+            ``None`` keeps the queue unbounded (the pre-robustness
+            behavior).  Submits beyond the bound shed load by raising
+            :class:`QueueFullError`.
 
     Use as a context manager or call :meth:`close`; submitting to a
     closed batcher raises :class:`RuntimeError`, while requests already
@@ -55,23 +76,29 @@ class MicroBatcher:
     """
 
     def __init__(self, engine, *, max_batch: int = DEFAULT_MAX_BATCH,
-                 max_wait_ms: float = DEFAULT_MAX_WAIT_MS):
+                 max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+                 max_queue: Optional[int] = None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 or None")
         self.engine = engine
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
+        self.max_queue = max_queue
         self._lock = threading.Lock()
         self._pending_cond = threading.Condition(self._lock)
-        self._pending: List[Tuple[BasicBlock, ThroughputMode, Future]] = []
+        self._pending: List[_Entry] = []
         self._closed = False
         # Lifetime statistics (surfaced at the service's /stats).
         self.requests = 0
         self.batches = 0
         self.batched_requests = 0
         self.max_batch_seen = 0
+        self.shed = 0
+        self.deadline_drops = 0
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-microbatcher",
             daemon=True)
@@ -79,33 +106,80 @@ class MicroBatcher:
 
     # -- client side ---------------------------------------------------
 
-    def submit(self, block: BasicBlock,
-               mode: ThroughputMode) -> "Future[Prediction]":
-        """Enqueue one prediction request; resolves to a ``Prediction``."""
-        future: "Future[Prediction]" = Future()
+    def retry_after(self) -> float:
+        """A polite ``Retry-After`` suggestion (seconds) when shedding:
+        roughly how long the current backlog takes to drain in full
+        windows, never less than one second."""
+        with self._lock:
+            backlog = len(self._pending)
+        windows = math.ceil(max(1, backlog) / self.max_batch)
+        return float(max(1, math.ceil(
+            windows * (self.max_wait_ms / 1000.0))))
+
+    def submit(self, block: BasicBlock, mode: ThroughputMode,
+               deadline: Optional[float] = None) -> "Future[Prediction]":
+        """Enqueue one prediction request; resolves to a ``Prediction``.
+
+        Args:
+            deadline: optional ``time.monotonic`` timestamp; if it
+                passes before the request is dispatched, the future
+                fails with :class:`DeadlineExceeded` instead of
+                occupying the engine.
+        """
+        futures = self._submit_all([(block, mode, deadline)])
+        return futures[0]
+
+    def _submit_all(self, requests: Sequence[Tuple[BasicBlock,
+                                                   ThroughputMode,
+                                                   Optional[float]]]
+                    ) -> List["Future[Prediction]"]:
+        """Admit *requests* atomically: either the queue takes them
+        all, or none and :class:`QueueFullError` — a bulk request is
+        never half-enqueued when the service sheds it with a 429."""
         with self._pending_cond:
             if self._closed:
                 raise RuntimeError("MicroBatcher is closed")
-            self._pending.append((block, mode, future))
-            self.requests += 1
+            if (self.max_queue is not None
+                    and len(self._pending) + len(requests)
+                    > self.max_queue):
+                self.shed += len(requests)
+                backlog = len(self._pending)
+                raise QueueFullError(
+                    f"admission queue full ({backlog} queued, "
+                    f"bound {self.max_queue}); retry later",
+                    retry_after=max(1.0, math.ceil(
+                        math.ceil(max(1, backlog) / self.max_batch)
+                        * (self.max_wait_ms / 1000.0))))
+            futures: List["Future[Prediction]"] = []
+            for block, mode, deadline in requests:
+                future: "Future[Prediction]" = Future()
+                self._pending.append((block, mode, future, deadline))
+                futures.append(future)
+            self.requests += len(requests)
             self._pending_cond.notify()
-        return future
+            return futures
 
     def predict(self, block: BasicBlock, mode: ThroughputMode,
-                timeout: Optional[float] = None) -> Prediction:
+                timeout: Optional[float] = None,
+                deadline: Optional[float] = None) -> Prediction:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(block, mode).result(timeout=timeout)
+        return self.submit(block, mode,
+                           deadline=deadline).result(timeout=timeout)
 
     def predict_many(self, blocks: Sequence[BasicBlock],
                      mode: ThroughputMode,
-                     timeout: Optional[float] = None) -> List[Prediction]:
+                     timeout: Optional[float] = None,
+                     deadline: Optional[float] = None
+                     ) -> List[Prediction]:
         """Submit a bulk request and wait for all of its predictions.
 
         Each block rides the shared batching queue individually, so
-        bulk requests from different clients merge into common windows.
-        Results preserve input order.
+        bulk requests from different clients merge into common windows;
+        admission is all-or-nothing against ``max_queue``.  Results
+        preserve input order.
         """
-        futures = [self.submit(block, mode) for block in blocks]
+        futures = self._submit_all(
+            [(block, mode, deadline) for block in blocks])
         return [future.result(timeout=timeout) for future in futures]
 
     # -- lifecycle -----------------------------------------------------
@@ -131,8 +205,7 @@ class MicroBatcher:
 
     # -- dispatcher side -----------------------------------------------
 
-    def _take_window(self) -> List[Tuple[BasicBlock, ThroughputMode,
-                                         Future]]:
+    def _take_window(self) -> List[_Entry]:
         """Block until a window is ready, then claim its requests.
 
         Returns an empty list exactly once, when the batcher closes.
@@ -162,15 +235,31 @@ class MicroBatcher:
                 break
             self._dispatch(window)
 
-    def _dispatch(self, window) -> None:
+    def _dispatch(self, window: List[_Entry]) -> None:
         """Resolve one window with one engine call per mode group."""
         if not window:  # a window that closed empty: nothing to do
             return
+        # Shed requests that expired while queued: nobody is waiting
+        # for them anymore, so they must not occupy the engine.
+        now = time.monotonic()
+        live: List[_Entry] = []
+        for entry in window:
+            deadline = entry[3]
+            if deadline is not None and now >= deadline:
+                self.deadline_drops += 1
+                future = entry[2]
+                if not future.done():
+                    future.set_exception(DeadlineExceeded(
+                        "deadline passed while queued for dispatch"))
+            else:
+                live.append(entry)
+        if not live:
+            return
         self.batches += 1
-        self.batched_requests += len(window)
-        self.max_batch_seen = max(self.max_batch_seen, len(window))
+        self.batched_requests += len(live)
+        self.max_batch_seen = max(self.max_batch_seen, len(live))
         groups: Dict[ThroughputMode, List[Tuple[BasicBlock, Future]]] = {}
-        for block, mode, future in window:
+        for block, mode, future, _ in live:
             groups.setdefault(mode, []).append((block, future))
         for mode, entries in groups.items():
             try:
@@ -188,6 +277,19 @@ class MicroBatcher:
     # -- introspection -------------------------------------------------
 
     @property
+    def queue_depth(self) -> int:
+        """Requests currently queued (admitted, not yet dispatched)."""
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the bounded queue is currently at capacity."""
+        if self.max_queue is None:
+            return False
+        return self.queue_depth >= self.max_queue
+
+    @property
     def mean_batch_size(self) -> float:
         """Average requests per dispatched window (0.0 before traffic)."""
         return (self.batched_requests / self.batches
@@ -202,4 +304,7 @@ class MicroBatcher:
             "max_wait_ms": self.max_wait_ms,
             "max_batch_seen": self.max_batch_seen,
             "mean_batch_size": round(self.mean_batch_size, 2),
+            "max_queue": self.max_queue,
+            "shed": self.shed,
+            "deadline_drops": self.deadline_drops,
         }

@@ -19,6 +19,21 @@ analysis cache keys on the raw byte signature, a round-tripped block is
 analyzed identically to the original, which keeps parallel predictions
 byte-identical to the serial path.
 
+The parallel path is **fault-tolerant** (see ``docs/ROBUSTNESS.md``):
+chunks are dispatched with per-task deadlines, a chunk that produces no
+result within its deadline is treated as lost (dead or hung worker), the
+pool is respawned and the chunk's tasks are requeued — individually, so
+an innocent chunk-mate of a poisonous task cannot be starved.  Retries
+are bounded (``max_task_retries``); a task that exhausts them resolves
+to a typed :class:`~repro.robustness.errors.PredictorError` in its
+result slot (``on_error="record"``) or raises
+:class:`~repro.robustness.errors.EngineTaskError` (the default).  Tasks
+that failed with a crash or an exception get one final in-process
+attempt, which keeps recovered results byte-identical to a serial run.
+The :mod:`repro.robustness.faults` harness can deterministically inject
+worker kills, hangs, and exceptions into this path (site
+``engine.task``) to prove all of the above in tier-1 tests.
+
 Select the worker count with ``n_workers``:
 
 * ``None`` — use the process-wide default (``set_default_workers`` /
@@ -32,18 +47,34 @@ from __future__ import annotations
 import multiprocessing
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.components import Component, ThroughputMode
 from repro.core.model import Facile, Prediction
 from repro.engine.cache import AnalysisCache
 from repro.isa.block import BasicBlock
+from repro.robustness.errors import EngineTaskError, PredictorError
+from repro.robustness.faults import act_in_worker, active_plan
 from repro.uarch import uarch_by_name
 from repro.uarch.config import MicroArchConfig
 from repro.uops.database import UopsDatabase
 
 #: Both throughput notions, in evaluation order.
 ALL_MODES = (ThroughputMode.UNROLLED, ThroughputMode.LOOP)
+
+#: Fault-injection site of the parallel dispatch (one draw per task).
+TASK_SITE = "engine.task"
+#: Fault-injection site of parallel oracle measurements.
+MEASURE_SITE = "engine.measure"
+
+#: Per-task deadline applied when a fault plan is active but no
+#: explicit ``task_timeout`` was configured: injection without a
+#: deadline could hang forever, which is exactly what the harness
+#: exists to rule out.
+DEFAULT_FAULTED_TIMEOUT = 10.0
+
+#: A merged batch entry: a prediction, or a typed failure slot.
+PredictResult = Union[Prediction, PredictorError]
 
 
 def _env_workers() -> Optional[int]:
@@ -123,25 +154,46 @@ _WORKER_MODELS: Dict[ModelSpec, Facile] = {}
 #: Per-process databases for measurement tasks (one per µarch).
 _WORKER_DBS: Dict[str, UopsDatabase] = {}
 
-_Task = Tuple[ModelSpec, int, bytes, str]
+#: A predict payload: spec, batch index, raw bytes, mode, encoded fault.
+_Task = Tuple[ModelSpec, int, bytes, str, Optional[Tuple[str, float]]]
+
+#: A chunk result entry: (index, ok, prediction-or-error-text).
+_ChunkEntry = Tuple[int, bool, object]
 
 
-def _predict_task(task: _Task) -> Tuple[int, Prediction]:
-    """Predict one compact payload inside a worker process."""
-    spec, index, raw, mode_value = task
-    model = _WORKER_MODELS.get(spec)
-    if model is None:
-        model = spec.build()
-        _WORKER_MODELS[spec] = model
-    block = BasicBlock.from_bytes(raw)
-    return index, model.predict(block, ThroughputMode(mode_value))
+def _predict_chunk(tasks: Sequence[_Task]) -> List[_ChunkEntry]:
+    """Predict a chunk of compact payloads inside a worker process.
+
+    Each task is isolated: an exception (injected or real) becomes a
+    per-task error entry instead of poisoning the chunk.  A
+    ``worker_kill`` fault exits the process without returning — the
+    parent sees a lost chunk, which is the point.
+    """
+    out: List[_ChunkEntry] = []
+    for spec, index, raw, mode_value, fault in tasks:
+        try:
+            if fault is not None:
+                act_in_worker(fault, TASK_SITE)
+            model = _WORKER_MODELS.get(spec)
+            if model is None:
+                model = spec.build()
+                _WORKER_MODELS[spec] = model
+            block = BasicBlock.from_bytes(raw)
+            out.append(
+                (index, True, model.predict(block,
+                                            ThroughputMode(mode_value))))
+        except Exception as exc:
+            out.append((index, False, f"{type(exc).__name__}: {exc}"))
+    return out
 
 
-def _measure_task(task: Tuple[str, int, bytes, str]) -> Tuple[int, float]:
+def _measure_task(task) -> Tuple[int, float]:
     """Run the oracle simulator on one compact payload in a worker."""
     from repro.sim.measure import measure
 
-    abbrev, index, raw, mode_value = task
+    abbrev, index, raw, mode_value, fault = task
+    if fault is not None:
+        act_in_worker(fault, MEASURE_SITE)
     db = _WORKER_DBS.get(abbrev)
     if db is None:
         db = UopsDatabase(uarch_by_name(abbrev))
@@ -171,6 +223,16 @@ class Engine:
         db / cache: optionally shared database and analysis cache.
         n_workers: parallelism (see module docstring).
         chunksize: payloads per pool task on the parallel path.
+        task_timeout: per-task deadline in seconds on the parallel path
+            (``None`` = wait forever, unless a fault plan is active, in
+            which case :data:`DEFAULT_FAULTED_TIMEOUT` applies).  A
+            chunk that misses its deadline is treated as lost to a dead
+            or hung worker: the pool is respawned and the tasks are
+            requeued.
+        max_task_retries: how many times a lost or failed task is
+            redispatched before its slot degrades to a
+            :class:`PredictorError` (``on_error="record"``) or raises
+            :class:`EngineTaskError` (``on_error="raise"``).
         simple_predec / simple_dec / components / exclude: the Facile
             variant, as in :class:`~repro.core.model.Facile`.
 
@@ -188,6 +250,8 @@ class Engine:
                  cache: Optional[AnalysisCache] = None,
                  n_workers: Optional[int] = None,
                  chunksize: int = 16,
+                 task_timeout: Optional[float] = None,
+                 max_task_retries: int = 2,
                  simple_predec: bool = False,
                  simple_dec: bool = False,
                  components: Optional[Iterable[Component]] = None,
@@ -213,7 +277,17 @@ class Engine:
         if self.n_workers is not None and self.n_workers < 0:
             raise ValueError(
                 "n_workers must be >= 0 (0 = one per CPU, None = serial)")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be > 0 seconds or None")
+        if max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
         self.chunksize = max(1, chunksize)
+        self.task_timeout = task_timeout
+        self.max_task_retries = max_task_retries
+        # Recovery counters (surfaced by the service's /stats).
+        self.tasks_retried = 0
+        self.pool_respawns = 0
+        self.tasks_failed = 0
         self._pool = None
 
     # -- lifecycle -----------------------------------------------------
@@ -254,6 +328,17 @@ class Engine:
             self._pool = _pool_context().Pool(n)
         return self._pool
 
+    def _respawn_pool(self) -> None:
+        """Kill the pool (hung workers included) for a fresh one."""
+        self.pool_respawns += 1
+        self.close()
+
+    def _effective_timeout(self) -> Optional[float]:
+        if self.task_timeout is not None:
+            return self.task_timeout
+        return (DEFAULT_FAULTED_TIMEOUT if active_plan() is not None
+                else None)
+
     # -- prediction ----------------------------------------------------
 
     def predict(self, block: BasicBlock, mode: ThroughputMode) -> Prediction:
@@ -261,28 +346,156 @@ class Engine:
         return self.model.predict(block, mode)
 
     def predict_many(self, blocks: Sequence[BasicBlock],
-                     mode: ThroughputMode) -> List[Prediction]:
+                     mode: ThroughputMode, *,
+                     on_error: str = "raise") -> List[PredictResult]:
         """Predict a whole batch, preserving input order.
 
         Serial unless the engine was configured with workers; both paths
-        return identical predictions (the parallel merge is by index).
+        return identical predictions (the parallel merge is by index,
+        and recovered tasks are re-predicted in-process when the pool
+        cannot produce them).
+
+        Args:
+            on_error: ``"raise"`` (default) propagates a task's final
+                failure as :class:`EngineTaskError` (serial path: the
+                original exception); ``"record"`` degrades the failing
+                task's result slot to a :class:`PredictorError` and
+                keeps every other slot intact.
         """
+        if on_error not in ("raise", "record"):
+            raise ValueError("on_error must be 'raise' or 'record'")
         blocks = list(blocks)
         if not blocks:
             return []
         if not self.parallel or len(blocks) == 1:
-            return self.model.predict_many(blocks, mode)
+            if on_error == "raise":
+                return self.model.predict_many(blocks, mode)
+            results: List[PredictResult] = []
+            for index, block in enumerate(blocks):
+                try:
+                    results.append(self.model.predict(block, mode))
+                except Exception as exc:
+                    self.tasks_failed += 1
+                    results.append(PredictorError(
+                        kind="exception",
+                        detail=f"{type(exc).__name__}: {exc}",
+                        attempts=1, index=index))
+            return results
+        return self._predict_parallel(blocks, mode, on_error)
 
-        pool = self._ensure_pool()
-        tasks: List[_Task] = [
-            (self.spec, index, block.raw, mode.value)
-            for index, block in enumerate(blocks)
-        ]
-        results: List[Optional[Prediction]] = [None] * len(blocks)
-        for index, prediction in pool.imap_unordered(
-                _predict_task, tasks, chunksize=self.chunksize):
-            results[index] = prediction
+    # -- the fault-tolerant parallel path ------------------------------
+
+    def _predict_parallel(self, blocks: Sequence[BasicBlock],
+                          mode: ThroughputMode,
+                          on_error: str) -> List[PredictResult]:
+        plan = active_plan()
+        payloads: List[List] = []
+        for index, block in enumerate(blocks):
+            fault = plan.check(TASK_SITE) if plan is not None else None
+            payloads.append([self.spec, index, block.raw, mode.value,
+                             fault.encode() if fault is not None
+                             else None])
+        results: List[Optional[PredictResult]] = [None] * len(blocks)
+        attempts = [0] * len(blocks)
+        pending = list(range(len(blocks)))
+        first_round = True
+        while pending:
+            timeout = self._effective_timeout()
+            pool = self._ensure_pool()
+            # First round: normal chunking.  Retry rounds: one task per
+            # chunk, so blame is precise and an innocent chunk-mate of
+            # a hung task cannot burn through its own retry budget.
+            size = self.chunksize if first_round else 1
+            chunks = [pending[i:i + size]
+                      for i in range(0, len(pending), size)]
+            handles = [
+                (chunk, pool.apply_async(
+                    _predict_chunk,
+                    ([tuple(payloads[j]) for j in chunk],)))
+                for chunk in chunks
+            ]
+            requeue: List[int] = []
+            respawn = False
+            for chunk, handle in handles:
+                budget = (None if timeout is None
+                          else timeout * len(chunk))
+                try:
+                    entries = handle.get(budget)
+                except multiprocessing.TimeoutError:
+                    respawn = True
+                    self._absorb_lost_chunk(
+                        chunk, "timeout", "no result within "
+                        f"{budget:.1f}s (dead or hung worker)",
+                        blocks, mode, on_error, attempts, requeue,
+                        results, payloads)
+                    continue
+                except Exception as exc:
+                    # The pool itself failed (broken pipe, worker
+                    # crashed while unpickling, ...).
+                    respawn = True
+                    self._absorb_lost_chunk(
+                        chunk, "worker_crash",
+                        f"{type(exc).__name__}: {exc}",
+                        blocks, mode, on_error, attempts, requeue,
+                        results, payloads)
+                    continue
+                for index, ok, payload in entries:
+                    attempts[index] += 1
+                    if ok:
+                        results[index] = payload
+                    else:
+                        self._absorb_task_failure(
+                            index, "exception", str(payload), blocks,
+                            mode, on_error, attempts, requeue, results,
+                            payloads)
+            if respawn:
+                self._respawn_pool()
+            pending = requeue
+            first_round = False
         return results  # type: ignore[return-value]
+
+    def _absorb_lost_chunk(self, chunk, kind, detail, blocks, mode,
+                           on_error, attempts, requeue, results,
+                           payloads) -> None:
+        """Every task of a lost chunk: count the attempt, then requeue
+        or finalize."""
+        for index in chunk:
+            attempts[index] += 1
+            self._absorb_task_failure(
+                index, kind, detail, blocks, mode, on_error, attempts,
+                requeue, results, payloads)
+
+    def _absorb_task_failure(self, index, kind, detail, blocks, mode,
+                             on_error, attempts, requeue, results,
+                             payloads) -> None:
+        """One task failed once (attempt already counted): requeue it
+        (fault cleared) while retries remain, else finalize its slot."""
+        if attempts[index] <= self.max_task_retries:
+            payloads[index][4] = None  # injected faults fire once
+            self.tasks_retried += 1
+            requeue.append(index)
+            return
+        if kind != "timeout":
+            # Crashes and exceptions get one final in-process attempt:
+            # a transient worker death must not surface as a failure
+            # when the block itself is fine — this is what keeps
+            # recovered batches byte-identical to serial runs.  (A
+            # *timed-out* task is excluded: re-running code that just
+            # hung a worker could hang the parent.)
+            try:
+                results[index] = self.model.predict(blocks[index], mode)
+                return
+            except Exception as exc:
+                kind = "exception"
+                detail = f"{type(exc).__name__}: {exc}"
+                if on_error == "raise":
+                    raise
+        self.tasks_failed += 1
+        error = PredictorError(kind=kind, detail=detail,
+                               attempts=attempts[index], index=index)
+        if on_error == "raise":
+            raise EngineTaskError(error)
+        results[index] = error
 
     def predict_suite(self, suite, modes: Optional[Sequence[ThroughputMode]]
                       = None) -> Dict[ThroughputMode, List[Prediction]]:
@@ -302,7 +515,8 @@ class Engine:
 
 def measure_many(cfg: MicroArchConfig, blocks: Sequence[BasicBlock],
                  mode: ThroughputMode, *, n_workers: int,
-                 chunksize: int = 4) -> List[float]:
+                 chunksize: int = 4,
+                 task_timeout: Optional[float] = None) -> List[float]:
     """Oracle-simulator measurements of a batch, over a worker pool.
 
     The measurement side of suite evaluation is by far its slowest part
@@ -313,8 +527,15 @@ def measure_many(cfg: MicroArchConfig, blocks: Sequence[BasicBlock],
     The process-wide measurement cache of :mod:`repro.sim.measure` is
     consulted first and refilled with the workers' results, so repeated
     suite evaluations stay free regardless of which path measured them.
+
+    Fault tolerance: the pool path is best-effort.  If the pool dies,
+    hangs past *task_timeout* (default: forever; 10 s under an active
+    fault plan), or raises, every measurement it failed to deliver is
+    computed serially in-process — serial and parallel measurements are
+    identical by construction, so recovery never changes results.
     """
-    from repro.sim.measure import cached_measurement, store_measurement
+    from repro.sim.measure import cached_measurement, measure, \
+        store_measurement
 
     if n_workers < 0:
         raise ValueError("n_workers must be >= 0 (0 = one per CPU)")
@@ -328,15 +549,46 @@ def measure_many(cfg: MicroArchConfig, blocks: Sequence[BasicBlock],
     if n_workers == 0:
         n_workers = os.cpu_count() or 1
 
+    plan = active_plan()
+    if task_timeout is None and plan is not None:
+        task_timeout = DEFAULT_FAULTED_TIMEOUT
+
     results: List[Optional[float]] = [
         cached_measurement(block, cfg, mode) for block in blocks]
-    tasks = [(cfg.abbrev, index, block.raw, mode.value)
-             for index, block in enumerate(blocks)
-             if results[index] is None]
+    tasks = []
+    for index, block in enumerate(blocks):
+        if results[index] is not None:
+            continue
+        fault = plan.check(MEASURE_SITE) if plan is not None else None
+        tasks.append((cfg.abbrev, index, block.raw, mode.value,
+                      fault.encode() if fault is not None else None))
     if tasks:
-        with _pool_context().Pool(n_workers) as pool:
-            for index, cycles in pool.imap_unordered(
-                    _measure_task, tasks, chunksize=max(1, chunksize)):
+        pool = _pool_context().Pool(n_workers)
+        try:
+            iterator = pool.imap_unordered(_measure_task, tasks,
+                                           chunksize=max(1, chunksize))
+            for _ in range(len(tasks)):
+                try:
+                    index, cycles = (iterator.next(task_timeout)
+                                     if task_timeout is not None
+                                     else next(iterator))
+                except StopIteration:  # pragma: no cover - defensive
+                    break
+                except Exception:
+                    # Timeout, dead worker, injected exception — stop
+                    # trusting the pool; the serial fallback below
+                    # computes whatever is still missing.
+                    break
+                results[index] = cycles
+                store_measurement(blocks[index], cfg, mode, cycles)
+        finally:
+            pool.terminate()
+            pool.join()
+    if any(value is None for value in results):
+        db = UopsDatabase(cfg)
+        for index, value in enumerate(results):
+            if value is None:
+                cycles = measure(blocks[index], cfg, mode, db)
                 results[index] = cycles
                 store_measurement(blocks[index], cfg, mode, cycles)
     return results  # type: ignore[return-value]

@@ -13,6 +13,8 @@ import urllib.error
 import urllib.request
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.robustness.retry import RetryPolicy
+
 
 class ServiceError(Exception):
     """An error response from the service.
@@ -20,12 +22,16 @@ class ServiceError(Exception):
     Attributes:
         status: the HTTP status code.
         message: the ``error`` field of the JSON error body.
+        retry_after: the ``Retry-After`` header in seconds, if the
+            response carried one (429 load shedding does).
     """
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 #: A block as the wire format accepts it: hex string or {"hex"/"asm": ...}.
@@ -44,25 +50,33 @@ class ServiceClient:
     Args:
         host / port: where the service listens.
         timeout: per-request socket timeout in seconds.
+        max_attempts: bound on tries per request (>= 1).  Connection
+            errors and 429 load-shedding responses are retried with
+            full-jitter exponential backoff (a 429's ``Retry-After``
+            floors the backoff); any other error response is final —
+            a 400 does not become a 400 three times slower.
+        retry_policy: override the backoff schedule (mostly for tests,
+            which inject a recording ``sleep`` and a seeded ``rng``).
 
     Blocks are passed as hex strings (``"4801d8"``), or as dicts in the
     wire format (``{"asm": "add rax, rbx"}``).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8000,
-                 timeout: float = 60.0):
+                 timeout: float = 60.0, max_attempts: int = 3,
+                 retry_policy: Optional[RetryPolicy] = None):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         self.base_url = f"http://{host}:{port}"
         self.timeout = timeout
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy(max_attempts=max_attempts))
 
     # -- transport -----------------------------------------------------
 
-    def request_raw(self, path: str,
-                    body: Optional[Dict] = None) -> bytes:
-        """One request; returns the raw response bytes.
-
-        GET when *body* is None, POST otherwise.  Error statuses raise
-        :class:`ServiceError` with the server's message.
-        """
+    def _request_once(self, path: str,
+                      body: Optional[Dict] = None) -> bytes:
+        """One request attempt; returns the raw response bytes."""
         data = None if body is None else json.dumps(body).encode("utf-8")
         request = urllib.request.Request(
             self.base_url + path, data=data,
@@ -78,7 +92,41 @@ class ServiceClient:
                 message = json.loads(raw.decode("utf-8"))["error"]
             except Exception:
                 message = raw.decode("utf-8", "replace") or exc.reason
-            raise ServiceError(exc.code, message) from None
+            try:
+                retry_after = float(exc.headers.get("Retry-After"))
+            except (TypeError, ValueError):
+                retry_after = None
+            raise ServiceError(exc.code, message,
+                               retry_after=retry_after) from None
+
+    def request_raw(self, path: str,
+                    body: Optional[Dict] = None) -> bytes:
+        """One request (with bounded retries); raw response bytes.
+
+        GET when *body* is None, POST otherwise.  Error statuses raise
+        :class:`ServiceError` with the server's message; transient
+        failures (refused/dropped connections, 429 shedding) are
+        retried up to the client's ``max_attempts`` before the last
+        error propagates.
+        """
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(path, body)
+            except ServiceError as exc:
+                if (exc.status != 429
+                        or not policy.attempts_left(attempt + 1)):
+                    raise
+                policy.backoff(attempt, floor=exc.retry_after)
+            except urllib.error.URLError:
+                # Connection-level failure (refused, reset, DNS): the
+                # request never reached an application answer, so a
+                # retry cannot double-apply anything.
+                if not policy.attempts_left(attempt + 1):
+                    raise
+                policy.backoff(attempt)
+            attempt += 1
 
     def request(self, path: str, body: Optional[Dict] = None) -> Dict:
         """Like :meth:`request_raw`, but decodes the JSON payload."""

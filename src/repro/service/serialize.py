@@ -30,11 +30,17 @@ from repro.isa.block import BasicBlock
 
 
 class RequestError(Exception):
-    """A client error, answered with *status* and a JSON error body."""
+    """A client error, answered with *status* and a JSON error body.
 
-    def __init__(self, message: str, status: int = 400):
+    *headers* (optional) are extra response headers — the 429
+    load-shedding path uses this to attach ``Retry-After``.
+    """
+
+    def __init__(self, message: str, status: int = 400,
+                 headers: Optional[Dict[str, str]] = None):
         super().__init__(message)
         self.status = status
+        self.headers = dict(headers) if headers else {}
 
 
 def json_bytes(payload: Dict) -> bytes:
@@ -156,6 +162,30 @@ def parse_blocks(body: Dict, *, max_blocks: int) -> List[BasicBlock]:
             f"the server accepts at most {max_blocks})", status=413)
     return [parse_block(obj, field=f"blocks[{index}]")
             for index, obj in enumerate(blocks)]
+
+
+#: Upper bound on request deadlines: a client cannot pin a request (and
+#: whatever resources wait on it) for more than this.
+MAX_TIMEOUT_MS = 10 * 60 * 1000.0
+
+
+def parse_timeout_ms(body: Dict) -> Optional[float]:
+    """The request's ``timeout_ms`` deadline budget, if it sent one.
+
+    ``None`` means "no deadline" (the pre-robustness behavior).  The
+    service adds the budget to ``time.monotonic()`` at parse time and
+    propagates the resulting deadline into the micro-batcher, which
+    sheds the request (HTTP 504) if it is still queued when the
+    deadline passes.
+    """
+    value = body.get("timeout_ms")
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise RequestError("'timeout_ms' must be a number")
+    if value <= 0:
+        raise RequestError("'timeout_ms' must be > 0")
+    return float(min(value, MAX_TIMEOUT_MS))
 
 
 def parse_counterfactuals(body: Dict) -> bool:

@@ -24,6 +24,8 @@ what a client observes.
 
 from __future__ import annotations
 
+import concurrent.futures
+import math
 import sys
 import threading
 import time
@@ -34,6 +36,10 @@ from repro.core.components import ThroughputMode
 from repro.engine.batching import DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT_MS, \
     MicroBatcher
 from repro.engine.engine import Engine, default_workers
+from repro.robustness.breaker import CircuitBreaker, OPEN
+from repro.robustness.errors import CircuitOpenError, DeadlineExceeded, \
+    QueueFullError
+from repro.robustness.faults import maybe_inject
 from repro.service import serialize
 from repro.service.serialize import RequestError, json_bytes
 from repro.uarch import ALL_UARCHS, uarch_by_name
@@ -51,6 +57,17 @@ DEFAULT_MAX_BULK = 4096
 
 #: Hard cap on request body size in bytes (larger requests get a 413).
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Default bound on each µarch's admission queue (queued, undispatched
+#: blocks).  Beyond it the service sheds load with 429 + ``Retry-After``
+#: instead of queueing without bound.
+DEFAULT_MAX_QUEUE = 4096
+
+#: Default circuit-breaker tuning for the ``/compare`` baselines:
+#: skip a predictor after this many consecutive failures, probe it
+#: again after the cooldown.
+DEFAULT_BREAKER_FAILURES = 3
+DEFAULT_BREAKER_COOLDOWN = 30.0
 
 
 class _ThreadingServer(ThreadingHTTPServer):
@@ -70,22 +87,37 @@ class _UarchRuntime:
     """Everything the service holds per loaded µarch."""
 
     def __init__(self, abbrev: str, *, n_workers: Optional[int],
-                 max_batch: int, max_wait_ms: float):
+                 max_batch: int, max_wait_ms: float,
+                 max_queue: Optional[int],
+                 breaker_failures: int, breaker_cooldown: float):
         cfg = uarch_by_name(abbrev)
         self.cfg = cfg
         self.engine = Engine(cfg, n_workers=n_workers)
         self.batcher = MicroBatcher(self.engine, max_batch=max_batch,
-                                    max_wait_ms=max_wait_ms)
+                                    max_wait_ms=max_wait_ms,
+                                    max_queue=max_queue)
         # The comparison predictors run in request threads, not through
         # the batcher's dispatcher; they get a private database (hence a
         # private analysis cache) plus a lock, so they can never race
         # the dispatcher on the engine's unsynchronized cache.
         self.compare_lock = threading.Lock()
         self._predictors: Dict[str, object] = {}
+        # One circuit breaker per baseline predictor: a broken tool is
+        # skipped (a typed entry in the response) instead of failing
+        # every /compare that names it.
+        self.breaker_failures = breaker_failures
+        self.breaker_cooldown = breaker_cooldown
+        self.breakers: Dict[str, CircuitBreaker] = {}
 
     def predictor(self, name: str):
-        """The (memoized) baseline predictor *name* on this µarch."""
-        from repro.baselines import all_predictors, predictor_names
+        """The (memoized, guarded) baseline predictor *name*.
+
+        Wrapped in :class:`~repro.baselines.GuardedPredictor`: transient
+        failures are retried inside the request, persistent ones open
+        the runtime's per-predictor breaker.
+        """
+        from repro.baselines import GuardedPredictor, all_predictors, \
+            predictor_names
         if name not in self._predictors:
             if name not in predictor_names():
                 raise RequestError(
@@ -94,8 +126,22 @@ class _UarchRuntime:
                     status=404)
             predictor, = all_predictors(self.cfg, names=[name])
             predictor.prepare()
-            self._predictors[name] = predictor
+            self._predictors[name] = GuardedPredictor(
+                predictor, breaker=self.breaker(name))
         return self._predictors[name]
+
+    def breaker(self, name: str) -> CircuitBreaker:
+        """The circuit breaker guarding predictor *name*."""
+        if name not in self.breakers:
+            self.breakers[name] = CircuitBreaker(
+                name, failure_threshold=self.breaker_failures,
+                cooldown=self.breaker_cooldown)
+        return self.breakers[name]
+
+    def open_breakers(self) -> List[str]:
+        """Names of predictors whose breaker is currently open."""
+        return sorted(name for name, breaker in self.breakers.items()
+                      if breaker.state == OPEN)
 
     def close(self) -> None:
         self.batcher.close()
@@ -119,6 +165,12 @@ class PredictionService:
         max_batch / max_wait_ms: the micro-batching window (see
             :class:`~repro.engine.batching.MicroBatcher`).
         max_bulk: maximum blocks accepted in one bulk request.
+        max_queue: bound on each µarch's admission queue; beyond it the
+            service sheds with ``429`` + ``Retry-After``.  ``None``
+            disables shedding (unbounded queue).
+        breaker_failures / breaker_cooldown: circuit-breaker tuning for
+            the ``/compare`` baselines (consecutive failures to open;
+            seconds until a half-open probe).
 
     Usable as a context manager::
 
@@ -131,7 +183,10 @@ class PredictionService:
                  port: int = 0, n_workers: Optional[int] = None,
                  max_batch: int = DEFAULT_MAX_BATCH,
                  max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
-                 max_bulk: int = DEFAULT_MAX_BULK):
+                 max_bulk: int = DEFAULT_MAX_BULK,
+                 max_queue: Optional[int] = DEFAULT_MAX_QUEUE,
+                 breaker_failures: int = DEFAULT_BREAKER_FAILURES,
+                 breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN):
         # Fail fast at construction: these would otherwise surface as a
         # 500 on the first request (runtimes are built lazily).
         uarch_by_name(uarch)
@@ -141,12 +196,21 @@ class PredictionService:
             raise ValueError("max_wait_ms must be >= 0")
         if max_bulk < 1:
             raise ValueError("max_bulk must be >= 1")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 or None")
+        if breaker_failures < 1:
+            raise ValueError("breaker_failures must be >= 1")
+        if breaker_cooldown < 0:
+            raise ValueError("breaker_cooldown must be >= 0")
         self.default_uarch = uarch
         self.n_workers = (n_workers if n_workers is not None
                           else default_workers())
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self.max_bulk = max_bulk
+        self.max_queue = max_queue
+        self.breaker_failures = breaker_failures
+        self.breaker_cooldown = breaker_cooldown
         self.known_uarchs: List[str] = [cfg.abbrev for cfg in ALL_UARCHS]
         self._runtimes: Dict[str, _UarchRuntime] = {}
         self._runtimes_lock = threading.Lock()
@@ -210,7 +274,10 @@ class PredictionService:
                 runtime = _UarchRuntime(
                     uarch, n_workers=self.n_workers,
                     max_batch=self.max_batch,
-                    max_wait_ms=self.max_wait_ms)
+                    max_wait_ms=self.max_wait_ms,
+                    max_queue=self.max_queue,
+                    breaker_failures=self.breaker_failures,
+                    breaker_cooldown=self.breaker_cooldown)
                 self._runtimes[uarch] = runtime
             return runtime
 
@@ -227,14 +294,32 @@ class PredictionService:
 
     def health_payload(self) -> Dict:
         with self._runtimes_lock:
-            loaded = sorted(self._runtimes)
+            runtimes = dict(self._runtimes)
+        # "degraded" (still HTTP 200 — the service *is* live) means a
+        # baseline breaker is open or an admission queue is saturated:
+        # a monitor should look, clients should expect skips / 429s.
+        reasons: List[str] = []
+        open_breakers: Dict[str, List[str]] = {}
+        shed_total = 0
+        for abbrev, runtime in sorted(runtimes.items()):
+            opened = runtime.open_breakers()
+            if opened:
+                open_breakers[abbrev] = opened
+                reasons.append(
+                    f"{abbrev}: open breakers: {', '.join(opened)}")
+            shed_total += runtime.batcher.shed
+            if runtime.batcher.saturated:
+                reasons.append(f"{abbrev}: admission queue saturated")
         return {
-            "status": "ok",
+            "status": "degraded" if reasons else "ok",
             "service": "facile",
             "default_uarch": self.default_uarch,
             "uarchs_available": self.known_uarchs,
-            "uarchs_loaded": loaded,
+            "uarchs_loaded": sorted(runtimes),
             "uptime_sec": round(time.monotonic() - self._started_at, 3),
+            "open_breakers": open_breakers,
+            "shed_total": shed_total,
+            "degraded_reasons": reasons,
         }
 
     def stats_payload(self) -> Dict:
@@ -255,10 +340,49 @@ class PredictionService:
                 abbrev: {
                     "cache": runtime.engine.cache.stats(),
                     "batcher": runtime.batcher.stats(),
+                    "engine": {
+                        "tasks_retried": runtime.engine.tasks_retried,
+                        "tasks_failed": runtime.engine.tasks_failed,
+                        "pool_respawns": runtime.engine.pool_respawns,
+                    },
+                    "breakers": {
+                        name: breaker.stats()
+                        for name, breaker
+                        in sorted(runtime.breakers.items())
+                    },
                 }
                 for abbrev, runtime in runtimes.items()
             },
         }
+
+    @staticmethod
+    def _parse_deadline(body: Dict):
+        """``(deadline, wait)`` from the request's ``timeout_ms``.
+
+        *deadline* is the ``time.monotonic`` timestamp the batcher
+        sheds queued work at; *wait* bounds how long the request thread
+        blocks on the future (the deadline budget plus one second of
+        dispatch slack, so in-flight engine work gets a beat to finish
+        before the thread gives up).  Both ``None`` without a budget.
+        """
+        timeout_ms = serialize.parse_timeout_ms(body)
+        if timeout_ms is None:
+            return None, None
+        budget = timeout_ms / 1000.0
+        return time.monotonic() + budget, budget + 1.0
+
+    @staticmethod
+    def _shed_to_http(exc: Exception) -> RequestError:
+        """Map batcher overload signals onto their HTTP vocabulary."""
+        if isinstance(exc, QueueFullError):
+            return RequestError(
+                str(exc), status=429,
+                headers={"Retry-After":
+                         str(int(math.ceil(exc.retry_after)))})
+        return RequestError(
+            "deadline exceeded before the prediction completed "
+            "(raise 'timeout_ms' or retry when the server is "
+            "less loaded)", status=504)
 
     def predict_payload(self, body: Dict) -> Dict:
         uarch = serialize.parse_uarch(body, self.default_uarch,
@@ -266,7 +390,13 @@ class PredictionService:
         mode = serialize.parse_mode(body)
         block = serialize.parse_block(body)
         counterfactuals = serialize.parse_counterfactuals(body)
-        prediction = self.runtime(uarch).batcher.predict(block, mode)
+        deadline, wait = self._parse_deadline(body)
+        try:
+            prediction = self.runtime(uarch).batcher.predict(
+                block, mode, timeout=wait, deadline=deadline)
+        except (QueueFullError, DeadlineExceeded,
+                concurrent.futures.TimeoutError) as exc:
+            raise self._shed_to_http(exc)
         return serialize.prediction_to_dict(
             prediction, block, uarch, counterfactuals=counterfactuals)
 
@@ -276,8 +406,13 @@ class PredictionService:
         mode = serialize.parse_mode(body)
         blocks = serialize.parse_blocks(body, max_blocks=self.max_bulk)
         counterfactuals = serialize.parse_counterfactuals(body)
-        predictions = self.runtime(uarch).batcher.predict_many(blocks,
-                                                               mode)
+        deadline, wait = self._parse_deadline(body)
+        try:
+            predictions = self.runtime(uarch).batcher.predict_many(
+                blocks, mode, timeout=wait, deadline=deadline)
+        except (QueueFullError, DeadlineExceeded,
+                concurrent.futures.TimeoutError) as exc:
+            raise self._shed_to_http(exc)
         return {
             "uarch": uarch,
             "mode": mode.value,
@@ -302,12 +437,32 @@ class PredictionService:
             raise RequestError(
                 "'predictors' must be a non-empty array of names")
         runtime = self.runtime(uarch)
-        predictions = {}
+        predictions: Dict[str, float] = {}
+        skipped: Dict[str, Dict] = {}
         with runtime.compare_lock:
             for name in names:
                 predictor = runtime.predictor(name)
-                predictions[name] = round(
-                    float(predictor.predict(block, mode)), 2)
+                try:
+                    value = round(float(predictor.predict(block, mode)),
+                                  2)
+                except CircuitOpenError as exc:
+                    # Typed skip: the tool kept failing, its breaker is
+                    # open, and the response says so instead of a 500.
+                    skipped[name] = {
+                        "reason": "circuit_open",
+                        "retry_after_sec": round(exc.retry_after, 3),
+                    }
+                    continue
+                except RequestError:
+                    raise
+                except Exception as exc:
+                    # Past its retries: the tool sits this request out.
+                    skipped[name] = {
+                        "reason": "error",
+                        "detail": f"{type(exc).__name__}: {exc}",
+                    }
+                    continue
+                predictions[name] = value
         return {
             "block": {"hex": block.raw.hex(),
                       "instructions": len(block),
@@ -315,6 +470,7 @@ class PredictionService:
             "uarch": uarch,
             "mode": mode.value,
             "predictions": predictions,
+            "skipped": skipped,
         }
 
 
@@ -340,23 +496,29 @@ class _Handler(BaseHTTPRequestHandler):
     # -- plumbing ------------------------------------------------------
 
     def _send_json(self, status: int, payload: Dict, *,
-                   close: bool = False) -> None:
+                   close: bool = False,
+                   headers: Optional[Dict[str, str]] = None) -> None:
         body = json_bytes(payload)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if close:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
+    def _send_error_json(self, status: int, message: str,
+                         headers: Optional[Dict[str, str]] = None
+                         ) -> None:
         # Error paths may not have drained the request body (404/405
         # routes, oversized bodies); leftover bytes would be parsed as
         # the next request line on a kept-alive connection, so close it.
         # (send_header("Connection", "close") also sets
         # self.close_connection for the stdlib handler loop.)
-        self._send_json(status, {"error": message}, close=True)
+        self._send_json(status, {"error": message}, close=True,
+                        headers=headers)
 
     def _read_body(self) -> bytes:
         length = self.headers.get("Content-Length")
@@ -391,6 +553,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_error_json(404, f"unknown endpoint {path!r}")
             return
         try:
+            # Service-level fault site: a ``slow@service./predict``
+            # clause delays the request here, before any work happens
+            # (an ``injected`` kind surfaces as a clean 500 below).
+            maybe_inject("service." + path)
             builder = getattr(self.service, builder_name)
             if with_body:
                 body = serialize.parse_json_body(self._read_body())
@@ -399,7 +565,8 @@ class _Handler(BaseHTTPRequestHandler):
                 payload = builder()
         except RequestError as exc:
             self.service._count(path, error=True)
-            self._send_error_json(exc.status, str(exc))
+            self._send_error_json(exc.status, str(exc),
+                                  headers=exc.headers or None)
             return
         except Exception:  # pragma: no cover - defensive
             # Detail stays server-side: exception text can carry paths

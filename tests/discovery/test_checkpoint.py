@@ -1,0 +1,171 @@
+"""Campaign checkpoints, resume determinism, and graceful interruption."""
+
+import json
+
+import pytest
+
+from repro.discovery import (
+    CampaignConfig,
+    CampaignInterrupted,
+    CheckpointError,
+    CheckpointStore,
+    campaign_report,
+    render_json,
+    render_markdown,
+    run_campaign,
+)
+from repro.discovery import campaign as campaign_mod
+from repro.discovery.checkpoint import SCHEMA
+
+CONFIG = CampaignConfig(seed=0, budget=20, uarchs=("SKL",),
+                        predictors=("Facile", "uiCA"), modes=("loop",),
+                        threshold=0.2)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return render_json(campaign_report(run_campaign(CONFIG)))
+
+
+class TestStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck.json"), CONFIG)
+        store.put("SKL", "loop", "4801d8", {"Facile": 1.0, "oracle": 1.0})
+        assert store.get("SKL", "loop", "4801d8") == {"Facile": 1.0,
+                                                      "oracle": 1.0}
+        assert store.get("SKL", "loop", "ffffff") is None
+        assert len(store) == 1
+
+    def test_flush_writes_canonical_schema(self, tmp_path):
+        path = tmp_path / "ck.json"
+        store = CheckpointStore(str(path), CONFIG)
+        store.put("SKL", "loop", "90", {"oracle": 1.0})
+        store.flush()
+        data = json.loads(path.read_text())
+        assert data["schema"] == SCHEMA
+        assert data["config"]["seed"] == CONFIG.seed
+        assert "SKL|loop|90" in data["evaluations"]
+        # Canonical: a second flush of the same state is byte-identical.
+        first = path.read_bytes()
+        store.flush()
+        assert path.read_bytes() == first
+
+    def test_periodic_flush_cadence(self, tmp_path):
+        path = tmp_path / "ck.json"
+        store = CheckpointStore(str(path), CONFIG, every=2)
+        store.put("SKL", "loop", "90", {"oracle": 1.0})
+        assert not path.exists()  # 1 put < cadence
+        store.put("SKL", "loop", "91", {"oracle": 1.0})
+        assert path.exists()      # cadence reached -> atomic write
+        assert store.flushes == 1
+
+    def test_resume_rejects_mismatched_config(self, tmp_path):
+        path = tmp_path / "ck.json"
+        CheckpointStore(str(path), CONFIG).flush()
+        other = CampaignConfig(seed=1, budget=20, uarchs=("SKL",),
+                               predictors=("Facile", "uiCA"),
+                               modes=("loop",), threshold=0.2)
+        with pytest.raises(CheckpointError, match="different"):
+            CheckpointStore.resume(str(path), other)
+
+    def test_resume_rejects_garbage(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(CheckpointError, match="cannot read"):
+            CheckpointStore.resume(str(missing), CONFIG)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            CheckpointStore.resume(str(bad), CONFIG)
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"schema": "other/v9"}))
+        with pytest.raises(CheckpointError, match="schema"):
+            CheckpointStore.resume(str(wrong), CONFIG)
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(str(tmp_path / "ck.json"), CONFIG, every=0)
+
+
+class TestResumeDeterminism:
+    def test_checkpointed_run_matches_plain_run(self, tmp_path, golden):
+        store = CheckpointStore(str(tmp_path / "ck.json"), CONFIG,
+                                every=5)
+        report = render_json(campaign_report(
+            run_campaign(CONFIG, checkpoint=store)))
+        assert report == golden
+
+    def test_resume_replays_byte_identically(self, tmp_path, golden):
+        # First run fills the checkpoint; the resumed run reads every
+        # evaluation back from it and must render identical bytes.
+        path = str(tmp_path / "ck.json")
+        run_campaign(CONFIG,
+                     checkpoint=CheckpointStore(path, CONFIG, every=5))
+        resumed = CheckpointStore.resume(path, CONFIG)
+        report = render_json(campaign_report(
+            run_campaign(CONFIG, checkpoint=resumed)))
+        assert report == golden
+        assert resumed.hits > 0
+
+    def test_partial_checkpoint_resumes_byte_identically(self, tmp_path,
+                                                         golden):
+        # Simulate an interrupt: keep only half the evaluations, as if
+        # the campaign died between two periodic flushes.
+        path = tmp_path / "ck.json"
+        run_campaign(CONFIG, checkpoint=CheckpointStore(str(path),
+                                                        CONFIG))
+        data = json.loads(path.read_text())
+        keys = sorted(data["evaluations"])
+        data["evaluations"] = {k: data["evaluations"][k]
+                               for k in keys[:len(keys) // 2]}
+        path.write_text(json.dumps(data))
+        resumed = CheckpointStore.resume(str(path), CONFIG)
+        report = render_json(campaign_report(
+            run_campaign(CONFIG, checkpoint=resumed)))
+        assert report == golden
+
+    def test_incomplete_entries_are_recomputed(self, tmp_path, golden):
+        # An entry missing one of this campaign's tools (e.g. recorded
+        # while a breaker was open) must not substitute for evaluation.
+        path = tmp_path / "ck.json"
+        run_campaign(CONFIG, checkpoint=CheckpointStore(str(path),
+                                                        CONFIG))
+        data = json.loads(path.read_text())
+        for values in data["evaluations"].values():
+            values.pop("uiCA", None)
+        path.write_text(json.dumps(data))
+        resumed = CheckpointStore.resume(str(path), CONFIG)
+        report = render_json(campaign_report(
+            run_campaign(CONFIG, checkpoint=resumed)))
+        assert report == golden
+
+
+class TestInterruption:
+    def test_keyboard_interrupt_carries_partial_result(self, tmp_path,
+                                                       monkeypatch):
+        # Two µarchs; the second one is interrupted mid-campaign.  The
+        # partial result keeps the first µarch's findings and the
+        # report says so.
+        config = CampaignConfig(seed=0, budget=10, uarchs=("SKL", "RKL"),
+                                predictors=("Facile", "uiCA"),
+                                modes=("loop",), threshold=0.2)
+        real = campaign_mod._hunt_uarch
+
+        def interruptible(abbrev, *args, **kwargs):
+            if abbrev == "RKL":
+                raise KeyboardInterrupt()
+            return real(abbrev, *args, **kwargs)
+
+        monkeypatch.setattr(campaign_mod, "_hunt_uarch", interruptible)
+        with pytest.raises(CampaignInterrupted) as exc:
+            run_campaign(config)
+        result = exc.value.result
+        assert result.partial
+        assert set(result.stats) == {"SKL"}
+        report = campaign_report(result)
+        assert report["partial"] is True
+        assert "PARTIAL" in render_markdown(report)
+
+    def test_clean_report_is_not_partial(self, golden):
+        report = json.loads(golden)
+        assert report["partial"] is False
+        assert report["incidents"] == []

@@ -1,0 +1,164 @@
+"""The circuit-breaker state machine (driven by an injected clock)."""
+
+import pytest
+
+from repro.robustness import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def make(clock, **kwargs):
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("cooldown", 10.0)
+    return CircuitBreaker("tool", clock=clock, **kwargs)
+
+
+def fail_times(breaker, n):
+    for _ in range(n):
+        breaker.before_call()
+        breaker.record_failure()
+
+
+class TestStateMachine:
+    def test_starts_closed_and_admits(self, clock):
+        breaker = make(clock)
+        assert breaker.state == CLOSED
+        breaker.before_call()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_opens_after_consecutive_failures(self, clock):
+        breaker = make(clock)
+        fail_times(breaker, 3)
+        assert breaker.state == OPEN
+        with pytest.raises(CircuitOpenError) as exc:
+            breaker.before_call()
+        assert exc.value.name == "tool"
+        assert 0 < exc.value.retry_after <= 10.0
+
+    def test_success_resets_the_failure_streak(self, clock):
+        breaker = make(clock)
+        fail_times(breaker, 2)
+        breaker.before_call()
+        breaker.record_success()
+        fail_times(breaker, 2)  # streak restarted: still closed
+        assert breaker.state == CLOSED
+
+    def test_cooldown_advances_to_half_open(self, clock):
+        breaker = make(clock)
+        fail_times(breaker, 3)
+        clock.advance(9.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_successful_probe_closes(self, clock):
+        breaker = make(clock)
+        fail_times(breaker, 3)
+        clock.advance(10.0)
+        breaker.before_call()  # the probe
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self, clock):
+        breaker = make(clock)
+        fail_times(breaker, 3)
+        clock.advance(10.0)
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.retry_after() == pytest.approx(10.0)
+
+    def test_probe_limit_rejects_concurrent_probes(self, clock):
+        breaker = make(clock, probe_limit=1)
+        fail_times(breaker, 3)
+        clock.advance(10.0)
+        breaker.before_call()  # probe slot taken, not yet answered
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+
+    def test_retry_after_counts_down(self, clock):
+        breaker = make(clock)
+        fail_times(breaker, 3)
+        assert breaker.retry_after() == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert breaker.retry_after() == pytest.approx(6.0)
+
+    def test_stats_snapshot(self, clock):
+        breaker = make(clock)
+        fail_times(breaker, 3)
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+        stats = breaker.stats()
+        assert stats["state"] == OPEN
+        assert stats["failures"] == 3
+        assert stats["rejections"] == 1
+        assert stats["times_opened"] == 1
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            make(clock, failure_threshold=0)
+        with pytest.raises(ValueError):
+            make(clock, cooldown=-1.0)
+
+
+class TestRetryPolicy:
+    def test_delays_are_bounded_and_jittered(self):
+        import random
+        policy = RetryPolicy(base=0.1, cap=2.0,
+                             rng=random.Random(42), sleep=lambda _: None)
+        for attempt in range(8):
+            bound = min(2.0, 0.1 * 2 ** attempt)
+            assert 0.0 <= policy.delay(attempt) <= bound
+
+    def test_backoff_honors_retry_after_floor(self):
+        import random
+        slept = []
+        policy = RetryPolicy(base=0.0, cap=2.0,
+                             rng=random.Random(0), sleep=slept.append)
+        policy.backoff(0, floor=1.5)  # jitter is 0 (base 0): floor wins
+        assert slept == [1.5]
+
+    def test_attempts_left(self):
+        policy = RetryPolicy(max_attempts=3, sleep=lambda _: None)
+        assert policy.attempts_left(2)
+        assert not policy.attempts_left(3)
+
+    def test_schedule_is_deterministic_with_seeded_rng(self):
+        import random
+        def schedule(seed):
+            slept = []
+            policy = RetryPolicy(base=0.1, cap=2.0,
+                                 rng=random.Random(seed),
+                                 sleep=slept.append)
+            for attempt in range(5):
+                policy.backoff(attempt)
+            return slept
+        assert schedule(7) == schedule(7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base=-0.1)

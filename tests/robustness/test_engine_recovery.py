@@ -1,0 +1,136 @@
+"""Engine fault tolerance: crashes, hangs, retries, typed failures.
+
+The headline property: a parallel batch that suffered injected worker
+kills and task exceptions recovers to results *byte-identical* to a
+fault-free serial run — retries and the in-process fallback make worker
+death an execution detail, never a results change.
+"""
+
+import pytest
+
+from repro.bhive.suite import BenchmarkSuite
+from repro.core.components import ThroughputMode
+from repro.engine.engine import Engine, measure_many
+from repro.robustness import (
+    EngineTaskError,
+    FaultPlan,
+    PredictorError,
+    injected,
+)
+from repro.service.serialize import json_bytes, prediction_to_dict
+from repro.sim.measure import measure
+from repro.uarch import uarch_by_name
+
+SKL = uarch_by_name("SKL")
+MODE = ThroughputMode.LOOP
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    return [b.block_l for b in BenchmarkSuite.generate(8, seed=5)]
+
+
+def result_bytes(results, blocks):
+    return json_bytes({"results": [
+        prediction_to_dict(prediction, block, "SKL")
+        for prediction, block in zip(results, blocks)]})
+
+
+@pytest.fixture(scope="module")
+def golden(blocks):
+    with injected(None):
+        with Engine(SKL) as engine:
+            return result_bytes(engine.predict_many(blocks, MODE),
+                                blocks)
+
+
+class TestCrashRecovery:
+    def test_worker_kill_and_exception_recover_byte_identical(
+            self, blocks, golden):
+        # Small chunks + a short timeout: a killed worker's chunk is
+        # declared lost after chunksize * task_timeout seconds, so the
+        # test exercises the requeue path without waiting long.
+        plan = FaultPlan.from_spec(
+            "seed=0; worker_kill@engine.task:2; "
+            "predictor_error@engine.task:5")
+        with injected(plan):
+            with Engine(SKL, n_workers=2, task_timeout=1.5,
+                        chunksize=2) as engine:
+                results = engine.predict_many(blocks, MODE)
+        assert result_bytes(results, blocks) == golden
+        assert engine.tasks_retried > 0
+        assert engine.pool_respawns >= 1
+        assert engine.tasks_failed == 0
+
+    def test_repeated_kills_still_converge(self, blocks, golden):
+        # Retried tasks get their fault cleared, so even a plan that
+        # kills several first-round tasks converges to golden results.
+        plan = FaultPlan.from_spec("seed=0; worker_kill@engine.task:0,3")
+        with injected(plan):
+            with Engine(SKL, n_workers=2, task_timeout=1.5,
+                        chunksize=2) as engine:
+                results = engine.predict_many(blocks, MODE)
+        assert result_bytes(results, blocks) == golden
+
+
+class TestTypedFailures:
+    def test_timeout_records_typed_error_slot(self, blocks):
+        # chunksize=1 so exactly the hung task's slot degrades;
+        # max_task_retries=0 so the test does not wait out retries.
+        plan = FaultPlan.from_spec("seed=0; timeout@engine.task:2")
+        with injected(plan):
+            with Engine(SKL, n_workers=2, task_timeout=1.0,
+                        max_task_retries=0, chunksize=1) as engine:
+                results = engine.predict_many(blocks, MODE,
+                                              on_error="record")
+        error = results[2]
+        assert isinstance(error, PredictorError)
+        assert error.kind == "timeout"
+        assert error.index == 2
+        assert error.to_dict()["error"] == "timeout"
+        assert engine.tasks_failed == 1
+        assert all(not isinstance(r, PredictorError)
+                   for i, r in enumerate(results) if i != 2)
+
+    def test_timeout_raises_engine_task_error_by_default(self, blocks):
+        plan = FaultPlan.from_spec("seed=0; timeout@engine.task:1")
+        with injected(plan):
+            with Engine(SKL, n_workers=2, task_timeout=1.0,
+                        max_task_retries=0, chunksize=1) as engine:
+                with pytest.raises(EngineTaskError) as exc:
+                    engine.predict_many(blocks, MODE)
+        assert exc.value.error.kind == "timeout"
+
+    def test_serial_record_path_degrades_one_slot(self, blocks,
+                                                  monkeypatch):
+        engine = Engine(SKL)
+        real = engine.model.predict
+        def flaky(block, mode):
+            if block.raw == blocks[3].raw:
+                raise RuntimeError("boom")
+            return real(block, mode)
+        monkeypatch.setattr(engine.model, "predict", flaky)
+        results = engine.predict_many(blocks, MODE, on_error="record")
+        assert isinstance(results[3], PredictorError)
+        assert results[3].kind == "exception"
+        assert "boom" in results[3].detail
+        assert sum(isinstance(r, PredictorError) for r in results) == 1
+
+    def test_on_error_validation(self, blocks):
+        with pytest.raises(ValueError):
+            Engine(SKL).predict_many(blocks, MODE, on_error="ignore")
+        with pytest.raises(ValueError):
+            Engine(SKL, task_timeout=0.0)
+        with pytest.raises(ValueError):
+            Engine(SKL, max_task_retries=-1)
+
+
+class TestMeasureRecovery:
+    def test_measure_many_survives_worker_kill(self, blocks):
+        with injected(None):
+            serial = [measure(block, SKL, MODE) for block in blocks]
+        plan = FaultPlan.from_spec("seed=0; worker_kill@engine.measure:1")
+        with injected(plan):
+            measured = measure_many(SKL, blocks, MODE, n_workers=2,
+                                    task_timeout=5.0)
+        assert measured == serial

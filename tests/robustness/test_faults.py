@@ -1,0 +1,125 @@
+"""The deterministic fault-injection harness (REPRO_FAULTS)."""
+
+import pytest
+
+from repro.robustness import (
+    FaultPlan,
+    FaultSpecError,
+    FaultInjected,
+    active_plan,
+    injected,
+    maybe_inject,
+)
+from repro.robustness import faults as faults_mod
+
+
+class TestSpecParsing:
+    def test_indices_clause(self):
+        plan = FaultPlan.from_spec("seed=7; worker_kill@engine.task:2,5")
+        assert plan.seed == 7
+        clause, = plan.clauses
+        assert clause.kind == "worker_kill"
+        assert clause.pattern == "engine.task"
+        assert clause.indices == (2, 5)
+
+    def test_probability_and_delay_clause(self):
+        plan = FaultPlan.from_spec(
+            "predictor_error@predictor.*:p=0.25; "
+            "slow@service./predict:0:ms=20")
+        first, second = plan.clauses
+        assert first.rate == 0.25
+        assert second.indices == (0,)
+        assert second.delay_ms == 20.0
+
+    @pytest.mark.parametrize("spec", [
+        "",                                     # no clauses at all
+        "explode@engine.task:0",                # unknown kind
+        "worker_kill",                          # no site
+        "worker_kill@:0",                       # empty site
+        "worker_kill@engine.task",              # never fires
+        "worker_kill@engine.task:1:p=0.5",      # indices AND p=
+        "worker_kill@engine.task:p=2.0",        # p out of range
+        "slow@engine.task:0:ms=-1",             # negative delay
+        "seed=x; worker_kill@engine.task:0",    # bad seed
+    ])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.from_spec(spec)
+
+
+class TestDeterminism:
+    SPEC = ("seed=11; worker_kill@engine.task:3; "
+            "predictor_error@predictor.*:p=0.3; "
+            "slow@service.*:p=0.1:ms=5")
+
+    def sequence(self, site, n=50):
+        plan = FaultPlan.from_spec(self.SPEC)
+        return [(f.kind, f.index) if f else None
+                for f in plan.sequence(site, n)]
+
+    def test_same_spec_same_sequence(self):
+        # The acceptance property of the harness: two plans parsed from
+        # the same spec inject the identical fault sequence.
+        for site in ("engine.task", "predictor.uiCA", "service./predict"):
+            assert self.sequence(site) == self.sequence(site)
+
+    def test_sites_count_independently(self):
+        plan = FaultPlan.from_spec("seed=0; worker_kill@engine.task:1")
+        assert plan.check("predictor.uiCA") is None  # index 0 there
+        assert plan.check("engine.task") is None     # index 0
+        fault = plan.check("engine.task")            # index 1 -> fires
+        assert fault is not None and fault.kind == "worker_kill"
+
+    def test_reset_replays_the_schedule(self):
+        plan = FaultPlan.from_spec(self.SPEC)
+        first = [(f.kind, f.index) if f else None
+                 for f in plan.sequence("predictor.uiCA", 30)]
+        plan.reset()
+        replay = [(f.kind, f.index) if f else None
+                  for f in plan.sequence("predictor.uiCA", 30)]
+        assert first == replay
+
+    def test_pattern_matching_is_fnmatch(self):
+        plan = FaultPlan.from_spec("predictor_error@predictor.*:0")
+        assert plan.check("engine.task") is None
+        assert plan.check("predictor.llvm-mca-15") is not None
+
+    def test_seed_changes_probability_draws(self):
+        spec = "predictor_error@predictor.x:p=0.5"
+        a = FaultPlan.from_spec(f"seed=1; {spec}")
+        b = FaultPlan.from_spec(f"seed=2; {spec}")
+        seq_a = [f is not None for f in a.sequence("predictor.x", 64)]
+        seq_b = [f is not None for f in b.sequence("predictor.x", 64)]
+        assert seq_a != seq_b  # astronomically unlikely to collide
+
+
+class TestActivation:
+    def test_no_plan_is_a_noop(self):
+        with injected(None):
+            maybe_inject("predictor.anything")  # must not raise
+
+    def test_injected_scopes_and_restores(self):
+        plan = FaultPlan.from_spec("predictor_error@predictor.x:0")
+        before = active_plan()
+        with injected(plan):
+            assert active_plan() is plan
+            with pytest.raises(FaultInjected):
+                maybe_inject("predictor.x")
+            maybe_inject("predictor.x")  # index 1: clean
+        assert active_plan() is before
+
+    def test_slow_fault_returns_after_delay(self):
+        plan = FaultPlan.from_spec("slow@service.x:0:ms=1")
+        with injected(plan):
+            maybe_inject("service.x")  # sleeps ~1ms, then succeeds
+
+    def test_env_plan_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS",
+                           "seed=3; worker_kill@engine.task:0")
+        plan = faults_mod._plan_from_env()
+        assert plan is not None and plan.seed == 3
+
+    def test_invalid_env_plan_warns_not_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "not a spec")
+        with pytest.warns(UserWarning, match="REPRO_FAULTS"):
+            assert faults_mod._plan_from_env() is None
