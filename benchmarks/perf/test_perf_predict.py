@@ -42,7 +42,7 @@ def payload():
 
 
 def test_payload_structure(payload):
-    assert payload["schema"] == 1
+    assert payload["schema"] == 2
     assert payload["suite"] == {"size": SIZE,
                                 "seed": bench_mod.DEFAULT_SEED}
     for abbrev in bench_mod.DEFAULT_UARCHS:
@@ -62,6 +62,9 @@ def test_service_throughput_recorded(payload):
         for mode in ("unrolled", "loop"):
             service = payload["results"][abbrev][mode]["service"]
             assert service["blocks_per_sec"] > 0
+            # Steady-state latency percentiles (schema 2): positive,
+            # ordered, and in milliseconds (no floor — machine-local).
+            assert 0 < service["p50_ms"] <= service["p99_ms"]
             speedups = payload["speedups"][abbrev][mode]
             assert "service_vs_single" in speedups
     assert payload["service_clients"] == bench_mod.DEFAULT_SERVICE_CLIENTS

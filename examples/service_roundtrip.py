@@ -2,7 +2,9 @@
 
 Starts ``facile serve`` on an ephemeral port, then talks to it with the
 bundled :class:`~repro.service.client.ServiceClient` — the same calls
-shown as ``curl`` invocations in ``docs/SERVICE.md``.
+shown as ``curl`` invocations in ``docs/SERVICE.md``.  The client
+negotiates the API generation once (``GET /v1/health``) and returns
+typed results; the dict-style access of earlier releases still works.
 
 Run:
     python examples/service_roundtrip.py
@@ -12,9 +14,10 @@ from repro.service import PredictionService, ServiceClient
 
 
 def main() -> None:
-    with PredictionService(uarch="SKL", port=0) as service:
-        print(f"service up on http://{service.host}:{service.port}\n")
-        client = ServiceClient(port=service.port)
+    with PredictionService(uarch="SKL", port=0) as service, \
+            ServiceClient(port=service.port) as client:
+        print(f"service up on http://{service.host}:{service.port} "
+              f"(api: {client.api_version})\n")
 
         health = client.health()
         print(f"health: {health['status']}  "
@@ -24,18 +27,20 @@ def main() -> None:
         prediction = client.predict(
             {"asm": "imul rax, rbx\nadd rax, rcx\ncmp rax, r14\njne -14"},
             mode="loop", counterfactuals=True)
-        print(f"\npredicted: {prediction['cycles']} cycles/iter "
-              f"(bottleneck: {', '.join(prediction['bottlenecks'])})")
+        print(f"\npredicted: {prediction.cycles} cycles/iter "
+              f"(bottleneck: {', '.join(prediction.bottlenecks)}; "
+              f"cache {prediction.meta['cache']}, "
+              f"{prediction.meta['timing_ms']}ms server-side)")
         for comp, speedup in sorted(
-                prediction["counterfactual_speedups"].items()):
+                prediction.counterfactual_speedups.items()):
             print(f"    idealizing {comp:<11} -> {speedup}x")
 
         # Bulk predict: many blocks in one request, order-preserving.
         bulk = client.predict_bulk(
             ["4801d8", "480fafc3", {"asm": "add rax, rbx\njne -7"}],
             mode="loop")
-        print(f"\nbulk ({bulk['n_blocks']} blocks): "
-              f"{[p['cycles'] for p in bulk['predictions']]}")
+        print(f"\nbulk ({bulk.n_blocks} blocks): "
+              f"{[p.cycles for p in bulk.predictions]}")
 
         # Compare Facile against two of the baseline analogs.
         comparison = client.compare("4801d875f4", mode="loop",
@@ -49,8 +54,10 @@ def main() -> None:
         stats = client.stats()
         skl = stats["uarchs"]["SKL"]
         print(f"\nstats: {stats['requests']['total']} requests, "
-              f"cache hit-rate {skl['cache']['hit_rate']:.0%}, "
-              f"mean batch {skl['batcher']['mean_batch_size']}")
+              f"response-fragment hits "
+              f"{skl['response_cache']['hits']}, "
+              f"mean batch {skl['batcher']['mean_batch_size']}, "
+              f"shard alive: {skl['shard']['alive']}")
 
 
 if __name__ == "__main__":

@@ -11,6 +11,12 @@ Checks, over ``README.md`` and every ``docs/*.md``:
    :func:`repro.cli.build_parser` (``predict``, ``table*``,
    ``figure*``, ``bench``, ``serve``, …) is mentioned in the README,
    so a new subcommand cannot ship undocumented.
+3. **API conformance** — the service reference ``docs/SERVICE.md``
+   agrees with the server, in both directions: every route in
+   ``repro.service.server.ROUTES`` appears as a backticked
+   `` `METHOD /path` `` token (and no documented route is unserved),
+   and every v1 error code in ``repro.service.serialize.ERROR_CODES``
+   appears as a ``| `code` | status |`` table row (and vice versa).
 
 Run directly (exits non-zero and lists problems on failure)::
 
@@ -94,6 +100,51 @@ def undocumented_subcommands(readme_path: str,
             if not re.search(rf"facile\s+{re.escape(name)}\b", text)]
 
 
+#: Backticked route tokens in SERVICE.md: `GET /health`, `POST /v1/...`
+ROUTE_TOKEN_RE = re.compile(r"`(GET|POST)\s+(/[^`\s]*)`")
+
+#: Error-code table rows in SERVICE.md: | `overloaded` | 429 | ...
+ERROR_ROW_RE = re.compile(r"^\|\s*`([a-z_]+)`\s*\|\s*(\d{3})\s*\|",
+                          re.MULTILINE)
+
+
+def api_conformance_problems(root: str = REPO_ROOT) -> List[str]:
+    """Drift between ``docs/SERVICE.md`` and the service (both ways)."""
+    service_md = os.path.join(root, "docs", "SERVICE.md")
+    if not os.path.exists(service_md):
+        return ["docs/SERVICE.md is missing (the service reference)"]
+    sys.path.insert(0, os.path.join(root, "src"))
+    from repro.service.serialize import ERROR_CODES
+    from repro.service.server import ROUTES
+
+    with open(service_md, encoding="utf-8") as handle:
+        text = handle.read()
+    problems = []
+
+    served = {(method, path) for method, paths in ROUTES.items()
+              for path in paths}
+    documented = set(ROUTE_TOKEN_RE.findall(text))
+    for method, path in sorted(served - documented):
+        problems.append(f"docs/SERVICE.md: served route `{method} "
+                        f"{path}` is undocumented")
+    for method, path in sorted(documented - served):
+        problems.append(f"docs/SERVICE.md: documents `{method} {path}` "
+                        "but the server does not serve it")
+
+    codes = {(code, status) for status, code in ERROR_CODES.items()}
+    rows = {(code, int(status))
+            for code, status in ERROR_ROW_RE.findall(text)}
+    for code, status in sorted(codes - rows):
+        problems.append(f"docs/SERVICE.md: error code {code!r} "
+                        f"(HTTP {status}) missing from the error-code "
+                        "table")
+    for code, status in sorted(rows - codes):
+        problems.append(f"docs/SERVICE.md: error-code table lists "
+                        f"{code!r} (HTTP {status}), which the server "
+                        "does not emit")
+    return problems
+
+
 def run_checks(root: str = REPO_ROOT) -> List[str]:
     """All problems found across the documentation set (empty = pass)."""
     problems = []
@@ -112,6 +163,7 @@ def run_checks(root: str = REPO_ROOT) -> List[str]:
             problems.append(
                 f"README.md: CLI subcommand {name!r} is undocumented "
                 f"(expected the text 'facile {name}')")
+    problems.extend(api_conformance_problems(root))
     return problems
 
 

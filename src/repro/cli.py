@@ -227,10 +227,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             uarch=args.uarch, host=args.host, port=args.port,
             n_workers=args.workers, max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
-            max_queue=(args.max_queue if args.max_queue > 0 else None))
+            max_queue=(args.max_queue if args.max_queue > 0 else None),
+            shard=not args.no_shard, cache_dir=args.cache_dir)
     except (ValueError, OSError) as exc:
         print(f"facile serve: {exc}", file=sys.stderr)
         return 2
+    if args.warm is not None:
+        from repro.engine.persist import load_corpus
+        try:
+            hexes = load_corpus(args.warm)
+            warmed = service.warm(hexes, uarch=args.uarch)
+        except (OSError, ValueError) as exc:
+            print(f"facile serve: --warm {args.warm}: {exc}",
+                  file=sys.stderr)
+            service.close()
+            return 2
+        print(f"facile serve: warmed {warmed} (block, mode) pairs "
+              f"from {args.warm}")
     # Report the *effective* worker count: with --workers omitted the
     # engines inherit the process-wide default (REPRO_ENGINE_WORKERS /
     # set_default_workers), which the service resolves at construction.
@@ -240,8 +253,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"facile serve: http://{service.host}:{service.port}  "
           f"(default µarch {args.uarch}, {workers}, "
           f"micro-batch <= {args.max_batch} / {args.max_wait_ms} ms)")
-    print("endpoints: GET /health /stats; "
-          "POST /predict /predict/bulk /compare  (docs/SERVICE.md)")
+    print("endpoints: GET /v1/health /v1/stats; "
+          "POST /v1/predict /v1/predict/bulk /v1/compare  "
+          "(+ deprecated unversioned routes; docs/SERVICE.md)")
     try:
         service.serve_forever()
     except KeyboardInterrupt:
@@ -405,6 +419,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-wait-ms", type=float,
                        default=DEFAULT_MAX_WAIT_MS,
                        help="micro-batch window timeout (milliseconds)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persist analysis caches under DIR (one "
+                            "<uarch>.facc file each; they survive "
+                            "restarts)")
+    serve.add_argument("--warm", default=None, metavar="CORPUS",
+                       help="pre-analyze a block corpus (hex per line, "
+                            "or a BHive-style CSV) before serving")
+    serve.add_argument("--no-shard", action="store_true",
+                       help="keep engines in-process instead of "
+                            "per-µarch worker shards (debugging / "
+                            "fork-hostile environments)")
     serve.set_defaults(func=_cmd_serve)
 
     hunt = sub.add_parser(

@@ -129,6 +129,21 @@ class MicroBatcher:
         futures = self._submit_all([(block, mode, deadline)])
         return futures[0]
 
+    def submit_many(self, blocks: Sequence[BasicBlock],
+                    mode: ThroughputMode,
+                    deadline: Optional[float] = None
+                    ) -> List["Future[Prediction]"]:
+        """Enqueue many requests atomically; one future per block.
+
+        Admission is all-or-nothing against ``max_queue`` (the whole
+        group is shed with :class:`QueueFullError` rather than
+        half-enqueued).  This is the non-blocking sibling of
+        :meth:`predict_many`, used by the async service front-end to
+        await batched predictions without tying up a thread per bulk.
+        """
+        return self._submit_all([(block, mode, deadline)
+                                 for block in blocks])
+
     def _submit_all(self, requests: Sequence[Tuple[BasicBlock,
                                                    ThroughputMode,
                                                    Optional[float]]]

@@ -10,18 +10,21 @@ second, for the engine's three paths on a fixed-seed generated suite:
 * ``parallel`` — the engine's ``multiprocessing`` pool path, cold;
 * ``service``  — the HTTP prediction service in its steady state:
   concurrent bulk-predict clients against an in-process
-  ``facile serve`` (micro-batching + shared cache), measured after one
-  warm-up pass.  This is the load generator behind the service's
-  throughput number.
+  ``facile serve`` (sharded async front-end + response-fragment cache),
+  measured after one warm-up pass.  This is the load generator behind
+  the service's throughput number.  The service entry additionally
+  records steady-state request latency (``p50_ms`` / ``p99_ms`` over a
+  sequence of single-predict round trips).
 
 Reading ``BENCH_predict.json``
 ------------------------------
 
 The file is written by ``scripts/bench.py`` (and by the pytest harness
-under ``benchmarks/perf/``).  Layout::
+under ``benchmarks/perf/``).  Layout (schema 2 added the service
+latency percentiles)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "suite": {"size": ..., "seed": ...},
       "workers": ...,            # pool size of the parallel path
       "service_clients": ...,    # concurrent clients of the service path
@@ -29,7 +32,8 @@ under ``benchmarks/perf/``).  Layout::
       "results": {
         "<uarch>": {
           "<mode>": {
-            "<path>": {"blocks_per_sec": ..., "seconds": ..., "n_blocks": ...}
+            "<path>": {"blocks_per_sec": ..., "seconds": ..., "n_blocks": ...},
+            "service": {..., "p50_ms": ..., "p99_ms": ...}
           }
         }
       },
@@ -103,8 +107,9 @@ def run_perf_harness(size: int = DEFAULT_SIZE, seed: int = DEFAULT_SEED,
             timings = time_prediction_paths(
                 cfg, suite, mode, workers=workers,
                 include_parallel=include_parallel)
+            service_latency = None
             if include_service:
-                timings["service"] = time_service_path(
+                timings["service"], service_latency = time_service_path(
                     cfg, suite, mode, clients=service_clients)
             results[abbrev][mode.value] = {
                 path: {
@@ -114,6 +119,9 @@ def run_perf_harness(size: int = DEFAULT_SIZE, seed: int = DEFAULT_SEED,
                 }
                 for path, t in timings.items()
             }
+            if service_latency is not None:
+                results[abbrev][mode.value]["service"].update(
+                    service_latency)
             single = timings["single"]
             mode_speedups = {}
             for path in ("cached", "parallel", "service"):
@@ -123,7 +131,7 @@ def run_perf_harness(size: int = DEFAULT_SIZE, seed: int = DEFAULT_SEED,
             speedups[abbrev][mode.value] = mode_speedups
 
     return {
-        "schema": 1,
+        "schema": 2,
         "suite": {"size": size, "seed": seed},
         "workers": workers,
         "service_clients": (service_clients if include_service else None),
@@ -133,17 +141,35 @@ def run_perf_harness(size: int = DEFAULT_SIZE, seed: int = DEFAULT_SEED,
     }
 
 
+#: Single-predict round trips of the latency phase (per µarch/mode).
+LATENCY_SAMPLES = 150
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """The *q*-quantile of pre-sorted samples (nearest-rank)."""
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
 def time_service_path(cfg, suite: BenchmarkSuite, mode: ThroughputMode,
                       *, clients: int = DEFAULT_SERVICE_CLIENTS):
-    """Steady-state blocks/sec of the HTTP service under concurrency.
+    """Steady-state throughput *and* latency of the HTTP service.
 
     The load generator starts an in-process
     :class:`~repro.service.server.PredictionService` on an ephemeral
-    port, warms its cache with one bulk pass, then shards the suite
-    round-robin over *clients* concurrent bulk-predict clients and
-    times the sharded pass end to end (HTTP + JSON + micro-batching +
-    cached prediction).  Comparable to ``cached`` (both measure the
-    steady state); the delta is the serving overhead.
+    port and warms its caches with one bulk pass.  Two measurement
+    phases follow:
+
+    * **throughput** — the suite is sharded round-robin over *clients*
+      concurrent bulk-predict clients and the sharded pass is timed
+      end to end (HTTP + JSON + response-fragment cache + shard).
+      Comparable to ``cached`` (both measure the steady state); the
+      delta is the serving overhead.
+    * **latency** — :data:`LATENCY_SAMPLES` sequential single-predict
+      round trips over the warmed suite, timed individually; reported
+      as ``{"p50_ms", "p99_ms"}`` (nearest-rank percentiles).
+
+    Returns ``(PathTiming, latency_dict)``.
     """
     import threading
     import time
@@ -179,7 +205,21 @@ def time_service_path(cfg, suite: BenchmarkSuite, mode: ThroughputMode,
         seconds = time.perf_counter() - start
         if failures:
             raise failures[0]
-    return PathTiming("service", len(hexes), seconds)
+
+        # Latency phase: sequential round trips (no queueing of our
+        # own making), so the percentiles describe the service, not
+        # the load generator.
+        latency_client = ServiceClient(port=service.port)
+        samples: List[float] = []
+        for index in range(LATENCY_SAMPLES):
+            block_hex = hexes[index % len(hexes)]
+            tick = time.perf_counter()
+            latency_client.predict(block_hex, mode=mode.value)
+            samples.append((time.perf_counter() - tick) * 1000.0)
+        samples.sort()
+        latency = {"p50_ms": round(_percentile(samples, 0.50), 3),
+                   "p99_ms": round(_percentile(samples, 0.99), 3)}
+    return PathTiming("service", len(hexes), seconds), latency
 
 
 def write_bench_json(payload: Dict, path: str) -> None:

@@ -289,6 +289,7 @@ class Engine:
         self.pool_respawns = 0
         self.tasks_failed = 0
         self._pool = None
+        self._closed = False
 
     # -- lifecycle -----------------------------------------------------
 
@@ -305,7 +306,19 @@ class Engine:
             pass
 
     def close(self) -> None:
-        """Shut the worker pool down (no-op if none was started)."""
+        """Shut the worker pool down and mark the engine closed.
+
+        Idempotent: a second ``close()`` (or ``__del__`` after an
+        explicit close) is a no-op.  A closed engine still serves the
+        serial path, but will refuse to spawn a fresh pool — respawn
+        recovery goes through :meth:`_shutdown_pool` precisely so it
+        does not resurrect pools on engines the owner already closed.
+        """
+        self._shutdown_pool()
+        self._closed = True
+
+    def _shutdown_pool(self) -> None:
+        """Terminate the pool if one is live (leaves ``closed`` alone)."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
@@ -317,6 +330,9 @@ class Engine:
         return self.n_workers is not None
 
     def _ensure_pool(self):
+        if self._closed:
+            raise RuntimeError(
+                "Engine is closed; create a new Engine for parallel work")
         if self._pool is None:
             n = self.n_workers
             if n == 0:
@@ -331,7 +347,7 @@ class Engine:
     def _respawn_pool(self) -> None:
         """Kill the pool (hung workers included) for a fresh one."""
         self.pool_respawns += 1
-        self.close()
+        self._shutdown_pool()
 
     def _effective_timeout(self) -> Optional[float]:
         if self.task_timeout is not None:

@@ -1,0 +1,368 @@
+"""Persistent on-disk analysis cache (the layer under the LRU).
+
+The in-memory :class:`~repro.engine.cache.AnalysisCache` dies with its
+process, so a restarted ``facile serve`` re-derives every block from
+scratch.  :class:`PersistentAnalysisCache` fixes that: it maps the
+canonical block signature (``block.raw``) to the block's serialized
+derived artifacts — the analyzed instruction stream, the macro-op
+stream, and the Ports/Precedence sub-results — in one append-only file
+per µarch, so a warm working set survives restarts and can be
+pre-seeded from a corpus (``facile serve --warm <file>``).
+
+File format
+-----------
+
+A cache file is a sequence of self-delimiting records::
+
+    [magic 4B] [payload length 4B BE] [crc32 4B BE] [payload]
+
+where the payload is ``[sig length 2B BE] [sig] [pickled artifacts]``.
+The first record is a header whose signature is :data:`HEADER_SIG` and
+whose artifact dict carries the format version and the µarch
+abbreviation.  Records for the same signature may repeat (appends never
+rewrite); the *last* record wins, so re-storing a block whose lazy
+artifact coverage grew simply appends a richer record.
+
+Robustness guarantees (tested in ``tests/engine/test_persist.py``):
+
+* **Corruption never crashes.**  A record failing its length or CRC
+  check — a torn write, a truncated tail, flipped bytes — is skipped
+  and the loader resynchronizes on the next magic marker; every intact
+  record before and after the damage is still recovered.
+* **Foreign files are ignored, then rewritten.**  A file whose header
+  is missing, unparseable, or names another µarch/format contributes no
+  entries and is atomically replaced (via :meth:`compact`) on the next
+  flush.
+* **Concurrent writers append atomically.**  Each :meth:`flush` emits
+  its whole batch as one ``O_APPEND`` write, so two processes sharing a
+  cache file interleave whole batches, never partial records.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import tempfile
+import zlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Frame marker opening every record.  Deliberately not printable ASCII
+#: so text files never parse as caches by accident.
+REC_MAGIC = b"\xf5\xac\x1b\x01"
+
+#: Signature of the per-file header record.
+HEADER_SIG = b"__facile_cache__"
+
+#: On-disk format version (bumped on incompatible layout changes;
+#: mismatched files are ignored and rewritten).
+FORMAT_VERSION = 1
+
+#: Upper bound on a single record's payload; anything larger is treated
+#: as corruption (a sane analysis record is a few KB).
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+#: The lazily-computed artifact slots persisted per block, in the order
+#: ``BlockAnalysis`` declares them.
+ARTIFACT_SLOTS = ("_analyzed", "_ops", "_ports", "_ports_critical",
+                  "_precedence")
+
+
+def _frame(payload: bytes) -> bytes:
+    """One self-delimiting record around *payload*."""
+    return (REC_MAGIC + struct.pack(">I", len(payload))
+            + struct.pack(">I", zlib.crc32(payload) & 0xFFFFFFFF)
+            + payload)
+
+
+def _encode(signature: bytes, blob: bytes) -> bytes:
+    return struct.pack(">H", len(signature)) + signature + blob
+
+
+def _decode(payload: bytes) -> Tuple[bytes, bytes]:
+    (sig_len,) = struct.unpack_from(">H", payload)
+    signature = payload[2:2 + sig_len]
+    if len(signature) != sig_len:
+        raise ValueError("record shorter than its signature length")
+    return signature, payload[2 + sig_len:]
+
+
+def _scan(data: bytes) -> Tuple[List[bytes], int]:
+    """All intact record payloads in *data*, plus a corruption count.
+
+    Damaged regions (bad CRC, impossible length, truncated tail, bytes
+    between records) are counted once each and skipped by searching for
+    the next :data:`REC_MAGIC` occurrence — so corruption in the middle
+    of a file never hides the intact records after it.
+    """
+    payloads: List[bytes] = []
+    corrupt = 0
+    pos = 0
+    size = len(data)
+    while pos < size:
+        start = data.find(REC_MAGIC, pos)
+        if start < 0:
+            corrupt += 1  # trailing garbage with no further marker
+            break
+        if start > pos:
+            corrupt += 1  # garbage between records
+        header_end = start + len(REC_MAGIC) + 8
+        if header_end > size:
+            corrupt += 1  # truncated mid-header
+            break
+        length, crc = struct.unpack_from(">II", data, start + 4)
+        end = header_end + length
+        if length > MAX_RECORD_BYTES or end > size:
+            # Impossible length or truncated payload: resynchronize on
+            # the next marker past this one.
+            corrupt += 1
+            pos = start + 1
+            continue
+        payload = data[header_end:end]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            corrupt += 1
+            pos = start + 1
+            continue
+        payloads.append(payload)
+        pos = end
+    return payloads, corrupt
+
+
+class PersistentAnalysisCache:
+    """Block-signature → serialized analysis artifacts, on disk.
+
+    One instance owns one file and one µarch.  Lookups
+    (:meth:`load`) deserialize on demand; stores are buffered and
+    written batch-at-a-time by :meth:`flush` (a single append per
+    batch).  :meth:`compact` rewrites the file atomically, dropping
+    superseded duplicate records.
+    """
+
+    def __init__(self, path: str, uarch: str):
+        self.path = str(path)
+        self.uarch = uarch
+        self._entries: Dict[bytes, bytes] = {}
+        #: How many artifact slots the stored record covers, per block —
+        #: re-stores only happen when coverage grows.
+        self._coverage: Dict[bytes, int] = {}
+        self._pending: List[bytes] = []
+        self._needs_rewrite = False
+        self.loaded = 0
+        self.disk_hits = 0
+        self.stores = 0
+        self.corrupt_records = 0
+        self.rewrites = 0
+        self._read_file()
+
+    @classmethod
+    def for_uarch(cls, cache_dir: str, uarch: str) -> \
+            "PersistentAnalysisCache":
+        """The cache file for *uarch* under *cache_dir* (created)."""
+        os.makedirs(cache_dir, exist_ok=True)
+        return cls(os.path.join(cache_dir, f"{uarch}.facc"), uarch)
+
+    # -- loading -------------------------------------------------------
+
+    def _read_file(self) -> None:
+        try:
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+        except (FileNotFoundError, IsADirectoryError):
+            return
+        except OSError:
+            self._needs_rewrite = True
+            return
+        if not data:
+            return
+        payloads, corrupt = _scan(data)
+        self.corrupt_records += corrupt
+        if corrupt:
+            self._needs_rewrite = True
+        header_ok = False
+        entries: Dict[bytes, bytes] = {}
+        for index, payload in enumerate(payloads):
+            try:
+                signature, blob = _decode(payload)
+            except (ValueError, struct.error):
+                self.corrupt_records += 1
+                self._needs_rewrite = True
+                continue
+            if signature == HEADER_SIG:
+                if index == 0:
+                    header_ok = self._header_matches(blob)
+                continue
+            entries[signature] = blob  # later records win
+        if not header_ok:
+            # Missing/foreign header: the file is not (or no longer) a
+            # cache for this µarch.  Contribute nothing and schedule an
+            # atomic rewrite — never crash, never trust the entries.
+            self._needs_rewrite = True
+            return
+        self._entries = entries
+        self._coverage = {sig: self._blob_coverage(blob)
+                          for sig, blob in entries.items()}
+        self.loaded = len(entries)
+
+    def _header_matches(self, blob: bytes) -> bool:
+        try:
+            header = pickle.loads(blob)
+        except Exception:  # noqa: BLE001 - any unpickling failure
+            return False
+        return (isinstance(header, dict)
+                and header.get("format") == FORMAT_VERSION
+                and header.get("uarch") == self.uarch)
+
+    @staticmethod
+    def _blob_coverage(blob: bytes) -> int:
+        try:
+            artifacts = pickle.loads(blob)
+        except Exception:  # noqa: BLE001
+            return 0
+        if not isinstance(artifacts, dict):
+            return 0
+        return sum(1 for value in artifacts.values() if value is not None)
+
+    def __contains__(self, signature: bytes) -> bool:
+        return signature in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def load(self, signature: bytes) -> Optional[Dict[str, object]]:
+        """The stored artifact dict for *signature*, or ``None``.
+
+        A hit counts toward ``disk_hits``; an entry that fails to
+        deserialize (e.g. the repo's classes changed shape) is dropped
+        silently — persistence is an optimization, never a correctness
+        dependency.
+        """
+        blob = self._entries.get(signature)
+        if blob is None:
+            return None
+        try:
+            artifacts = pickle.loads(blob)
+        except Exception:  # noqa: BLE001
+            self._entries.pop(signature, None)
+            self._coverage.pop(signature, None)
+            self.corrupt_records += 1
+            self._needs_rewrite = True
+            return None
+        if not isinstance(artifacts, dict):
+            return None
+        self.disk_hits += 1
+        return artifacts
+
+    # -- storing -------------------------------------------------------
+
+    def maybe_store(self, signature: bytes,
+                    artifacts: Dict[str, object]) -> bool:
+        """Buffer *artifacts* for *signature* if they add coverage.
+
+        Only slots already computed (non-``None``) are persisted; a
+        block whose record already covers at least as many slots is
+        skipped, so repeated syncs of a stable working set write
+        nothing.  Returns whether a record was buffered.
+        """
+        coverage = sum(1 for value in artifacts.values()
+                       if value is not None)
+        if coverage == 0 or coverage <= self._coverage.get(signature, 0):
+            return False
+        try:
+            blob = pickle.dumps(artifacts,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:  # noqa: BLE001 - unpicklable artifact
+            return False
+        self._entries[signature] = blob
+        self._coverage[signature] = coverage
+        self._pending.append(_frame(_encode(signature, blob)))
+        self.stores += 1
+        return True
+
+    def _header_frame(self) -> bytes:
+        blob = pickle.dumps({"format": FORMAT_VERSION,
+                             "uarch": self.uarch},
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        return _frame(_encode(HEADER_SIG, blob))
+
+    def flush(self) -> int:
+        """Write all buffered records; returns how many were written.
+
+        A damaged or foreign file is first replaced wholesale via
+        :meth:`compact`; otherwise the batch (preceded by a header when
+        the file does not exist yet) is appended with a single
+        ``O_APPEND`` write, which is what keeps concurrent writers from
+        tearing each other's records.
+        """
+        if self._needs_rewrite:
+            self.compact()
+            return len(self._entries)
+        if not self._pending:
+            return 0
+        batch = self._pending
+        self._pending = []
+        chunks = list(batch)
+        if not os.path.exists(self.path):
+            chunks.insert(0, self._header_frame())
+        flags = os.O_WRONLY | os.O_CREAT | os.O_APPEND
+        fd = os.open(self.path, flags, 0o644)
+        try:
+            os.write(fd, b"".join(chunks))
+        finally:
+            os.close(fd)
+        return len(batch)
+
+    def compact(self) -> None:
+        """Atomically rewrite the file from the in-memory entries.
+
+        Used to recover damaged/foreign files and to drop superseded
+        duplicate records.  Readers never observe a partial file: the
+        rewrite lands via ``os.replace`` of a temp file in the same
+        directory.
+        """
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(prefix=".facc-", dir=directory)
+        try:
+            chunks = [self._header_frame()]
+            chunks.extend(_frame(_encode(sig, blob))
+                          for sig, blob in self._entries.items())
+            os.write(fd, b"".join(chunks))
+        finally:
+            os.close(fd)
+        os.replace(temp_path, self.path)
+        self._pending = []
+        self._needs_rewrite = False
+        self.rewrites += 1
+
+    # -- reporting -----------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready counters (nested under the service's ``/stats``)."""
+        return {
+            "path": self.path,
+            "entries": len(self._entries),
+            "loaded": self.loaded,
+            "disk_hits": self.disk_hits,
+            "stores": self.stores,
+            "corrupt_records": self.corrupt_records,
+            "rewrites": self.rewrites,
+        }
+
+
+def load_corpus(path: str) -> List[str]:
+    """Block hex strings from a warm-up corpus file.
+
+    One block per line; blank lines and ``#`` comments are skipped, and
+    only the first comma-separated field is read — so both plain hex
+    lists and BHive-style ``<hex>,<throughput>`` CSVs work unchanged.
+    """
+    hexes: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            field = line.split(",", 1)[0].strip()
+            if field:
+                hexes.append(field)
+    return hexes

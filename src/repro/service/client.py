@@ -1,9 +1,17 @@
-"""A minimal stdlib client for the prediction service.
+"""A typed stdlib client for the prediction service.
 
 Used by the test suite, the examples, and the service load generator in
 :mod:`repro.engine.bench`; it is also the reference for how to talk to
 ``facile serve`` from any other HTTP client (see ``docs/SERVICE.md``
 for the raw schemas and equivalent ``curl`` invocations).
+
+:class:`ServiceClient` speaks the versioned ``/v1/`` API by default: it
+negotiates once per client (``GET /v1/health``; a 404 means a pre-v1
+server) and transparently unwraps the v1 response envelope, so the same
+client code works against both API generations.  Prediction endpoints
+return typed :class:`PredictionResult` / :class:`BulkResult` views that
+still behave like the underlying payload dicts (``result["cycles"]``
+and ``result.cycles`` are the same value).
 """
 
 from __future__ import annotations
@@ -11,7 +19,7 @@ from __future__ import annotations
 import json
 import urllib.error
 import urllib.request
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.robustness.retry import RetryPolicy
 
@@ -21,17 +29,24 @@ class ServiceError(Exception):
 
     Attributes:
         status: the HTTP status code.
-        message: the ``error`` field of the JSON error body.
-        retry_after: the ``Retry-After`` header in seconds, if the
-            response carried one (429 load shedding does).
+        message: the error message from the JSON error body (either
+            API generation).
+        code: the machine-readable v1 error code (``"overloaded"``,
+            ``"deadline_exceeded"``, ...); ``None`` on legacy
+            responses, which carry only the message.
+        retry_after: seconds to wait before retrying, if the response
+            said (the ``Retry-After`` header, with the v1 body's
+            ``retry_after_ms`` as fallback).
     """
 
     def __init__(self, status: int, message: str,
-                 retry_after: Optional[float] = None):
+                 retry_after: Optional[float] = None,
+                 code: Optional[str] = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
         self.retry_after = retry_after
+        self.code = code
 
 
 #: A block as the wire format accepts it: hex string or {"hex"/"asm": ...}.
@@ -44,8 +59,132 @@ def _block_obj(block: BlockLike) -> Dict[str, str]:
     return block
 
 
+class _PayloadView:
+    """Dict-compatible wrapper over one response payload.
+
+    Typed results delegate the mapping protocol to the raw payload, so
+    code written against the plain-dict responses of earlier releases
+    (``result["cycles"]``, ``"exact" in result``) keeps working.
+    """
+
+    def __init__(self, data: Dict, meta: Optional[Dict] = None):
+        self.data = data
+        #: The v1 ``meta`` object (``None`` when talking to a legacy
+        #: server, which has no envelope).
+        self.meta = meta
+
+    def __getitem__(self, key: str):
+        return self.data[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def get(self, key: str, default=None):
+        return self.data.get(key, default)
+
+    def keys(self):
+        return self.data.keys()
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, _PayloadView):
+            return self.data == other.data
+        return self.data == other
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.data!r})"
+
+
+class PredictionResult(_PayloadView):
+    """One block's prediction, as served by ``/v1/predict``."""
+
+    @property
+    def cycles(self) -> float:
+        """Predicted inverse throughput (paper rounding, 2 digits)."""
+        return self.data["cycles"]
+
+    @property
+    def exact(self) -> Optional[str]:
+        """The exact prediction as a fraction string (``"8/3"``)."""
+        return self.data["exact"]
+
+    @property
+    def bounds(self) -> Dict[str, float]:
+        return self.data["bounds"]
+
+    @property
+    def exact_bounds(self) -> Dict[str, str]:
+        return self.data["exact_bounds"]
+
+    @property
+    def bottlenecks(self) -> List[str]:
+        return self.data["bottlenecks"]
+
+    @property
+    def block(self) -> Dict:
+        """The echoed block: ``{"hex", "instructions", "bytes"}``."""
+        return self.data["block"]
+
+    @property
+    def uarch(self) -> str:
+        return self.data["uarch"]
+
+    @property
+    def mode(self) -> str:
+        return self.data["mode"]
+
+    @property
+    def fe_component(self) -> Optional[str]:
+        return self.data["fe_component"]
+
+    @property
+    def jcc_affected(self) -> bool:
+        return self.data["jcc_affected"]
+
+    @property
+    def lsd_applicable(self) -> bool:
+        return self.data["lsd_applicable"]
+
+    @property
+    def critical_instructions(self) -> List[int]:
+        return self.data["critical_instructions"]
+
+    @property
+    def counterfactual_speedups(self) -> Optional[Dict[str, float]]:
+        """Per-component idealization speedups (requested opt-in)."""
+        return self.data.get("counterfactual_speedups")
+
+
+class BulkResult(_PayloadView):
+    """An order-preserving bulk response (``/v1/predict/bulk``)."""
+
+    @property
+    def predictions(self) -> List[PredictionResult]:
+        return [PredictionResult(entry, self.meta)
+                for entry in self.data["predictions"]]
+
+    @property
+    def n_blocks(self) -> int:
+        return self.data["n_blocks"]
+
+    @property
+    def uarch(self) -> str:
+        return self.data["uarch"]
+
+    @property
+    def mode(self) -> str:
+        return self.data["mode"]
+
+
 class ServiceClient:
     """Talk to a running :class:`~repro.service.server.PredictionService`.
+
+    All constructor arguments are keyword-only:
 
     Args:
         host / port: where the service listens.
@@ -57,22 +196,110 @@ class ServiceClient:
             a 400 does not become a 400 three times slower.
         retry_policy: override the backoff schedule (mostly for tests,
             which inject a recording ``sleep`` and a seeded ``rng``).
+        api: ``"auto"`` (negotiate once via ``GET /v1/health``; the
+            default), ``"v1"`` (require the versioned API), or
+            ``"legacy"`` (stick to the unversioned routes).
 
     Blocks are passed as hex strings (``"4801d8"``), or as dicts in the
-    wire format (``{"asm": "add rax, rbx"}``).
+    wire format (``{"asm": "add rax, rbx"}``).  Usable as a context
+    manager::
+
+        with ServiceClient(port=service.port) as client:
+            result = client.predict("4801d8")
+            result.cycles
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8000,
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 8000,
                  timeout: float = 60.0, max_attempts: int = 3,
-                 retry_policy: Optional[RetryPolicy] = None):
+                 retry_policy: Optional[RetryPolicy] = None,
+                 api: str = "auto"):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if api not in ("auto", "v1", "legacy"):
+            raise ValueError("api must be 'auto', 'v1', or 'legacy'")
         self.base_url = f"http://{host}:{port}"
         self.timeout = timeout
         self.retry_policy = (retry_policy if retry_policy is not None
                              else RetryPolicy(max_attempts=max_attempts))
+        self._api = api
+        self._api_version: Optional[str] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Release the client (no persistent connection is held; this
+        exists so the context-manager form reads naturally)."""
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc_value, trace) -> None:
+        self.close()
+
+    # -- API negotiation -----------------------------------------------
+
+    @property
+    def api_version(self) -> str:
+        """``"v1"`` or ``"legacy"`` — negotiated once, then cached.
+
+        Negotiation is one ``GET /v1/health``: a 404 identifies a
+        pre-v1 server.  Forced versions (``api="v1"``/``"legacy"``)
+        skip the probe.
+        """
+        if self._api_version is None:
+            if self._api != "auto":
+                self._api_version = self._api
+            else:
+                try:
+                    self.request("/v1/health")
+                    self._api_version = "v1"
+                except ServiceError as exc:
+                    if exc.status != 404:
+                        raise
+                    self._api_version = "legacy"
+        return self._api_version
+
+    def _path(self, endpoint: str) -> str:
+        if self.api_version == "v1":
+            return "/v1" + endpoint
+        return endpoint
+
+    def _call(self, endpoint: str, body: Optional[Dict] = None):
+        """One endpoint round trip; ``(result, meta)`` either way.
+
+        On a v1 server this unwraps the response envelope; on a legacy
+        server the payload *is* the result and there is no meta.
+        """
+        payload = self.request(self._path(endpoint), body)
+        if self.api_version == "v1":
+            return payload["result"], payload["meta"]
+        return payload, None
 
     # -- transport -----------------------------------------------------
+
+    @staticmethod
+    def _parse_error(status: int, raw: bytes, headers,
+                     reason: str) -> ServiceError:
+        """Build a :class:`ServiceError` from either error schema."""
+        code = None
+        retry_after_ms = None
+        try:
+            error = json.loads(raw.decode("utf-8"))["error"]
+            if isinstance(error, dict):  # v1 structured error
+                message = error["message"]
+                code = error.get("code")
+                retry_after_ms = error.get("retry_after_ms")
+            else:  # legacy: the error field is the message
+                message = error
+        except Exception:
+            message = raw.decode("utf-8", "replace") or reason
+        try:
+            retry_after = float(headers.get("Retry-After"))
+        except (TypeError, ValueError):
+            retry_after = (retry_after_ms / 1000.0
+                           if retry_after_ms is not None else None)
+        return ServiceError(status, message, retry_after=retry_after,
+                            code=code)
 
     def _request_once(self, path: str,
                       body: Optional[Dict] = None) -> bytes:
@@ -87,17 +314,8 @@ class ServiceClient:
                                         timeout=self.timeout) as resp:
                 return resp.read()
         except urllib.error.HTTPError as exc:
-            raw = exc.read()
-            try:
-                message = json.loads(raw.decode("utf-8"))["error"]
-            except Exception:
-                message = raw.decode("utf-8", "replace") or exc.reason
-            try:
-                retry_after = float(exc.headers.get("Retry-After"))
-            except (TypeError, ValueError):
-                retry_after = None
-            raise ServiceError(exc.code, message,
-                               retry_after=retry_after) from None
+            raise self._parse_error(exc.code, exc.read(), exc.headers,
+                                    exc.reason) from None
 
     def request_raw(self, path: str,
                     body: Optional[Dict] = None) -> bytes:
@@ -135,41 +353,52 @@ class ServiceClient:
     # -- endpoints -----------------------------------------------------
 
     def health(self) -> Dict:
-        """``GET /health``."""
-        return self.request("/health")
+        """``GET /v1/health`` (the health payload, unwrapped)."""
+        result, _ = self._call("/health")
+        return result
 
     def stats(self) -> Dict:
-        """``GET /stats``."""
-        return self.request("/stats")
+        """``GET /v1/stats`` (the stats payload, unwrapped)."""
+        result, _ = self._call("/stats")
+        return result
 
     def predict(self, block: BlockLike, *, mode: str = "loop",
                 uarch: Optional[str] = None,
-                counterfactuals: bool = False) -> Dict:
-        """``POST /predict`` — one block, full interpretable output."""
+                counterfactuals: bool = False,
+                timeout_ms: Optional[float] = None) -> PredictionResult:
+        """``POST /v1/predict`` — one block, full interpretable output."""
         body: Dict = {**_block_obj(block), "mode": mode}
         if uarch is not None:
             body["uarch"] = uarch
         if counterfactuals:
             body["counterfactuals"] = True
-        return self.request("/predict", body)
+        if timeout_ms is not None:
+            body["timeout_ms"] = timeout_ms
+        result, meta = self._call("/predict", body)
+        return PredictionResult(result, meta)
 
     def predict_bulk(self, blocks: Sequence[BlockLike], *,
                      mode: str = "loop",
-                     uarch: Optional[str] = None) -> Dict:
-        """``POST /predict/bulk`` — many blocks, order-preserving."""
+                     uarch: Optional[str] = None,
+                     timeout_ms: Optional[float] = None) -> BulkResult:
+        """``POST /v1/predict/bulk`` — many blocks, order-preserving."""
         body: Dict = {"blocks": [_block_obj(b) for b in blocks],
                       "mode": mode}
         if uarch is not None:
             body["uarch"] = uarch
-        return self.request("/predict/bulk", body)
+        if timeout_ms is not None:
+            body["timeout_ms"] = timeout_ms
+        result, meta = self._call("/predict/bulk", body)
+        return BulkResult(result, meta)
 
     def compare(self, block: BlockLike, *, mode: str = "loop",
                 uarch: Optional[str] = None,
                 predictors: Optional[List[str]] = None) -> Dict:
-        """``POST /compare`` — Facile vs. the baseline analogs."""
+        """``POST /v1/compare`` — Facile vs. the baseline analogs."""
         body: Dict = {**_block_obj(block), "mode": mode}
         if uarch is not None:
             body["uarch"] = uarch
         if predictors is not None:
             body["predictors"] = predictors
-        return self.request("/compare", body)
+        result, _ = self._call("/compare", body)
+        return result

@@ -206,3 +206,67 @@ def parse_uarch(body: Dict, default: str,
             f"unknown uarch {value!r} (available: {', '.join(known)})",
             status=404)
     return value
+
+
+# -- the versioned (v1) response envelope ------------------------------
+
+#: The API version served under the ``/v1/`` route namespace.
+API_VERSION = "v1"
+
+#: The structured error-code vocabulary of the v1 API: HTTP status →
+#: machine-readable ``error.code``.  ``scripts/check_docs.py`` checks
+#: this table against the error-code reference in ``docs/SERVICE.md``
+#: in both directions.
+ERROR_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    413: "too_large",
+    429: "overloaded",
+    500: "internal",
+    504: "deadline_exceeded",
+}
+
+
+def meta_dict(*, uarch: Optional[str] = None, mode: Optional[str] = None,
+              cache: object = None,
+              timing_ms: Optional[float] = None) -> Dict:
+    """The v1 ``meta`` object; every key always present (null if N/A)."""
+    return {
+        "api_version": API_VERSION,
+        "uarch": uarch,
+        "mode": mode,
+        "cache": cache,
+        "timing_ms": timing_ms,
+    }
+
+
+def envelope_bytes(result_bytes: bytes, meta: Dict) -> bytes:
+    """A v1 success envelope assembled at the byte level.
+
+    The envelope's keys sort as ``error`` < ``meta`` < ``result``, so
+    splicing pre-serialized *result_bytes* into a literal skeleton
+    yields exactly the bytes :func:`json_bytes` would produce for the
+    full dict — tested in ``tests/service/test_v1_api.py`` — while
+    letting the server reuse cached prediction fragments without ever
+    re-parsing them.
+    """
+    return (b'{"error":null,"meta":' + json_bytes(meta)
+            + b',"result":' + result_bytes + b"}")
+
+
+def error_envelope_bytes(status: int, message: str, *,
+                         retry_after_ms: Optional[float] = None) -> bytes:
+    """The v1 structured error body for *status*.
+
+    Unknown statuses fall back to the ``internal`` code rather than
+    leaking a numeric status into the code vocabulary.
+    """
+    error: Dict = {
+        "code": ERROR_CODES.get(status, ERROR_CODES[500]),
+        "message": message,
+    }
+    if retry_after_ms is not None:
+        error["retry_after_ms"] = round(retry_after_ms, 3)
+    return json_bytes({"error": error, "meta": meta_dict(),
+                       "result": None})

@@ -1,48 +1,72 @@
 """``facile serve``: the long-lived HTTP prediction service.
 
-:class:`PredictionService` wraps a stdlib ``ThreadingHTTPServer``.  Each
-request thread parses its JSON body and submits blocks to the per-µarch
+:class:`PredictionService` is an ``asyncio`` front-end over per-µarch
+worker-process shards.  The event loop owns only cheap work — HTTP
+parsing, routing, response-fragment cache lookups, byte assembly —
+while every prediction crosses into the µarch's
+:class:`~repro.service.shard.ShardEngine` worker process through the
 :class:`~repro.engine.batching.MicroBatcher`, so concurrent clients are
-micro-batched onto one ``Engine.predict_many`` call per window and all
-share the engine's :class:`~repro.engine.cache.AnalysisCache` (and
-worker pool, when the service was started with workers).
+micro-batched onto one ``predict_many`` pass per window and share that
+process's analysis cache (and its persistent on-disk layer, when the
+service runs with ``cache_dir``).
 
-Endpoints (reference with schemas in ``docs/SERVICE.md``):
+Two route namespaces serve the same engine:
 
-=======================  ==================================================
-``GET  /health``         liveness + loaded µarchs
-``GET  /stats``          request counters, cache and batcher statistics
-``POST /predict``        one block → full interpretable prediction
-``POST /predict/bulk``   many blocks → predictions, order-preserving
-``POST /compare``        one block → Facile vs. the baseline analogs
-=======================  ==================================================
+==========================  ==============================================
+``GET  /v1/health``         liveness + loaded µarchs
+``GET  /v1/stats``          request counters, cache/batcher/shard stats
+``POST /v1/predict``        one block → full interpretable prediction
+``POST /v1/predict/bulk``   many blocks → predictions, order-preserving
+``POST /v1/compare``        one block → Facile vs. the baseline analogs
+==========================  ==============================================
+
+``/v1/`` responses share one envelope — ``{"error": null, "meta":
+{...}, "result": ...}`` — and one structured error schema
+(:data:`repro.service.serialize.ERROR_CODES`).  The unversioned legacy
+routes (``/predict``, ``/predict/bulk``, ``/compare``, ``/health``,
+``/stats``) are a thin adapter over the same core handlers: they keep
+serving the PR-2 payloads byte-for-byte and mark themselves with a
+``Deprecation: true`` response header.
 
 Responses are canonical JSON (:func:`repro.service.serialize.json_bytes`)
-— equal payloads are equal bytes, so micro-batching can never change
-what a client observes.
+— equal payloads are equal bytes, so neither micro-batching nor the
+response-fragment cache can ever change what a client observes.
+
+Endpoint reference with schemas: ``docs/SERVICE.md``.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
+import asyncio
+import http.client
 import math
+import os
+import socket
 import sys
 import threading
 import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from collections import OrderedDict
 
 from repro.core.components import ThroughputMode
 from repro.engine.batching import DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT_MS, \
     MicroBatcher
+from repro.engine.cache import AnalysisCache
 from repro.engine.engine import Engine, default_workers
+from repro.engine.persist import PersistentAnalysisCache
+from repro.isa.block import BasicBlock
 from repro.robustness.breaker import CircuitBreaker, OPEN
 from repro.robustness.errors import CircuitOpenError, DeadlineExceeded, \
     QueueFullError
-from repro.robustness.faults import maybe_inject
+from repro.robustness.faults import active_plan, maybe_inject
 from repro.service import serialize
-from repro.service.serialize import RequestError, json_bytes
+from repro.service.serialize import API_VERSION, ERROR_CODES, \
+    RequestError, json_bytes
+from repro.service.shard import ShardEngine
 from repro.uarch import ALL_UARCHS, uarch_by_name
+from repro.uops.database import UopsDatabase
 
 #: Baselines offered by ``POST /compare`` when the request does not name
 #: predictors explicitly.  The learned analogs (Ithemal, DiffTune,
@@ -69,18 +93,101 @@ DEFAULT_MAX_QUEUE = 4096
 DEFAULT_BREAKER_FAILURES = 3
 DEFAULT_BREAKER_COOLDOWN = 30.0
 
+#: Default capacity of the per-µarch response-fragment cache (entries;
+#: ``0`` disables it).  A fragment is one block's serialized prediction
+#: payload, so steady-state traffic over a warm working set is answered
+#: on the event loop without a shard round trip.
+DEFAULT_RESPONSE_CACHE = 65536
 
-class _ThreadingServer(ThreadingHTTPServer):
-    """``ThreadingHTTPServer`` tuned for bursty client fleets.
+#: Upper bounds on request framing (cheap DoS hygiene).
+MAX_HEADER_COUNT = 100
 
-    The stdlib default listen backlog (5) drops connections when a few
-    dozen clients connect in the same instant — the exact load the
-    service exists to serve — so the queue is sized to ride out a burst
-    of at least the acceptance-test fleet (32 concurrent clients).
+#: The served route tables, both namespaces.  ``scripts/check_docs.py``
+#: checks every entry against ``docs/SERVICE.md`` in both directions.
+ROUTES: Dict[str, Tuple[str, ...]] = {
+    "GET": ("/health", "/stats", "/v1/health", "/v1/stats"),
+    "POST": ("/compare", "/predict", "/predict/bulk", "/v1/compare",
+             "/v1/predict", "/v1/predict/bulk"),
+}
+
+#: Unversioned path → core handler method name.
+_CORE_HANDLERS = {
+    "/health": "_core_health",
+    "/stats": "_core_stats",
+    "/predict": "_core_predict",
+    "/predict/bulk": "_core_bulk",
+    "/compare": "_core_compare",
+}
+
+_REASONS = http.client.responses
+
+
+def bulk_result_bytes(uarch: str, mode_value: str,
+                      fragments: Sequence[bytes]) -> bytes:
+    """The bulk payload assembled from pre-serialized fragments.
+
+    Under sorted-key canonical JSON the bulk payload's keys order as
+    ``mode`` < ``n_blocks`` < ``predictions`` < ``uarch``, so splicing
+    the fragment list between two serialized stubs produces exactly the
+    bytes of serializing the whole dict (asserted byte-for-byte in
+    ``tests/service/test_v1_api.py``) without re-encoding any cached
+    prediction.
+    """
+    head = json_bytes({"mode": mode_value, "n_blocks": len(fragments)})
+    tail = json_bytes({"uarch": uarch})
+    return (head[:-1] + b',"predictions":[' + b",".join(fragments)
+            + b"]," + tail[1:])
+
+
+class _ResponseCache:
+    """LRU of serialized per-block prediction payloads.
+
+    Keyed by ``(mode, block signature, counterfactuals)`` — the full
+    identity of one prediction payload within a µarch runtime.  Thread
+    safe (the warm-up path stores from outside the event loop).
     """
 
-    daemon_threads = True
-    request_queue_size = 128
+    def __init__(self, max_entries: int):
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple, bytes]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple) -> Optional[bytes]:
+        with self._lock:
+            blob = self._entries.get(key)
+            if blob is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return blob
+
+    def put(self, key: tuple, blob: bytes) -> None:
+        if self.max_entries <= 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return
+            while len(self._entries) >= self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._entries[key] = blob
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "max_entries": self.max_entries,
+                "hit_rate": round(self.hits / total, 4) if total else 0.0,
+            }
 
 
 class _UarchRuntime:
@@ -89,17 +196,38 @@ class _UarchRuntime:
     def __init__(self, abbrev: str, *, n_workers: Optional[int],
                  max_batch: int, max_wait_ms: float,
                  max_queue: Optional[int],
-                 breaker_failures: int, breaker_cooldown: float):
+                 breaker_failures: int, breaker_cooldown: float,
+                 use_shard: bool, cache_dir: Optional[str],
+                 response_cache_entries: int):
         cfg = uarch_by_name(abbrev)
         self.cfg = cfg
-        self.engine = Engine(cfg, n_workers=n_workers)
-        self.batcher = MicroBatcher(self.engine, max_batch=max_batch,
+        self.shard: Optional[ShardEngine] = None
+        self.engine: Optional[Engine] = None
+        if use_shard:
+            persist_path = None
+            if cache_dir is not None:
+                os.makedirs(cache_dir, exist_ok=True)
+                persist_path = os.path.join(cache_dir, f"{abbrev}.facc")
+            self.shard = ShardEngine(abbrev, persist_path=persist_path,
+                                     n_workers=n_workers)
+            backend = self.shard
+        else:
+            persistent = (PersistentAnalysisCache.for_uarch(cache_dir,
+                                                            abbrev)
+                          if cache_dir is not None else None)
+            db = UopsDatabase(cfg)
+            cache = AnalysisCache(db, persistent=persistent)
+            self.engine = Engine(cfg, db=db, cache=cache,
+                                 n_workers=n_workers)
+            backend = self.engine
+        self.batcher = MicroBatcher(backend, max_batch=max_batch,
                                     max_wait_ms=max_wait_ms,
                                     max_queue=max_queue)
-        # The comparison predictors run in request threads, not through
-        # the batcher's dispatcher; they get a private database (hence a
-        # private analysis cache) plus a lock, so they can never race
-        # the dispatcher on the engine's unsynchronized cache.
+        self.response_cache = _ResponseCache(response_cache_entries)
+        # The comparison predictors run on the front-end side (they are
+        # in-process analogs, not engine work); they get a private
+        # database (hence a private analysis cache) plus a lock, so
+        # they can never race each other.
         self.compare_lock = threading.Lock()
         self._predictors: Dict[str, object] = {}
         # One circuit breaker per baseline predictor: a broken tool is
@@ -143,9 +271,47 @@ class _UarchRuntime:
         return sorted(name for name, breaker in self.breakers.items()
                       if breaker.state == OPEN)
 
+    def telemetry(self) -> Dict[str, object]:
+        """This µarch's ``/stats`` entry (may block on a shard query)."""
+        if self.shard is not None:
+            payload = self.shard.stats()
+            cache = payload.get("cache", {})
+            engine = payload.get("engine", {"tasks_retried": 0,
+                                            "tasks_failed": 0,
+                                            "pool_respawns": 0})
+            shard_info: Optional[Dict[str, object]] = {
+                "respawns": self.shard.respawns,
+                "alive": self.shard.alive,
+                "fallback_used": self.shard.fallback_used,
+            }
+        else:
+            assert self.engine is not None
+            cache = self.engine.cache.stats()
+            engine = {"tasks_retried": self.engine.tasks_retried,
+                      "tasks_failed": self.engine.tasks_failed,
+                      "pool_respawns": self.engine.pool_respawns}
+            shard_info = None
+        entry: Dict[str, object] = {
+            "cache": cache,
+            "batcher": self.batcher.stats(),
+            "engine": engine,
+            "response_cache": self.response_cache.stats(),
+            "breakers": {name: breaker.stats()
+                         for name, breaker
+                         in sorted(self.breakers.items())},
+        }
+        if shard_info is not None:
+            entry["shard"] = shard_info
+        return entry
+
     def close(self) -> None:
         self.batcher.close()
-        self.engine.close()
+        if self.shard is not None:
+            self.shard.close()
+        if self.engine is not None:
+            if self.engine.cache.persistent is not None:
+                self.engine.cache.sync_persistent()
+            self.engine.close()
 
 
 class PredictionService:
@@ -155,10 +321,11 @@ class PredictionService:
         uarch: default µarch for requests that do not name one.
         host / port: bind address; port 0 picks an ephemeral port
             (read it back from :attr:`port` — this is how the tests and
-            the bench load generator run hermetically).
-        n_workers: engine worker processes per µarch (as in
-            :class:`~repro.engine.engine.Engine`: ``0`` one per CPU;
-            ``None`` resolves to the process-wide default —
+            the bench load generator run hermetically).  The socket is
+            bound at construction, so address errors fail fast.
+        n_workers: engine worker processes per µarch *inside* its shard
+            (as in :class:`~repro.engine.engine.Engine`: ``0`` one per
+            CPU; ``None`` resolves to the process-wide default —
             ``set_default_workers`` / ``REPRO_ENGINE_WORKERS`` — at
             construction time, so the banner and ``/stats`` report
             what the engines actually use).
@@ -171,12 +338,19 @@ class PredictionService:
         breaker_failures / breaker_cooldown: circuit-breaker tuning for
             the ``/compare`` baselines (consecutive failures to open;
             seconds until a half-open probe).
+        shard: run each µarch in its own worker process (the default).
+            ``False`` keeps the engine in-process (PR-2 behaviour),
+            useful for debugging or fork-hostile environments.
+        cache_dir: directory for the persistent analysis caches (one
+            ``<uarch>.facc`` file each); ``None`` disables persistence.
+        response_cache_blocks: per-µarch response-fragment cache
+            capacity (``0`` disables it).
 
     Usable as a context manager::
 
         with PredictionService(uarch="SKL", port=0) as service:
             client = ServiceClient(port=service.port)
-            client.predict(hex="4801d8")
+            client.predict("4801d8")
     """
 
     def __init__(self, uarch: str = "SKL", *, host: str = "127.0.0.1",
@@ -186,7 +360,10 @@ class PredictionService:
                  max_bulk: int = DEFAULT_MAX_BULK,
                  max_queue: Optional[int] = DEFAULT_MAX_QUEUE,
                  breaker_failures: int = DEFAULT_BREAKER_FAILURES,
-                 breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN):
+                 breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+                 shard: bool = True,
+                 cache_dir: Optional[str] = None,
+                 response_cache_blocks: int = DEFAULT_RESPONSE_CACHE):
         # Fail fast at construction: these would otherwise surface as a
         # 500 on the first request (runtimes are built lazily).
         uarch_by_name(uarch)
@@ -202,6 +379,8 @@ class PredictionService:
             raise ValueError("breaker_failures must be >= 1")
         if breaker_cooldown < 0:
             raise ValueError("breaker_cooldown must be >= 0")
+        if response_cache_blocks < 0:
+            raise ValueError("response_cache_blocks must be >= 0")
         self.default_uarch = uarch
         self.n_workers = (n_workers if n_workers is not None
                           else default_workers())
@@ -211,6 +390,9 @@ class PredictionService:
         self.max_queue = max_queue
         self.breaker_failures = breaker_failures
         self.breaker_cooldown = breaker_cooldown
+        self.use_shard = shard
+        self.cache_dir = cache_dir
+        self.response_cache_blocks = response_cache_blocks
         self.known_uarchs: List[str] = [cfg.abbrev for cfg in ALL_UARCHS]
         self._runtimes: Dict[str, _UarchRuntime] = {}
         self._runtimes_lock = threading.Lock()
@@ -219,42 +401,95 @@ class PredictionService:
         self._errors = 0
         self._started_at = time.monotonic()
         self._thread: Optional[threading.Thread] = None
-        self._httpd = _ThreadingServer((host, port), _Handler)
-        self._httpd.service = self  # type: ignore[attr-defined]
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._loop_done = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        # Bind eagerly: `.port` is known before start() and bad
+        # addresses raise OSError here, not inside a server thread.
+        self._sock = socket.create_server((host, port), backlog=128)
 
     # -- lifecycle -----------------------------------------------------
 
     @property
     def host(self) -> str:
-        return self._httpd.server_address[0]
+        return self._sock.getsockname()[0]
 
     @property
     def port(self) -> int:
         """The bound port (resolved even when constructed with port 0)."""
-        return self._httpd.server_address[1]
+        return self._sock.getsockname()[1]
 
     def start(self) -> "PredictionService":
-        """Serve in a background thread (returns once the socket is up)."""
+        """Serve in a background thread (returns once the loop is up)."""
         if self._thread is None:
             self._thread = threading.Thread(
-                target=self._httpd.serve_forever,
-                name="facile-serve", daemon=True)
+                target=self._run_loop, name="facile-serve", daemon=True)
             self._thread.start()
+            self._ready.wait()
+            if self._startup_error is not None:
+                raise self._startup_error
         return self
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (the ``facile serve`` loop)."""
-        self._httpd.serve_forever()
+        self._run_loop()
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            server = loop.run_until_complete(asyncio.start_server(
+                self._handle_client, sock=self._sock))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            self._loop_done.set()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+            tasks = asyncio.all_tasks(loop)
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                loop.run_until_complete(
+                    asyncio.gather(*tasks, return_exceptions=True))
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            try:
+                loop.run_until_complete(loop.shutdown_default_executor())
+            except (RuntimeError, AttributeError):  # pragma: no cover
+                pass
+            loop.close()
+            self._loop = None
+            self._loop_done.set()
 
     def close(self) -> None:
-        """Stop serving and shut down batchers, pools, and the socket."""
-        self._httpd.shutdown()
-        self._httpd.server_close()
+        """Stop serving and shut down batchers, shards, and the socket."""
+        loop = self._loop
+        if loop is not None:
+            try:
+                loop.call_soon_threadsafe(loop.stop)
+            except RuntimeError:
+                pass
+            self._loop_done.wait(timeout=10.0)
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        try:
+            self._sock.close()
+        except OSError:
+            pass
         with self._runtimes_lock:
             runtimes = list(self._runtimes.values())
+            self._runtimes.clear()
         for runtime in runtimes:
             runtime.close()
 
@@ -267,7 +502,7 @@ class PredictionService:
     # -- runtimes ------------------------------------------------------
 
     def runtime(self, uarch: str) -> _UarchRuntime:
-        """The engine+batcher pair for *uarch*, created on first use."""
+        """The shard+batcher pair for *uarch*, created on first use."""
         with self._runtimes_lock:
             runtime = self._runtimes.get(uarch)
             if runtime is None:
@@ -277,9 +512,50 @@ class PredictionService:
                     max_wait_ms=self.max_wait_ms,
                     max_queue=self.max_queue,
                     breaker_failures=self.breaker_failures,
-                    breaker_cooldown=self.breaker_cooldown)
+                    breaker_cooldown=self.breaker_cooldown,
+                    use_shard=self.use_shard,
+                    cache_dir=self.cache_dir,
+                    response_cache_entries=self.response_cache_blocks)
                 self._runtimes[uarch] = runtime
             return runtime
+
+    def warm(self, hexes: Sequence[str], *, uarch: Optional[str] = None,
+             modes: Sequence[str] = ("loop", "unrolled")) -> int:
+        """Pre-analyze *hexes*, filling every cache layer.
+
+        Runs the corpus through the batcher (no HTTP involved, so this
+        works before :meth:`start`), which populates the shard's
+        analysis cache, its persistent on-disk layer, and the front
+        end's response-fragment cache.  Returns the number of
+        (block, mode) pairs warmed.  Undecodable hex raises
+        ``ValueError`` — a warm corpus is operator input, not client
+        traffic.
+        """
+        uarch = uarch or self.default_uarch
+        blocks: List[BasicBlock] = []
+        seen = set()
+        for value in hexes:
+            raw = bytes.fromhex(value)
+            if raw and raw not in seen:
+                seen.add(raw)
+                blocks.append(BasicBlock.from_bytes(raw))
+        if not blocks:
+            return 0
+        runtime = self.runtime(uarch)
+        count = 0
+        for mode_value in modes:
+            mode = ThroughputMode(mode_value)
+            predictions = runtime.batcher.predict_many(blocks, mode)
+            for block, prediction in zip(blocks, predictions):
+                blob = json_bytes(serialize.prediction_to_dict(
+                    prediction, block, uarch))
+                runtime.response_cache.put((mode.value, block.raw, False),
+                                           blob)
+            count += len(blocks)
+        if (runtime.engine is not None
+                and runtime.engine.cache.persistent is not None):
+            runtime.engine.cache.sync_persistent()
+        return count
 
     # -- bookkeeping ---------------------------------------------------
 
@@ -313,6 +589,7 @@ class PredictionService:
         return {
             "status": "degraded" if reasons else "ok",
             "service": "facile",
+            "api_versions": [API_VERSION],
             "default_uarch": self.default_uarch,
             "uarchs_available": self.known_uarchs,
             "uarchs_loaded": sorted(runtimes),
@@ -336,23 +613,8 @@ class PredictionService:
                 "by_endpoint": by_endpoint,
                 "errors": errors,
             },
-            "uarchs": {
-                abbrev: {
-                    "cache": runtime.engine.cache.stats(),
-                    "batcher": runtime.batcher.stats(),
-                    "engine": {
-                        "tasks_retried": runtime.engine.tasks_retried,
-                        "tasks_failed": runtime.engine.tasks_failed,
-                        "pool_respawns": runtime.engine.pool_respawns,
-                    },
-                    "breakers": {
-                        name: breaker.stats()
-                        for name, breaker
-                        in sorted(runtime.breakers.items())
-                    },
-                }
-                for abbrev, runtime in runtimes.items()
-            },
+            "uarchs": {abbrev: runtime.telemetry()
+                       for abbrev, runtime in runtimes.items()},
         }
 
     @staticmethod
@@ -360,10 +622,10 @@ class PredictionService:
         """``(deadline, wait)`` from the request's ``timeout_ms``.
 
         *deadline* is the ``time.monotonic`` timestamp the batcher
-        sheds queued work at; *wait* bounds how long the request thread
-        blocks on the future (the deadline budget plus one second of
+        sheds queued work at; *wait* bounds how long the handler
+        awaits the future (the deadline budget plus one second of
         dispatch slack, so in-flight engine work gets a beat to finish
-        before the thread gives up).  Both ``None`` without a budget.
+        before the handler gives up).  Both ``None`` without a budget.
         """
         timeout_ms = serialize.parse_timeout_ms(body)
         if timeout_ms is None:
@@ -375,55 +637,104 @@ class PredictionService:
     def _shed_to_http(exc: Exception) -> RequestError:
         """Map batcher overload signals onto their HTTP vocabulary."""
         if isinstance(exc, QueueFullError):
-            return RequestError(
+            error = RequestError(
                 str(exc), status=429,
                 headers={"Retry-After":
                          str(int(math.ceil(exc.retry_after)))})
+            error.retry_after_ms = exc.retry_after * 1000.0
+            return error
         return RequestError(
             "deadline exceeded before the prediction completed "
             "(raise 'timeout_ms' or retry when the server is "
             "less loaded)", status=504)
 
-    def predict_payload(self, body: Dict) -> Dict:
+    async def _core_predict(self, body: Dict):
         uarch = serialize.parse_uarch(body, self.default_uarch,
                                       self.known_uarchs)
         mode = serialize.parse_mode(body)
         block = serialize.parse_block(body)
         counterfactuals = serialize.parse_counterfactuals(body)
         deadline, wait = self._parse_deadline(body)
+        runtime = self.runtime(uarch)
+        key = (mode.value, block.raw, counterfactuals)
+        meta = {"uarch": uarch, "mode": mode.value}
+        # An already-expired deadline skips the fragment cache so the
+        # batcher can drop-and-count it (the documented 504 contract).
+        if deadline is None or deadline > time.monotonic():
+            blob = runtime.response_cache.get(key)
+            if blob is not None:
+                meta["cache"] = "hit"
+                return blob, meta
         try:
-            prediction = self.runtime(uarch).batcher.predict(
-                block, mode, timeout=wait, deadline=deadline)
+            future = runtime.batcher.submit(block, mode,
+                                            deadline=deadline)
+            prediction = await asyncio.wait_for(
+                asyncio.wrap_future(future), timeout=wait)
         except (QueueFullError, DeadlineExceeded,
-                concurrent.futures.TimeoutError) as exc:
+                asyncio.TimeoutError) as exc:
             raise self._shed_to_http(exc)
-        return serialize.prediction_to_dict(
-            prediction, block, uarch, counterfactuals=counterfactuals)
+        blob = json_bytes(serialize.prediction_to_dict(
+            prediction, block, uarch, counterfactuals=counterfactuals))
+        runtime.response_cache.put(key, blob)
+        meta["cache"] = "miss"
+        return blob, meta
 
-    def bulk_payload(self, body: Dict) -> Dict:
+    async def _core_bulk(self, body: Dict):
         uarch = serialize.parse_uarch(body, self.default_uarch,
                                       self.known_uarchs)
         mode = serialize.parse_mode(body)
         blocks = serialize.parse_blocks(body, max_blocks=self.max_bulk)
         counterfactuals = serialize.parse_counterfactuals(body)
         deadline, wait = self._parse_deadline(body)
-        try:
-            predictions = self.runtime(uarch).batcher.predict_many(
-                blocks, mode, timeout=wait, deadline=deadline)
-        except (QueueFullError, DeadlineExceeded,
-                concurrent.futures.TimeoutError) as exc:
-            raise self._shed_to_http(exc)
-        return {
-            "uarch": uarch,
-            "mode": mode.value,
-            "n_blocks": len(blocks),
-            "predictions": [
-                serialize.prediction_to_dict(
-                    prediction, block, uarch,
-                    counterfactuals=counterfactuals)
-                for prediction, block in zip(predictions, blocks)
-            ],
-        }
+        runtime = self.runtime(uarch)
+        fragments: List[Optional[bytes]] = [None] * len(blocks)
+        if deadline is None or deadline > time.monotonic():
+            for index, block in enumerate(blocks):
+                fragments[index] = runtime.response_cache.get(
+                    (mode.value, block.raw, counterfactuals))
+        missing = [index for index, fragment in enumerate(fragments)
+                   if fragment is None]
+        if missing:
+            try:
+                futures = runtime.batcher.submit_many(
+                    [blocks[index] for index in missing], mode,
+                    deadline=deadline)
+                wrapped = [asyncio.wrap_future(future)
+                           for future in futures]
+                for task in wrapped:
+                    task.add_done_callback(_consume_exception)
+                predictions = await asyncio.wait_for(
+                    asyncio.gather(*wrapped), timeout=wait)
+            except (QueueFullError, DeadlineExceeded,
+                    asyncio.TimeoutError) as exc:
+                raise self._shed_to_http(exc)
+            for index, prediction in zip(missing, predictions):
+                blob = json_bytes(serialize.prediction_to_dict(
+                    prediction, blocks[index], uarch,
+                    counterfactuals=counterfactuals))
+                runtime.response_cache.put(
+                    (mode.value, blocks[index].raw, counterfactuals),
+                    blob)
+                fragments[index] = blob
+        result = bulk_result_bytes(uarch, mode.value, fragments)
+        return result, {"uarch": uarch, "mode": mode.value,
+                        "cache": {"hits": len(blocks) - len(missing),
+                                  "misses": len(missing)}}
+
+    async def _core_compare(self, body: Dict):
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(None, self.compare_payload,
+                                             body)
+        return json_bytes(payload), {"uarch": payload["uarch"],
+                                     "mode": payload["mode"]}
+
+    async def _core_health(self, body: Optional[Dict]):
+        return json_bytes(self.health_payload()), {}
+
+    async def _core_stats(self, body: Optional[Dict]):
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(None, self.stats_payload)
+        return json_bytes(payload), {}
 
     def compare_payload(self, body: Dict) -> Dict:
         uarch = serialize.parse_uarch(body, self.default_uarch,
@@ -473,115 +784,191 @@ class PredictionService:
             "skipped": skipped,
         }
 
+    # -- the HTTP front-end --------------------------------------------
 
-class _Handler(BaseHTTPRequestHandler):
-    """Routes HTTP requests onto :class:`PredictionService` payloads."""
+    def _error_bytes(self, versioned: bool, status: int, message: str,
+                     retry_after_ms: Optional[float] = None) -> bytes:
+        if versioned:
+            return serialize.error_envelope_bytes(
+                status, message, retry_after_ms=retry_after_ms)
+        return json_bytes({"error": message})
 
-    server_version = "facile-serve/1"
-    protocol_version = "HTTP/1.1"
-
-    #: Endpoint tables: path -> payload-builder name.
-    GET_ROUTES = {"/health": "health_payload", "/stats": "stats_payload"}
-    POST_ROUTES = {"/predict": "predict_payload",
-                   "/predict/bulk": "bulk_payload",
-                   "/compare": "compare_payload"}
-
-    @property
-    def service(self) -> PredictionService:
-        return self.server.service  # type: ignore[attr-defined]
-
-    def log_message(self, format, *args):  # noqa: A002 - stdlib name
-        """Silence per-request stderr logging (stats carry the counts)."""
-
-    # -- plumbing ------------------------------------------------------
-
-    def _send_json(self, status: int, payload: Dict, *,
-                   close: bool = False,
-                   headers: Optional[Dict[str, str]] = None) -> None:
-        body = json_bytes(payload)
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
+    async def _write_response(self, writer: asyncio.StreamWriter,
+                              status: int, body: bytes, *,
+                              headers: Optional[Dict[str, str]] = None,
+                              close: bool = False) -> None:
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, '')}",
+            "Server: facile-serve/2",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+        ]
         for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        if close:
-            self.send_header("Connection", "close")
-        self.end_headers()
-        self.wfile.write(body)
+            lines.append(f"{name}: {value}")
+        lines.append("Connection: close" if close
+                     else "Connection: keep-alive")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+                     + body)
+        await writer.drain()
 
-    def _send_error_json(self, status: int, message: str,
-                         headers: Optional[Dict[str, str]] = None
-                         ) -> None:
-        # Error paths may not have drained the request body (404/405
-        # routes, oversized bodies); leftover bytes would be parsed as
-        # the next request line on a kept-alive connection, so close it.
-        # (send_header("Connection", "close") also sets
-        # self.close_connection for the stdlib handler loop.)
-        self._send_json(status, {"error": message}, close=True,
-                        headers=headers)
-
-    def _read_body(self) -> bytes:
-        length = self.headers.get("Content-Length")
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
         try:
-            length = int(length or 0)
-        except ValueError:
-            raise RequestError("invalid Content-Length header")
-        if length < 0:
-            raise RequestError("invalid Content-Length header")
-        if length > MAX_BODY_BYTES:
-            raise RequestError(
-                f"request body too large (> {MAX_BODY_BYTES} bytes)",
-                status=413)
-        return self.rfile.read(length)
+            while await self._serve_one(reader, writer):
+                pass
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.CancelledError):
+            pass
+        except Exception:  # pragma: no cover - defensive
+            traceback.print_exc(file=sys.stderr)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001 - peer already gone
+                pass
 
-    def _dispatch(self, routes: Dict[str, str],
-                  other_routes: Dict[str, str], with_body: bool) -> None:
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        builder_name = routes.get(path)
-        if builder_name is None:
-            if path in other_routes:
-                self.service._count(path, error=True)
-                self._send_error_json(
-                    405, f"method not allowed for {path} "
-                         f"(use {'GET' if with_body else 'POST'} "
-                         "endpoints as documented in docs/SERVICE.md)")
-            else:
-                # Folded into one counter: client-chosen paths must not
-                # grow the stats dict (the server may be long-lived and
-                # internet-facing).
-                self.service._count("unknown", error=True)
-                self._send_error_json(404, f"unknown endpoint {path!r}")
-            return
+    async def _serve_one(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> bool:
+        """Read, route, and answer one request; whether to keep alive.
+
+        Error responses always carry ``Connection: close`` — the
+        request body may not have been drained, so the connection is
+        not safe to reuse.
+        """
+        try:
+            line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError):
+            await self._write_response(
+                writer, 400,
+                self._error_bytes(False, 400, "request line too long"),
+                close=True)
+            return False
+        if not line or not line.strip():
+            return False  # clean EOF between requests
+        try:
+            method, target, _version = \
+                line.decode("latin-1").strip().split(None, 2)
+        except ValueError:
+            await self._write_response(
+                writer, 400,
+                self._error_bytes(False, 400, "malformed request line"),
+                close=True)
+            return False
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        versioned = path == "/v1" or path.startswith("/v1/")
+
+        async def bail(status: int, message: str,
+                       headers: Optional[Dict[str, str]] = None,
+                       retry_after_ms: Optional[float] = None) -> bool:
+            await self._write_response(
+                writer, status,
+                self._error_bytes(versioned, status, message,
+                                  retry_after_ms=retry_after_ms),
+                headers=headers, close=True)
+            return False
+
+        headers: Dict[str, str] = {}
+        while True:
+            try:
+                header_line = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError):
+                return await bail(400, "header line too long")
+            if header_line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = \
+                header_line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+            if len(headers) > MAX_HEADER_COUNT:
+                return await bail(400, "too many headers")
+
+        # Route before reading the body: unknown endpoints answer
+        # without draining client bytes (hence the forced close).
+        if method not in ("GET", "POST"):
+            self._count("unknown", error=True)
+            return await bail(405, f"method {method} not supported "
+                                   "(use GET/POST endpoints as "
+                                   "documented in docs/SERVICE.md)")
+        table = ROUTES[method]
+        other = ROUTES["POST" if method == "GET" else "GET"]
+        if path not in table:
+            if path in other:
+                self._count(path, error=True)
+                wanted = "POST" if method == "GET" else "GET"
+                return await bail(
+                    405, f"method not allowed for {path} (use {wanted} "
+                         "as documented in docs/SERVICE.md)")
+            self._count("unknown", error=True)
+            return await bail(404, f"unknown endpoint {path!r}")
+
+        if "transfer-encoding" in headers:
+            self._count(path, error=True)
+            return await bail(400,
+                              "chunked transfer encoding not supported")
+        try:
+            length = int(headers.get("content-length") or 0)
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            self._count(path, error=True)
+            return await bail(400, "invalid Content-Length header")
+        if length > MAX_BODY_BYTES:
+            self._count(path, error=True)
+            return await bail(
+                413,
+                f"request body too large (> {MAX_BODY_BYTES} bytes)")
+        raw_body = (await reader.readexactly(length) if length else b"")
+
+        base_path = path[3:] if versioned else path
+        started = time.perf_counter()
         try:
             # Service-level fault site: a ``slow@service./predict``
             # clause delays the request here, before any work happens
             # (an ``injected`` kind surfaces as a clean 500 below).
-            maybe_inject("service." + path)
-            builder = getattr(self.service, builder_name)
-            if with_body:
-                body = serialize.parse_json_body(self._read_body())
-                payload = builder(body)
-            else:
-                payload = builder()
+            # Faults sleep, so they run off the event loop.
+            if active_plan() is not None:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, maybe_inject, "service." + path)
+            body = (serialize.parse_json_body(raw_body)
+                    if method == "POST" else None)
+            core = getattr(self, _CORE_HANDLERS[base_path])
+            result_bytes, meta_info = await core(body)
         except RequestError as exc:
-            self.service._count(path, error=True)
-            self._send_error_json(exc.status, str(exc),
-                                  headers=exc.headers or None)
-            return
-        except Exception:  # pragma: no cover - defensive
+            self._count(path, error=True)
+            return await bail(
+                exc.status, str(exc), headers=exc.headers or None,
+                retry_after_ms=getattr(exc, "retry_after_ms", None))
+        except asyncio.CancelledError:
+            raise
+        except Exception:
             # Detail stays server-side: exception text can carry paths
             # and internals that an untrusted client has no business
             # seeing.
-            import traceback
             traceback.print_exc(file=sys.stderr)
-            self.service._count(path, error=True)
-            self._send_error_json(500, "internal error")
-            return
-        self.service._count(path)
-        self._send_json(200, payload)
+            self._count(path, error=True)
+            return await bail(500, "internal error")
+        self._count(path)
+        if versioned:
+            timing_ms = round((time.perf_counter() - started) * 1000.0,
+                              3)
+            meta = serialize.meta_dict(
+                uarch=meta_info.get("uarch"),
+                mode=meta_info.get("mode"),
+                cache=meta_info.get("cache"),
+                timing_ms=timing_ms)
+            response = serialize.envelope_bytes(result_bytes, meta)
+            extra: Optional[Dict[str, str]] = None
+        else:
+            response = result_bytes
+            extra = {"Deprecation": "true"}
+        keep = headers.get("connection", "").lower() != "close"
+        await self._write_response(writer, 200, response, headers=extra,
+                                   close=not keep)
+        return keep
 
-    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        self._dispatch(self.GET_ROUTES, self.POST_ROUTES, with_body=False)
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        self._dispatch(self.POST_ROUTES, self.GET_ROUTES, with_body=True)
+def _consume_exception(task: "asyncio.Future") -> None:
+    """Mark a gathered future's exception as retrieved (log hygiene)."""
+    if not task.cancelled():
+        task.exception()

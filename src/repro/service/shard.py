@@ -1,0 +1,345 @@
+"""Per-µarch worker-process shards behind the async service front-end.
+
+The asyncio front-end (:mod:`repro.service.server`) never runs
+prediction work on its event loop.  Each µarch gets a
+:class:`ShardEngine`: a proxy whose dedicated **worker process** owns
+that µarch's :class:`~repro.uops.database.UopsDatabase`,
+:class:`~repro.engine.cache.AnalysisCache` (optionally layered over a
+:class:`~repro.engine.persist.PersistentAnalysisCache`) and
+:class:`~repro.engine.engine.Engine`.  Requests cross the process
+boundary as compact picklable payloads — ``(request id, mode value,
+[raw block bytes, ...])`` — and answers come back as pickled
+:class:`~repro.core.model.Prediction` lists matched to their request by
+id, the same payload discipline the parallel engine uses for its pool
+tasks.
+
+Determinism: the worker computes predictions with a serial
+``Engine.predict_many`` pass over the exact request order (or its own
+pool when ``n_workers`` asks for one — itself deterministic by index
+merge), so serving through a shard is byte-identical to serving
+in-process.
+
+Fault tolerance mirrors the engine pool: a dead or hung worker fails
+the in-flight request with :class:`ShardCrash`, the proxy respawns the
+process and retries once with faults cleared, and if the respawn also
+fails it falls back to a lazily-built in-process engine — same bytes,
+reduced isolation.  The deterministic fault harness reaches the shard
+via the :data:`SHARD_SITE` site (``REPRO_FAULTS`` clauses matching
+``service.shard``); drawn faults are shipped to the worker and acted
+out there (``worker_kill`` exits the worker, ``slow`` sleeps).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from concurrent.futures import Future, TimeoutError as FutureTimeout
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.components import ThroughputMode
+from repro.core.model import Prediction
+from repro.engine.cache import AnalysisCache
+from repro.engine.engine import DEFAULT_FAULTED_TIMEOUT, Engine, \
+    _pool_context
+from repro.engine.persist import PersistentAnalysisCache
+from repro.isa.block import BasicBlock
+from repro.robustness.faults import act_in_worker, active_plan
+from repro.uarch import uarch_by_name
+from repro.uops.database import UopsDatabase
+
+#: The shard's fault-injection site (``REPRO_FAULTS`` pattern target).
+SHARD_SITE = "service.shard"
+
+#: How long the proxy waits for a graceful worker shutdown before
+#: escalating to ``terminate()``.
+SHUTDOWN_GRACE = 2.0
+
+
+class ShardCrash(RuntimeError):
+    """The shard worker died (or hung) before answering a request."""
+
+
+def _shard_main(abbrev: str, request_queue, result_queue,
+                persist_path: Optional[str],
+                n_workers: Optional[int]) -> None:
+    """Worker-process entry point: serve requests until shutdown.
+
+    Messages in: ``("predict", id, mode, raws, faults)``,
+    ``("stats", id)``, ``("shutdown",)``.  Messages out:
+    ``(id, ok, payload)`` where a failed request carries
+    ``"ExcType: message"`` text instead of its payload (full tracebacks
+    stay in the worker; the front-end answers an opaque 500).
+    """
+    cfg = uarch_by_name(abbrev)
+    db = UopsDatabase(cfg)
+    persistent = (PersistentAnalysisCache(persist_path, abbrev)
+                  if persist_path else None)
+    cache = AnalysisCache(db, persistent=persistent)
+    engine = Engine(cfg, db=db, cache=cache, n_workers=n_workers)
+    while True:
+        message = request_queue.get()
+        if message[0] == "shutdown":
+            break
+        if message[0] == "stats":
+            result_queue.put((message[1], True, {
+                "cache": cache.stats(),
+                "engine": {"tasks_retried": engine.tasks_retried,
+                           "tasks_failed": engine.tasks_failed,
+                           "pool_respawns": engine.pool_respawns},
+            }))
+            continue
+        _, request_id, mode_value, raws, faults = message
+        try:
+            for fault in faults:
+                if fault is not None:
+                    act_in_worker(fault, SHARD_SITE)
+            blocks = [BasicBlock.from_bytes(raw) for raw in raws]
+            predictions = engine.predict_many(
+                blocks, ThroughputMode(mode_value))
+            if persistent is not None:
+                cache.sync_persistent()
+            result_queue.put((request_id, True, predictions))
+        except Exception as exc:  # noqa: BLE001 - shipped as text
+            result_queue.put((request_id, False,
+                              f"{type(exc).__name__}: {exc}"))
+    engine.close()
+
+
+class _WorkerHandle:
+    """One worker-process generation: process, queues, pending futures.
+
+    Bundling per-generation state keeps a late reader thread of a dead
+    generation from ever touching the futures of its successor.
+    """
+
+    def __init__(self, context, abbrev: str, persist_path: Optional[str],
+                 n_workers: Optional[int]):
+        self.request_queue = context.Queue()
+        self.result_queue = context.Queue()
+        self.pending: Dict[int, Future] = {}
+        self.lock = threading.Lock()
+        self.process = context.Process(
+            target=_shard_main,
+            args=(abbrev, self.request_queue, self.result_queue,
+                  persist_path, n_workers),
+            name=f"facile-shard-{abbrev}", daemon=True)
+        self.process.start()
+        self.reader = threading.Thread(
+            target=self._read_loop, name=f"facile-shard-{abbrev}-reader",
+            daemon=True)
+        self.reader.start()
+
+    def register(self, request_id: int) -> Future:
+        future: Future = Future()
+        with self.lock:
+            self.pending[request_id] = future
+        return future
+
+    def forget(self, request_id: int) -> None:
+        with self.lock:
+            self.pending.pop(request_id, None)
+
+    def _resolve(self, request_id: int, ok: bool, payload) -> None:
+        with self.lock:
+            future = self.pending.pop(request_id, None)
+        if future is None:
+            return
+        if ok:
+            future.set_result(payload)
+        else:
+            future.set_exception(RuntimeError(payload))
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                request_id, ok, payload = self.result_queue.get(
+                    timeout=0.1)
+            except queue.Empty:
+                if not self.process.is_alive():
+                    self._drain_then_fail()
+                    return
+                with self.lock:
+                    idle = not self.pending
+                if idle and getattr(self, "finished", False):
+                    return
+                continue
+            except (EOFError, OSError):
+                self._drain_then_fail()
+                return
+            self._resolve(request_id, ok, payload)
+
+    def _drain_then_fail(self) -> None:
+        # The worker died: deliver whatever it managed to flush, then
+        # fail every still-pending future so callers can recover.
+        while True:
+            try:
+                request_id, ok, payload = self.result_queue.get_nowait()
+            except (queue.Empty, EOFError, OSError):
+                break
+            self._resolve(request_id, ok, payload)
+        with self.lock:
+            pending = list(self.pending.values())
+            self.pending.clear()
+        crash = ShardCrash("shard worker process died")
+        for future in pending:
+            if not future.done():
+                future.set_exception(crash)
+
+    def stop(self) -> None:
+        self.finished = True
+        try:
+            self.request_queue.put(("shutdown",))
+        except (ValueError, OSError):
+            pass
+        self.process.join(timeout=SHUTDOWN_GRACE)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=SHUTDOWN_GRACE)
+
+
+class ShardEngine:
+    """Engine-shaped proxy for one µarch's worker-process shard.
+
+    Exposes the one method the :class:`~repro.engine.batching.
+    MicroBatcher` dispatcher needs — :meth:`predict_many` — plus
+    :meth:`stats` (a control-message round trip) and :meth:`close`.
+    ``predict_many`` is intended to be called from one dispatcher
+    thread; ``stats`` may be called concurrently from others.
+    """
+
+    def __init__(self, uarch: str, *, persist_path: Optional[str] = None,
+                 n_workers: Optional[int] = None):
+        self.uarch = uarch
+        self.persist_path = persist_path
+        self.n_workers = n_workers
+        self.respawns = 0
+        self.fallback_used = 0
+        self._request_ids = itertools.count()
+        self._context = _pool_context()
+        self._closed = False
+        self._fallback: Optional[Engine] = None
+        self._worker = _WorkerHandle(self._context, uarch, persist_path,
+                                     n_workers)
+
+    # -- prediction ----------------------------------------------------
+
+    def predict_many(self, blocks: Sequence[BasicBlock],
+                     mode: ThroughputMode) -> List[Prediction]:
+        """Predict *blocks* in the worker; byte-identical to in-process.
+
+        A crashed/hung worker triggers one respawn-and-retry (faults
+        cleared, mirroring the engine pool's recovery contract); if the
+        fresh worker fails too, the request is served by an in-process
+        fallback engine.
+        """
+        if self._closed:
+            raise RuntimeError("ShardEngine is closed")
+        plan = active_plan()
+        faults: List[Optional[Tuple[str, float]]] = []
+        for _ in blocks:
+            fault = plan.check(SHARD_SITE) if plan is not None else None
+            faults.append(fault.encode() if fault is not None else None)
+        try:
+            return self._roundtrip(blocks, mode, faults)
+        except ShardCrash:
+            self._respawn()
+            try:
+                return self._roundtrip(blocks, mode,
+                                       [None] * len(blocks))
+            except ShardCrash:
+                self.fallback_used += len(blocks)
+                return self._fallback_engine().predict_many(blocks, mode)
+
+    def _roundtrip(self, blocks: Sequence[BasicBlock],
+                   mode: ThroughputMode,
+                   faults: List[Optional[Tuple[str, float]]]
+                   ) -> List[Prediction]:
+        worker = self._worker
+        request_id = next(self._request_ids)
+        future = worker.register(request_id)
+        try:
+            worker.request_queue.put(
+                ("predict", request_id, mode.value,
+                 [block.raw for block in blocks], faults))
+        except (ValueError, OSError) as exc:
+            worker.forget(request_id)
+            raise ShardCrash(f"shard request queue unusable: {exc}")
+        try:
+            return future.result(timeout=self._timeout_for(len(blocks)))
+        except FutureTimeout:
+            worker.forget(request_id)
+            raise ShardCrash("shard worker did not answer in time")
+        except ShardCrash:
+            raise
+        # RuntimeError from the worker (a real prediction failure, not
+        # a crash) propagates to the batcher unchanged.
+
+    def _timeout_for(self, n_blocks: int) -> Optional[float]:
+        """Bounded waits only under an active fault plan.
+
+        Without injected faults a slow answer is just a big batch on a
+        busy box — the reader thread catches real deaths, so the wait
+        is unbounded.  With a plan active, a ``timeout`` fault can hang
+        the worker; scale the engine's faulted budget by batch size.
+        """
+        if active_plan() is None:
+            return None
+        return DEFAULT_FAULTED_TIMEOUT * max(1.0, n_blocks / 16.0)
+
+    def _respawn(self) -> None:
+        if self._closed:
+            raise ShardCrash("ShardEngine closed during recovery")
+        self.respawns += 1
+        old = self._worker
+        old.finished = True
+        if old.process.is_alive():
+            old.process.terminate()
+            old.process.join(timeout=SHUTDOWN_GRACE)
+        self._worker = _WorkerHandle(self._context, self.uarch,
+                                     self.persist_path, self.n_workers)
+
+    def _fallback_engine(self) -> Engine:
+        if self._fallback is None:
+            cfg = uarch_by_name(self.uarch)
+            self._fallback = Engine(cfg)
+        return self._fallback
+
+    # -- reporting -----------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return (not self._closed) and self._worker.process.is_alive()
+
+    def stats(self, timeout: float = 5.0) -> Dict[str, object]:
+        """The worker's cache/engine counters (``{}`` if unreachable)."""
+        if self._closed:
+            return {}
+        worker = self._worker
+        request_id = next(self._request_ids)
+        future = worker.register(request_id)
+        try:
+            worker.request_queue.put(("stats", request_id))
+            payload = future.result(timeout=timeout)
+        except Exception:  # noqa: BLE001 - stats are best-effort
+            worker.forget(request_id)
+            return {}
+        return payload
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "ShardEngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, trace) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop the worker process (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._worker.stop()
+        if self._fallback is not None:
+            self._fallback.close()
+            self._fallback = None

@@ -1,0 +1,58 @@
+"""Engine lifecycle: ``close()`` is idempotent and final.
+
+A closed engine still serves the serial path (closing only shuts the
+pool down), but refuses to spawn a fresh pool — crash-recovery respawns
+must never resurrect pools on engines their owner already released.
+"""
+
+import pytest
+
+from repro.bhive.suite import BenchmarkSuite
+from repro.core.components import ThroughputMode
+from repro.engine.engine import Engine
+from repro.uarch import uarch_by_name
+
+SKL = uarch_by_name("SKL")
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    return [b.block_l for b in BenchmarkSuite.generate(4, seed=3)]
+
+
+class TestClose:
+    def test_close_is_idempotent(self):
+        engine = Engine(SKL)
+        engine.close()
+        engine.close()  # second close must be a no-op, not an error
+
+    def test_context_manager_closes(self, blocks):
+        with Engine(SKL) as engine:
+            engine.predict_many(blocks, ThroughputMode.LOOP)
+        engine.close()  # close-after-exit is still fine
+
+    def test_serial_path_survives_close(self, blocks):
+        engine = Engine(SKL)
+        golden = engine.predict_many(blocks, ThroughputMode.LOOP)
+        engine.close()
+        again = engine.predict_many(blocks, ThroughputMode.LOOP)
+        assert [p.cycles for p in again] == [p.cycles for p in golden]
+
+    def test_parallel_path_refuses_after_close(self, blocks):
+        engine = Engine(SKL, n_workers=1)
+        engine.close()
+        with pytest.raises(RuntimeError, match="Engine is closed"):
+            engine.predict_many(blocks, ThroughputMode.LOOP)
+
+    def test_pool_shutdown_does_not_mark_closed(self, blocks):
+        # Crash recovery tears pools down via _shutdown_pool; the
+        # engine must stay usable (a fresh pool may be spawned).
+        engine = Engine(SKL, n_workers=1)
+        try:
+            first = engine.predict_many(blocks, ThroughputMode.LOOP)
+            engine._shutdown_pool()
+            second = engine.predict_many(blocks, ThroughputMode.LOOP)
+            assert [p.cycles for p in second] \
+                == [p.cycles for p in first]
+        finally:
+            engine.close()

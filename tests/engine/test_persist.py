@@ -1,0 +1,274 @@
+"""The persistent on-disk analysis cache (``engine/persist.py``).
+
+The contract under test: a warm working set survives restarts
+(byte-identical predictions, ``disk_hits`` counted), corruption and
+foreign files are recovered from instead of crashing, and concurrent
+writers appending to one file never tear each other's records.
+"""
+
+import os
+import pickle
+import struct
+import threading
+
+import pytest
+
+from repro.bhive.suite import BenchmarkSuite
+from repro.core.components import ThroughputMode
+from repro.engine.cache import AnalysisCache
+from repro.engine.engine import Engine
+from repro.engine.persist import (
+    FORMAT_VERSION,
+    HEADER_SIG,
+    REC_MAGIC,
+    PersistentAnalysisCache,
+    load_corpus,
+    _encode,
+    _frame,
+)
+from repro.uarch import uarch_by_name
+from repro.uops.database import UopsDatabase
+
+SKL = uarch_by_name("SKL")
+
+
+def synthetic(path, n=4, uarch="SKL"):
+    """A cache file with *n* synthetic single-slot records."""
+    cache = PersistentAnalysisCache(str(path), uarch)
+    for i in range(n):
+        assert cache.maybe_store(bytes([i]) * 4, {"_analyzed": [i]})
+    cache.flush()
+    return cache
+
+
+class TestRoundTrip:
+    def test_store_flush_reload(self, tmp_path):
+        path = tmp_path / "SKL.facc"
+        synthetic(path, n=4)
+        reloaded = PersistentAnalysisCache(str(path), "SKL")
+        assert reloaded.loaded == 4
+        assert len(reloaded) == 4
+        assert reloaded.load(b"\x02" * 4) == {"_analyzed": [2]}
+        assert reloaded.disk_hits == 1
+        assert reloaded.load(b"\xff" * 4) is None
+
+    def test_last_record_wins_and_compact_dedups(self, tmp_path):
+        path = tmp_path / "SKL.facc"
+        cache = synthetic(path, n=1)
+        # A richer record for the same signature supersedes on append.
+        assert cache.maybe_store(b"\x00" * 4, {"_analyzed": [0],
+                                               "_ops": [9]})
+        cache.flush()
+        reloaded = PersistentAnalysisCache(str(path), "SKL")
+        assert reloaded.load(b"\x00" * 4) == {"_analyzed": [0],
+                                              "_ops": [9]}
+        size_before = os.path.getsize(path)
+        reloaded.compact()
+        assert os.path.getsize(path) < size_before
+        again = PersistentAnalysisCache(str(path), "SKL")
+        assert again.loaded == 1
+        assert again.load(b"\x00" * 4) == {"_analyzed": [0], "_ops": [9]}
+
+    def test_store_is_skipped_without_coverage_growth(self, tmp_path):
+        cache = PersistentAnalysisCache(str(tmp_path / "SKL.facc"),
+                                        "SKL")
+        assert cache.maybe_store(b"sig1", {"_analyzed": [1]})
+        assert not cache.maybe_store(b"sig1", {"_analyzed": [2]})
+        assert not cache.maybe_store(b"sig2", {"_analyzed": None})
+        assert cache.maybe_store(b"sig1", {"_analyzed": [1],
+                                           "_ops": [2]})
+
+    def test_missing_file_is_empty(self, tmp_path):
+        cache = PersistentAnalysisCache(str(tmp_path / "none.facc"),
+                                        "SKL")
+        assert len(cache) == 0
+        assert cache.flush() == 0  # nothing pending, nothing written
+        assert not os.path.exists(tmp_path / "none.facc")
+
+    def test_for_uarch_creates_directory(self, tmp_path):
+        cache = PersistentAnalysisCache.for_uarch(
+            str(tmp_path / "deep" / "cache"), "RKL")
+        assert cache.path.endswith(os.path.join("deep", "cache",
+                                                "RKL.facc"))
+        assert cache.uarch == "RKL"
+
+
+class TestCorruptionRecovery:
+    def test_flipped_bytes_mid_file_skip_one_record(self, tmp_path):
+        path = tmp_path / "SKL.facc"
+        synthetic(path, n=5)
+        data = bytearray(path.read_bytes())
+        # Damage the middle of the file (well past the header record).
+        mid = len(data) // 2
+        data[mid:mid + 8] = b"\x00" * 8
+        path.write_bytes(bytes(data))
+        reloaded = PersistentAnalysisCache(str(path), "SKL")
+        assert reloaded.corrupt_records > 0
+        # Most records survive; the loader resynchronized past the
+        # damage instead of abandoning the rest of the file.
+        assert reloaded.loaded >= 3
+        # The next flush repairs the file wholesale ...
+        reloaded.flush()
+        assert reloaded.rewrites == 1
+        # ... so a later load sees a clean file again.
+        clean = PersistentAnalysisCache(str(path), "SKL")
+        assert clean.corrupt_records == 0
+        assert clean.loaded == reloaded.loaded
+
+    def test_truncated_tail_keeps_earlier_records(self, tmp_path):
+        path = tmp_path / "SKL.facc"
+        synthetic(path, n=4)
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])  # tear the last record mid-payload
+        reloaded = PersistentAnalysisCache(str(path), "SKL")
+        assert reloaded.loaded == 3
+        assert reloaded.corrupt_records > 0
+
+    def test_bad_crc_detected(self, tmp_path):
+        path = tmp_path / "SKL.facc"
+        synthetic(path, n=1)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip one payload byte of the last record
+        path.write_bytes(bytes(data))
+        reloaded = PersistentAnalysisCache(str(path), "SKL")
+        assert reloaded.loaded == 0
+        assert reloaded.corrupt_records > 0
+
+    def test_impossible_length_resyncs(self, tmp_path):
+        path = tmp_path / "SKL.facc"
+        cache = PersistentAnalysisCache(str(path), "SKL")
+        cache.maybe_store(b"keep", {"_analyzed": [1]})
+        cache.flush()
+        good = path.read_bytes()
+        # A fake record claiming a multi-GB payload, then the real file.
+        fake = REC_MAGIC + struct.pack(">II", 2 ** 31, 0)
+        path.write_bytes(fake + good)
+        reloaded = PersistentAnalysisCache(str(path), "SKL")
+        assert reloaded.load(b"keep") == {"_analyzed": [1]}
+        assert reloaded.corrupt_records > 0
+
+    def test_non_cache_garbage_never_crashes(self, tmp_path):
+        path = tmp_path / "SKL.facc"
+        path.write_bytes(b"this is not a cache file at all\n" * 10)
+        reloaded = PersistentAnalysisCache(str(path), "SKL")
+        assert reloaded.loaded == 0
+        reloaded.maybe_store(b"sig", {"_analyzed": [1]})
+        reloaded.flush()  # replaces the garbage wholesale
+        clean = PersistentAnalysisCache(str(path), "SKL")
+        assert clean.loaded == 1
+
+
+class TestForeignFiles:
+    def test_other_uarch_contributes_nothing(self, tmp_path):
+        path = tmp_path / "shared.facc"
+        synthetic(path, n=3, uarch="SKL")
+        foreign = PersistentAnalysisCache(str(path), "RKL")
+        assert foreign.loaded == 0
+        # The next flush atomically reclaims the file for RKL.
+        foreign.maybe_store(b"rkl", {"_analyzed": [1]})
+        foreign.flush()
+        assert PersistentAnalysisCache(str(path), "RKL").loaded == 1
+        assert PersistentAnalysisCache(str(path), "SKL").loaded == 0
+
+    def test_future_format_version_ignored(self, tmp_path):
+        path = tmp_path / "SKL.facc"
+        blob = pickle.dumps({"format": FORMAT_VERSION + 1,
+                             "uarch": "SKL"})
+        record = _frame(_encode(HEADER_SIG, blob))
+        record += _frame(_encode(b"sig", pickle.dumps({"_ops": [1]})))
+        path.write_bytes(record)
+        assert PersistentAnalysisCache(str(path), "SKL").loaded == 0
+
+
+class TestConcurrentWriters:
+    def test_interleaved_flushes_never_tear(self, tmp_path):
+        path = str(tmp_path / "SKL.facc")
+        # Seed the file (header included) so every writer appends.
+        seed = PersistentAnalysisCache(path, "SKL")
+        seed.maybe_store(b"seed", {"_analyzed": [0]})
+        seed.flush()
+
+        n_writers, per_writer = 8, 25
+        errors = []
+
+        def write(writer_id):
+            try:
+                mine = PersistentAnalysisCache(path, "SKL")
+                for i in range(per_writer):
+                    sig = b"w%02d-%03d" % (writer_id, i)
+                    mine.maybe_store(sig, {"_analyzed": [writer_id, i]})
+                    mine.flush()  # one O_APPEND write per record
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(i,))
+                   for i in range(n_writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        merged = PersistentAnalysisCache(path, "SKL")
+        assert merged.corrupt_records == 0
+        assert merged.loaded == 1 + n_writers * per_writer
+        assert merged.load(b"w03-007") == {"_analyzed": [3, 7]}
+
+
+class TestThroughAnalysisCache:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return BenchmarkSuite.generate(8, seed=5)
+
+    def test_restart_starts_warm_and_predicts_identically(
+            self, suite, tmp_path):
+        blocks = [b.block_l for b in suite]
+        path = str(tmp_path / "SKL.facc")
+
+        db1 = UopsDatabase(SKL)
+        cache1 = AnalysisCache(
+            db1, persistent=PersistentAnalysisCache(path, "SKL"))
+        with Engine(SKL, db=db1, cache=cache1) as engine:
+            cold = engine.predict_many(blocks, ThroughputMode.LOOP)
+            assert cache1.sync_persistent() > 0
+            assert cache1.sync_persistent() == 0  # stable set: no-op
+
+        # "Restart": fresh database, cache, and engine over the file.
+        db2 = UopsDatabase(SKL)
+        persistent = PersistentAnalysisCache(path, "SKL")
+        assert persistent.loaded == len(blocks)
+        cache2 = AnalysisCache(db2, persistent=persistent)
+        with Engine(SKL, db=db2, cache=cache2) as engine:
+            warm = engine.predict_many(blocks, ThroughputMode.LOOP)
+        assert cache2.disk_hits == len(blocks)
+        assert persistent.disk_hits == len(blocks)
+        assert [p.cycles for p in warm] == [p.cycles for p in cold]
+        assert [p.bottlenecks for p in warm] \
+            == [p.bottlenecks for p in cold]
+
+    def test_stats_nest_persistent_counters(self, tmp_path):
+        db = UopsDatabase(SKL)
+        persistent = PersistentAnalysisCache(
+            str(tmp_path / "SKL.facc"), "SKL")
+        cache = AnalysisCache(db, persistent=persistent)
+        stats = cache.stats()
+        assert stats["disk_hits"] == 0
+        assert stats["persistent"]["entries"] == 0
+        assert set(stats["persistent"]) == {
+            "path", "entries", "loaded", "disk_hits", "stores",
+            "corrupt_records", "rewrites"}
+
+
+class TestLoadCorpus:
+    def test_hex_lines_comments_and_csv(self, tmp_path):
+        corpus = tmp_path / "corpus.txt"
+        corpus.write_text(
+            "# warm-up corpus\n"
+            "4801d8\n"
+            "\n"
+            "4889d8,1.25\n"
+            "  90  \n")
+        assert load_corpus(str(corpus)) == ["4801d8", "4889d8", "90"]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            load_corpus(str(tmp_path / "nope.txt"))

@@ -1,0 +1,112 @@
+"""The per-µarch worker-process shard (``service/shard.py``).
+
+The acceptance properties: predictions served through a shard process
+are byte-identical to an in-process engine pass, an injected worker
+kill is recovered by respawn-and-retry without changing a byte, and a
+shard backed by a persistent cache file starts warm after a service
+restart.
+"""
+
+import pytest
+
+from repro.bhive.suite import BenchmarkSuite
+from repro.core.components import ThroughputMode
+from repro.engine.engine import Engine
+from repro.robustness import FaultPlan, injected
+from repro.service import PredictionService, ServiceClient, ShardEngine
+from repro.service.serialize import json_bytes, prediction_to_dict
+from repro.uarch import uarch_by_name
+
+SKL = uarch_by_name("SKL")
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return BenchmarkSuite.generate(6, seed=17)
+
+
+@pytest.fixture(scope="module")
+def blocks(suite):
+    return [b.block_l for b in suite]
+
+
+def wire_bytes(predictions, blocks):
+    return [json_bytes(prediction_to_dict(p, b, "SKL"))
+            for p, b in zip(predictions, blocks)]
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("mode", (ThroughputMode.UNROLLED,
+                                      ThroughputMode.LOOP),
+                             ids=lambda m: m.value)
+    def test_shard_matches_in_process_engine(self, blocks, mode):
+        golden = Engine(SKL).predict_many(blocks, mode)
+        with ShardEngine("SKL") as shard:
+            served = shard.predict_many(blocks, mode)
+        assert wire_bytes(served, blocks) == wire_bytes(golden, blocks)
+
+    def test_stats_round_trip(self, blocks):
+        with ShardEngine("SKL") as shard:
+            shard.predict_many(blocks, ThroughputMode.LOOP)
+            stats = shard.stats()
+            assert stats["cache"]["misses"] >= len(blocks)
+            assert set(stats["engine"]) == {"tasks_retried",
+                                            "tasks_failed",
+                                            "pool_respawns"}
+            assert shard.alive
+
+
+class TestCrashRecovery:
+    def test_worker_kill_respawns_and_matches(self, blocks):
+        golden = Engine(SKL).predict_many(blocks, ThroughputMode.LOOP)
+        plan = FaultPlan.from_spec("seed=0; worker_kill@service.shard:0")
+        with ShardEngine("SKL") as shard:
+            with injected(plan):
+                served = shard.predict_many(blocks, ThroughputMode.LOOP)
+            assert shard.respawns == 1
+            assert shard.fallback_used == 0
+            assert shard.alive
+            # The respawned worker keeps serving.
+            again = shard.predict_many(blocks, ThroughputMode.LOOP)
+        assert wire_bytes(served, blocks) == wire_bytes(golden, blocks)
+        assert wire_bytes(again, blocks) == wire_bytes(golden, blocks)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        shard = ShardEngine("SKL")
+        assert shard.alive
+        shard.close()
+        shard.close()
+        assert not shard.alive
+        assert shard.stats() == {}
+        with pytest.raises(RuntimeError):
+            shard.predict_many([], ThroughputMode.LOOP)
+
+
+class TestPersistentWarmThroughService:
+    def test_restart_with_same_cache_dir_starts_warm(self, suite,
+                                                     tmp_path):
+        hexes = [b.block_l.raw.hex() for b in suite]
+        cache_dir = str(tmp_path / "cache")
+
+        with PredictionService(uarch="SKL", port=0,
+                               cache_dir=cache_dir) as service:
+            client = ServiceClient(port=service.port)
+            first = client.predict_bulk(hexes, mode="loop")
+            stats = client.stats()
+            persistent = stats["uarchs"]["SKL"]["cache"]["persistent"]
+            assert persistent["loaded"] == 0  # cold start
+            assert persistent["stores"] == len(hexes)
+
+        # Restart over the same directory: the shard loads the file and
+        # serves the working set from disk instead of re-deriving it.
+        with PredictionService(uarch="SKL", port=0,
+                               cache_dir=cache_dir) as service:
+            client = ServiceClient(port=service.port)
+            second = client.predict_bulk(hexes, mode="loop")
+            stats = client.stats()
+            cache = stats["uarchs"]["SKL"]["cache"]
+            assert cache["persistent"]["loaded"] == len(hexes)
+            assert cache["disk_hits"] == len(hexes)
+        assert second.data == first.data

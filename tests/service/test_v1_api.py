@@ -1,0 +1,268 @@
+"""The versioned v1 API: envelope, error schema, deprecation, client.
+
+Three layers of contract:
+
+* **byte-level** — the envelope/bulk assembly helpers splice
+  pre-serialized fragments yet produce exactly the bytes
+  :func:`json_bytes` would for the equivalent full dict;
+* **wire-level** — ``/v1/`` responses share one envelope and one
+  structured error vocabulary, while the legacy unversioned routes keep
+  their original payloads byte-for-byte plus a ``Deprecation`` header;
+* **client-level** — :class:`ServiceClient` negotiates the generation
+  once and serves typed results that still act like the raw dicts.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.components import ThroughputMode
+from repro.core.model import Facile
+from repro.isa.block import BasicBlock
+from repro.service import (
+    API_VERSION,
+    ERROR_CODES,
+    PredictionService,
+    PredictionResult,
+    ServiceClient,
+    ServiceError,
+    json_bytes,
+    prediction_to_dict,
+)
+from repro.service.serialize import (
+    envelope_bytes,
+    error_envelope_bytes,
+    meta_dict,
+)
+from repro.service.server import ROUTES, bulk_result_bytes
+from repro.uarch import uarch_by_name
+
+SKL = uarch_by_name("SKL")
+HEX = "4801d8"
+
+
+@pytest.fixture(scope="module")
+def service():
+    with PredictionService(uarch="SKL", port=0, max_wait_ms=2.0) as s:
+        yield s
+
+
+@pytest.fixture()
+def client(service):
+    return ServiceClient(port=service.port)
+
+
+def fetch(service, path, body=None):
+    """One raw request; returns (status, headers, bytes)."""
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{service.port}{path}", data=data,
+        method="POST" if data else "GET")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+class TestByteAssembly:
+    def test_envelope_bytes_match_full_json(self):
+        result = {"cycles": 1.25, "uarch": "SKL"}
+        meta = meta_dict(uarch="SKL", mode="loop", cache="hit",
+                         timing_ms=0.123)
+        assert envelope_bytes(json_bytes(result), meta) == json_bytes(
+            {"error": None, "meta": meta, "result": result})
+
+    def test_bulk_result_bytes_match_full_json(self):
+        block = BasicBlock.from_bytes(bytes.fromhex(HEX))
+        prediction = Facile(SKL).predict(block, ThroughputMode.LOOP)
+        entry = prediction_to_dict(prediction, block, "SKL")
+        fragments = [json_bytes(entry)] * 3
+        assert bulk_result_bytes("SKL", "loop", fragments) == json_bytes(
+            {"uarch": "SKL", "mode": "loop", "n_blocks": 3,
+             "predictions": [entry] * 3})
+
+    def test_error_envelope_schema(self):
+        payload = json.loads(error_envelope_bytes(429, "shed",
+                                                  retry_after_ms=12.3456))
+        assert payload["result"] is None
+        assert payload["meta"]["api_version"] == API_VERSION
+        assert payload["error"] == {"code": "overloaded",
+                                    "message": "shed",
+                                    "retry_after_ms": 12.346}
+        # Unknown statuses never leak a numeric code.
+        fallback = json.loads(error_envelope_bytes(418, "teapot"))
+        assert fallback["error"]["code"] == "internal"
+        assert "retry_after_ms" not in fallback["error"]
+
+    def test_meta_dict_always_carries_every_key(self):
+        assert set(meta_dict()) == {"api_version", "uarch", "mode",
+                                    "cache", "timing_ms"}
+
+    def test_every_legacy_route_has_a_v1_twin(self):
+        for method, paths in ROUTES.items():
+            legacy = {p for p in paths if not p.startswith("/v1/")}
+            versioned = {p for p in paths if p.startswith("/v1/")}
+            assert {"/v1" + p for p in legacy} == versioned, method
+
+
+class TestV1Envelope:
+    def test_predict_envelope(self, service):
+        status, _, raw = fetch(service, "/v1/predict",
+                               {"hex": HEX, "mode": "loop"})
+        assert status == 200
+        payload = json.loads(raw)
+        assert set(payload) == {"error", "meta", "result"}
+        assert payload["error"] is None
+        meta = payload["meta"]
+        assert meta["api_version"] == API_VERSION
+        assert meta["uarch"] == "SKL"
+        assert meta["mode"] == "loop"
+        assert meta["cache"] in ("hit", "miss")
+        assert meta["timing_ms"] >= 0
+        assert payload["result"]["block"]["hex"] == HEX
+
+    def test_bulk_envelope_reports_cache_split(self, service):
+        body = {"blocks": [{"hex": HEX}, {"hex": "90"}], "mode": "loop"}
+        fetch(service, "/v1/predict/bulk", body)  # warm the fragments
+        status, _, raw = fetch(service, "/v1/predict/bulk", body)
+        assert status == 200
+        meta = json.loads(raw)["meta"]
+        assert meta["cache"] == {"hits": 2, "misses": 0}
+
+    def test_health_advertises_api_versions(self, service):
+        status, _, raw = fetch(service, "/v1/health")
+        assert status == 200
+        result = json.loads(raw)["result"]
+        assert result["api_versions"] == [API_VERSION]
+        # The legacy route serves the identical (unwrapped) payload —
+        # modulo the uptime clock, which ticks between the two calls.
+        _, _, legacy_raw = fetch(service, "/health")
+        legacy = json.loads(legacy_raw)
+        legacy.pop("uptime_sec")
+        result.pop("uptime_sec")
+        assert legacy == result
+
+
+class TestLegacyCompatibility:
+    def test_legacy_body_is_the_v1_result_verbatim(self, service):
+        body = {"hex": HEX, "mode": "unrolled"}
+        _, _, v1_raw = fetch(service, "/v1/predict", body)
+        _, _, legacy_raw = fetch(service, "/predict", body)
+        assert legacy_raw == json_bytes(json.loads(v1_raw)["result"])
+
+    def test_legacy_bytes_match_direct_serialization(self, service):
+        block = BasicBlock.from_bytes(bytes.fromhex(HEX))
+        prediction = Facile(SKL).predict(block, ThroughputMode.LOOP)
+        _, _, raw = fetch(service, "/predict",
+                          {"hex": HEX, "mode": "loop"})
+        assert raw == json_bytes(prediction_to_dict(block=block,
+                                                    prediction=prediction,
+                                                    uarch="SKL"))
+
+    def test_deprecation_header_on_legacy_success_only(self, service):
+        _, legacy_headers, _ = fetch(service, "/health")
+        assert legacy_headers.get("Deprecation") == "true"
+        _, v1_headers, _ = fetch(service, "/v1/health")
+        assert "Deprecation" not in v1_headers
+
+    def test_legacy_error_keeps_string_schema(self, service):
+        status, _, raw = fetch(service, "/predict", {})
+        assert status == 400
+        payload = json.loads(raw)
+        assert isinstance(payload["error"], str)
+        assert set(payload) == {"error"}
+
+
+class TestV1Errors:
+    @pytest.mark.parametrize("path,body,status", [
+        ("/v1/predict", {}, 400),
+        ("/v1/predict", {"hex": HEX, "uarch": "Z80"}, 404),
+        ("/v1/nope", {"hex": HEX}, 404),
+        ("/v1/predict", None, 405),  # GET on a POST route
+    ])
+    def test_structured_error_schema(self, service, path, body, status):
+        got_status, _, raw = fetch(service, path, body)
+        assert got_status == status
+        payload = json.loads(raw)
+        assert payload["result"] is None
+        assert payload["meta"]["api_version"] == API_VERSION
+        error = payload["error"]
+        assert error["code"] == ERROR_CODES[status]
+        assert error["message"]
+
+    def test_413_too_large_code(self):
+        with PredictionService(uarch="SKL", port=0, max_bulk=1) as tiny:
+            status, _, raw = fetch(
+                tiny, "/v1/predict/bulk",
+                {"blocks": [{"hex": "90"}, {"hex": "90"}]})
+        assert status == 413
+        assert json.loads(raw)["error"]["code"] == "too_large"
+
+    def test_client_surfaces_code_and_message(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.predict(HEX, uarch="Z80")
+        assert exc.value.status == 404
+        assert exc.value.code == "not_found"
+        assert "Z80" in exc.value.message
+
+
+class TestClientNegotiation:
+    def test_auto_negotiates_v1(self, service):
+        with ServiceClient(port=service.port) as client:
+            assert client.api_version == "v1"
+
+    def test_forced_legacy_still_works(self, service):
+        with ServiceClient(port=service.port, api="legacy") as client:
+            assert client.api_version == "legacy"
+            result = client.predict(HEX, mode="loop")
+            assert result.meta is None
+            assert result.block["hex"] == HEX
+
+    def test_forced_v1_skips_probe(self, service):
+        client = ServiceClient(port=service.port, api="v1")
+        assert client.api_version == "v1"
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ServiceClient(api="v2")
+        with pytest.raises(ValueError):
+            ServiceClient(max_attempts=0)
+        with pytest.raises(TypeError):
+            ServiceClient("127.0.0.1")  # positional args are gone
+
+
+class TestTypedResults:
+    def test_prediction_result_properties(self, client):
+        result = client.predict(HEX, mode="loop", counterfactuals=True)
+        assert isinstance(result, PredictionResult)
+        block = BasicBlock.from_bytes(bytes.fromhex(HEX))
+        prediction = Facile(SKL).predict(block, ThroughputMode.LOOP)
+        assert result.cycles == prediction.cycles
+        assert result.bottlenecks == [c.value
+                                      for c in prediction.bottlenecks]
+        assert result.uarch == "SKL"
+        assert result.mode == "loop"
+        assert set(result.bounds) == set(result.exact_bounds)
+        assert all(v >= 1.0
+                   for v in result.counterfactual_speedups.values())
+        assert result.meta["api_version"] == API_VERSION
+
+    def test_results_still_act_like_dicts(self, client):
+        result = client.predict(HEX)
+        assert result["cycles"] == result.cycles
+        assert "bottlenecks" in result
+        assert result.get("nope") is None
+        assert set(result.keys()) == set(iter(result))
+        assert result == result.data
+
+    def test_bulk_result_is_typed_and_ordered(self, client):
+        bulk = client.predict_bulk([HEX, "90"], mode="unrolled")
+        assert bulk.n_blocks == 2
+        assert bulk.uarch == "SKL"
+        assert bulk.mode == "unrolled"
+        predictions = bulk.predictions
+        assert [p.block["hex"] for p in predictions] == [HEX, "90"]
+        assert all(isinstance(p, PredictionResult) for p in predictions)

@@ -80,3 +80,46 @@ class TestCheckerCatchesBreakage:
     def test_run_checks_reports_missing_docs(self, tmp_path):
         problems = check_docs.run_checks(str(tmp_path))
         assert problems  # an empty tree must not look healthy
+
+
+class TestApiConformance:
+    def test_repo_service_doc_conforms(self):
+        assert check_docs.api_conformance_problems(REPO_ROOT) == []
+
+    def test_missing_service_doc_reported(self, tmp_path):
+        problems = check_docs.api_conformance_problems(str(tmp_path))
+        assert problems == ["docs/SERVICE.md is missing "
+                            "(the service reference)"]
+
+    def test_undocumented_route_detected(self, tmp_path):
+        # A SERVICE.md that documents only part of the served surface:
+        # every missing route must be flagged, and a phantom route that
+        # the server does not serve must be flagged the other way.
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        from repro.service.serialize import ERROR_CODES
+        rows = "\n".join(f"| `{code}` | {status} | x |"
+                         for status, code in ERROR_CODES.items())
+        (docs / "SERVICE.md").write_text(
+            "`GET /health` and `GET /phantom` only\n" + rows + "\n")
+        problems = check_docs.api_conformance_problems(str(tmp_path))
+        assert any("`POST /v1/predict` is undocumented" in p
+                   for p in problems)
+        assert any("/phantom" in p and "does not serve" in p
+                   for p in problems)
+
+    def test_error_code_drift_detected(self, tmp_path):
+        from repro.service.server import ROUTES
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        routes = " ".join(f"`{method} {path}`"
+                          for method, paths in ROUTES.items()
+                          for path in paths)
+        (docs / "SERVICE.md").write_text(
+            routes + "\n| `bad_request` | 400 | x |\n"
+            "| `teapot` | 418 | x |\n")
+        problems = check_docs.api_conformance_problems(str(tmp_path))
+        assert any("'overloaded'" in p and "missing" in p
+                   for p in problems)
+        assert any("'teapot'" in p and "does not emit" in p
+                   for p in problems)
