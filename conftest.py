@@ -15,3 +15,8 @@ def pytest_configure(config):
         "markers",
         "chaos: fault-injection smoke tests (run with an active "
         "REPRO_FAULTS plan in CI's chaos job; see docs/ROBUSTNESS.md)")
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running end-to-end tests (full generalization "
+        "campaigns); excluded from the default run by addopts, CI "
+        "runs them in a dedicated step via -m slow")

@@ -1,9 +1,11 @@
 """Hunt for predictor deviations with a tiny campaign budget.
 
-A miniature of ``facile hunt``: generate a seeded candidate corpus,
-fan Facile, a baseline analog, and the oracle simulator over it, then
-minimize and cluster the deviating blocks.  Prints the top cluster and
-its strongest (minimized) witness.
+A miniature of ``facile hunt --generalize``: generate a seeded
+candidate corpus, fan Facile, a baseline analog, and the oracle
+simulator over it, minimize the deviating blocks, then widen the
+strongest witness into an abstract deviation family with fresh sampled
+proof witnesses and suite coverage.  Prints the top cluster, its
+strongest (minimized) witness, and the top family.
 
 Run:
     python examples/deviation_hunt.py [budget] [uarch]
@@ -19,7 +21,8 @@ def main() -> None:
     uarch = sys.argv[2] if len(sys.argv) > 2 else "SKL"
 
     config = CampaignConfig(seed=0, budget=budget, uarchs=(uarch,),
-                            modes=("unrolled",), max_witnesses=3)
+                            modes=("unrolled",), max_witnesses=3,
+                            generalize=True, max_families=1)
     print(f"Hunting on {uarch}: {budget} candidates, tools "
           f"{', '.join(config.predictors)} + oracle ...")
     result = run_campaign(config)
@@ -48,6 +51,22 @@ def main() -> None:
         print(f"    {line}")
     for name, cycles in sorted(witness.values.items()):
         print(f"  {name:<13} {cycles:6.2f} cycles/iter")
+
+    if not result.families:
+        print("\nNo family confirmed at this budget.")
+        return
+    family = result.families[0]
+    print(f"\nGeneralized family {family.id} "
+          f"(coverage {family.coverage:.0%} of the benchmark suite, "
+          f"{family.widenings_accepted}/{family.widenings_tried} "
+          "features widened):")
+    for line in family.abstraction.summary():
+        print(f"    {line}")
+    fresh = family.fresh[0]
+    print(f"  fresh sampled witness (not a campaign input, "
+          f"score {fresh.score:.2f}):")
+    for line in fresh.lines:
+        print(f"    {line}")
 
 
 if __name__ == "__main__":

@@ -11,7 +11,8 @@ Examples::
     facile figure6 --size 100
     facile bench --size 80 --check
     facile serve --port 8000 --uarch SKL --workers 2
-    facile hunt --seed 0 --budget 200 --out hunt.json
+    facile hunt --seed 0 --budget 200 --generalize --out hunt.json
+    facile generalize hunt.json --known prior.json --out families.json
 
 Every subcommand is documented in ``README.md``; the service endpoints
 behind ``facile serve`` are specified in ``docs/SERVICE.md``, and the
@@ -22,6 +23,7 @@ deviation-discovery campaigns behind ``facile hunt`` in
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -33,11 +35,16 @@ from repro.discovery import (
     CheckpointStore,
     DEFAULT_BUDGET,
     DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_FRESH_WITNESSES,
+    DEFAULT_GEN_SAMPLES,
+    DEFAULT_MAX_FAMILIES,
     DEFAULT_MAX_WITNESSES,
     DEFAULT_MUTATION_RATE,
     DEFAULT_PREDICTORS,
     DEFAULT_THRESHOLD,
     campaign_report,
+    generalize_report,
+    load_known_families,
     render_json,
     render_markdown,
     run_campaign,
@@ -265,6 +272,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_known(path: Optional[str]):
+    """Load ``--known`` families from a prior report file (or ()).
+
+    Raises:
+        ValueError: unreadable file, bad JSON, or malformed families.
+    """
+    if not path:
+        return ()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except OSError as exc:
+        raise ValueError(str(exc)) from None
+    return load_known_families(report)
+
+
 def _cmd_hunt(args: argparse.Namespace) -> int:
     """Run a deviation-discovery campaign (see docs/DISCOVERY.md)."""
     modes = (("unrolled", "loop") if args.mode == "both"
@@ -274,11 +297,26 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         uarchs=tuple(args.uarchs), predictors=tuple(args.predictors),
         modes=modes, threshold=args.threshold,
         mutation_rate=args.mutation_rate,
-        max_witnesses=args.max_witnesses, n_workers=args.workers)
+        max_witnesses=args.max_witnesses,
+        generalize=args.generalize,
+        gen_samples=args.gen_samples,
+        fresh_witnesses=args.fresh_witnesses,
+        max_families=args.max_families,
+        n_workers=args.workers)
     try:
         config.validate()
     except ValueError as exc:
         print(f"facile hunt: {exc}", file=sys.stderr)
+        return 2
+    if (args.known or args.coverage) and not args.generalize:
+        print("facile hunt: --known/--coverage require --generalize",
+              file=sys.stderr)
+        return 2
+    try:
+        known = _load_known(args.known)
+    except ValueError as exc:
+        print(f"facile hunt: --known {args.known}: {exc}",
+              file=sys.stderr)
         return 2
     checkpoint = None
     try:
@@ -299,10 +337,16 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         return 2
     interrupted = False
     try:
-        result = run_campaign(config, checkpoint=checkpoint)
+        result = run_campaign(config, checkpoint=checkpoint,
+                              known=known,
+                              coverage_corpus=args.coverage)
     except CampaignInterrupted as exc:
         result = exc.result
         interrupted = True
+    except OSError as exc:
+        # The coverage corpus is read before any evaluation starts.
+        print(f"facile hunt: {exc}", file=sys.stderr)
+        return 2
     report = campaign_report(result)
     print(render_markdown(report), end="")
     if args.out:
@@ -319,6 +363,74 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
                  "resumable)"), file=sys.stderr)
         return 130
     return 0
+
+
+def _cmd_generalize(args: argparse.Namespace) -> int:
+    """Generalize the witnesses of an existing hunt report."""
+    try:
+        with open(args.report, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"facile generalize: {args.report}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not isinstance(report, dict) or \
+            not str(report.get("schema", "")).startswith(
+                "facile-hunt-report/"):
+        print(f"facile generalize: {args.report} is not a facile hunt "
+              "report", file=sys.stderr)
+        return 2
+    try:
+        known = _load_known(args.known)
+    except ValueError as exc:
+        print(f"facile generalize: --known {args.known}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        generalized = generalize_report(
+            report, known=known, coverage_corpus=args.coverage,
+            gen_samples=args.gen_samples,
+            fresh_needed=args.fresh_witnesses,
+            max_families=args.max_families, n_workers=args.workers)
+    except (OSError, ValueError) as exc:
+        print(f"facile generalize: {exc}", file=sys.stderr)
+        return 2
+    print(render_markdown(generalized), end="")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(render_json(generalized))
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+def _add_generalize_args(cmd: argparse.ArgumentParser, *,
+                         standalone: bool) -> None:
+    """The generalization knobs shared by ``hunt`` and ``generalize``."""
+    if not standalone:
+        cmd.add_argument("--generalize", action="store_true",
+                         help="widen minimized witnesses into abstract "
+                              "deviation families (ranked by suite "
+                              "coverage; see docs/DISCOVERY.md)")
+    cmd.add_argument("--known", default=None, metavar="REPORT.json",
+                     help="a prior report whose families dedup "
+                          "re-discovered deviations by subsumption")
+    cmd.add_argument("--coverage", default=None, metavar="CORPUS",
+                     help="hex-per-line or BHive-style CSV corpus for "
+                          "family coverage (default: the deterministic "
+                          "benchmark suite)")
+    cmd.add_argument("--gen-samples", type=int,
+                     default=DEFAULT_GEN_SAMPLES,
+                     help="fresh samples validating each widening step "
+                          f"(default {DEFAULT_GEN_SAMPLES})")
+    cmd.add_argument("--fresh-witnesses", type=int,
+                     default=DEFAULT_FRESH_WITNESSES,
+                     help="deviating fresh witnesses required to "
+                          "confirm a family "
+                          f"(default {DEFAULT_FRESH_WITNESSES})")
+    cmd.add_argument("--max-families", type=int,
+                     default=DEFAULT_MAX_FAMILIES,
+                     help="generalization attempts per µarch "
+                          f"(default {DEFAULT_MAX_FAMILIES})")
 
 
 def _workers_arg(value: str) -> int:
@@ -481,7 +593,25 @@ def build_parser() -> argparse.ArgumentParser:
                            "to an uninterrupted run")
     hunt.add_argument("--out", default=None,
                       help="write the canonical JSON report here")
+    _add_generalize_args(hunt, standalone=False)
     hunt.set_defaults(func=_cmd_hunt)
+
+    generalize = sub.add_parser(
+        "generalize", help="widen the witnesses of an existing hunt "
+                           "report into abstract deviation families "
+                           "(see docs/DISCOVERY.md)")
+    generalize.add_argument("report", metavar="REPORT.json",
+                            help="a report written by `facile hunt "
+                                 "--out` (v1 or v2)")
+    generalize.add_argument("--out", default=None,
+                            help="write the generalized canonical JSON "
+                                 "report here")
+    generalize.add_argument("--workers", type=_workers_arg, default=None,
+                            help="engine worker processes (0 = one per "
+                                 "CPU; default serial; never changes "
+                                 "results)")
+    _add_generalize_args(generalize, standalone=True)
+    generalize.set_defaults(func=_cmd_generalize)
     return parser
 
 

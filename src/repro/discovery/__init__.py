@@ -13,15 +13,32 @@ loop behind ``facile hunt``:
   disagreement (the oracle simulator participates as a tool);
 * :mod:`~repro.discovery.minimize` — greedy instruction-dropping
   while the deviation persists;
-* :mod:`~repro.discovery.cluster` — grouping minimized witnesses by
-  generalization signature (category, bottleneck, port multiset,
-  deviating pair);
+* :mod:`~repro.discovery.abstraction` — per-instruction feature
+  lattices and abstract blocks (match / subsume / sample);
+* :mod:`~repro.discovery.generalize` — widening minimized witnesses
+  into empirically-validated abstract deviation families;
+* :mod:`~repro.discovery.subsumption` — cross-campaign dedup of
+  families by subsumption (``--known``);
+* :mod:`~repro.discovery.coverage` — fraction of a BHive-style corpus
+  each family explains;
+* :mod:`~repro.discovery.cluster` — fallback grouping of minimized
+  witnesses by generalization signature (category, bottleneck, port
+  multiset, deviating pair);
 * :mod:`~repro.discovery.report` — canonical (byte-reproducible) JSON
   reports plus markdown summaries.
 
 Reference: ``docs/DISCOVERY.md``.
 """
 
+from repro.discovery.abstraction import (
+    AbstractBlock,
+    AbstractInsn,
+    FEATURE_ORDER,
+    PowerSetFeature,
+    SingletonFeature,
+    block_features,
+    sample_block,
+)
 from repro.discovery.campaign import (
     CampaignConfig,
     CampaignInterrupted,
@@ -34,6 +51,26 @@ from repro.discovery.campaign import (
     Witness,
     run_campaign,
 )
+from repro.discovery.coverage import (
+    family_coverage,
+    load_coverage_corpus,
+)
+from repro.discovery.generalize import (
+    DEFAULT_FRESH_WITNESSES,
+    DEFAULT_GEN_SAMPLES,
+    DEFAULT_MAX_FAMILIES,
+    Family,
+    FreshWitness,
+    generalize_report,
+    generalize_uarch,
+    generalize_witness,
+    rank_families,
+)
+from repro.discovery.subsumption import (
+    KnownFamily,
+    family_id,
+    load_known_families,
+)
 from repro.discovery.checkpoint import (
     CheckpointError,
     CheckpointStore,
@@ -42,7 +79,9 @@ from repro.discovery.checkpoint import (
 from repro.discovery.cluster import (
     Cluster,
     Signature,
+    canonical_port_set,
     cluster_witnesses,
+    format_port_multiset,
     port_multiset_signature,
 )
 from repro.discovery.interestingness import (
@@ -59,6 +98,8 @@ from repro.discovery.report import (
 )
 
 __all__ = [
+    "AbstractBlock",
+    "AbstractInsn",
     "BlockScore",
     "CampaignConfig",
     "CampaignInterrupted",
@@ -69,19 +110,40 @@ __all__ = [
     "Cluster",
     "DEFAULT_BUDGET",
     "DEFAULT_CHECKPOINT_EVERY",
+    "DEFAULT_FRESH_WITNESSES",
+    "DEFAULT_GEN_SAMPLES",
+    "DEFAULT_MAX_FAMILIES",
     "DEFAULT_MAX_WITNESSES",
     "DEFAULT_MUTATION_RATE",
     "DEFAULT_PREDICTORS",
     "DEFAULT_THRESHOLD",
+    "FEATURE_ORDER",
+    "Family",
+    "FreshWitness",
+    "KnownFamily",
     "ORACLE",
+    "PowerSetFeature",
     "Signature",
+    "SingletonFeature",
     "Witness",
+    "block_features",
     "campaign_report",
+    "canonical_port_set",
     "cluster_witnesses",
+    "family_coverage",
+    "family_id",
+    "format_port_multiset",
+    "generalize_report",
+    "generalize_uarch",
+    "generalize_witness",
+    "load_coverage_corpus",
+    "load_known_families",
     "minimize_lines",
     "port_multiset_signature",
+    "rank_families",
     "render_json",
     "render_markdown",
     "run_campaign",
+    "sample_block",
     "score_values",
 ]

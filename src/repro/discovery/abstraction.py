@@ -1,0 +1,641 @@
+"""Abstract basic blocks: per-instruction feature lattices (AnICA-style).
+
+A minimized witness is one concrete deviating block; what a report
+should carry is the *family* it stands for.  Families are expressed as
+**abstract blocks**: one abstract instruction per witness instruction,
+each a product of small feature lattices:
+
+* ``mnemonic`` — singleton domain over assembly mnemonics;
+* ``archetype`` — singleton domain over uops-database archetypes (the
+  instruction *category* the throughput models key on);
+* ``ports`` — power-set domain over canonical port-usage multisets
+  (what execution resources the instruction's µops can occupy on the
+  campaign's µarch);
+* ``width`` — power-set domain over maximal operand widths in bits;
+* ``mem`` — singleton domain over memory behaviour
+  (``none``/``load``/``store``/``rmw``);
+* ``aliasing`` — singleton boolean domain: does the instruction read a
+  general-purpose/vector register written earlier in the block
+  (i.e. does it sit on an in-block dependence chain)?
+
+Each domain is a tiny lattice: ``BOTTOM`` (matches nothing) up to
+``TOP`` (matches anything), with :meth:`subsumes` as the order and
+:meth:`join` as the least upper bound of a concrete observation.  An
+:class:`AbstractBlock` then supports
+
+* :meth:`~AbstractBlock.matches` — does a concrete instruction stream
+  contain this family (order-preserving subsequence embedding)?
+* :meth:`~AbstractBlock.subsumes` — is another abstract block a
+  special case of this one (the cross-campaign dedup order used by
+  :mod:`repro.discovery.subsumption`)?
+* :meth:`~AbstractBlock.sample` — draw a fresh *concrete* block that
+  the family matches, via the finite template universe of
+  :mod:`repro.isa.templates` (the generalization loop's validator and
+  the source of a family's fresh witnesses);
+* :meth:`~AbstractBlock.to_json` / :meth:`~AbstractBlock.from_json` —
+  canonical, byte-stable serialization for reports and dedup ids.
+
+Greedy subsequence embedding is exact here: per-position predicates
+are independent, so a leftmost-first embedding exists whenever any
+embedding does.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.discovery.cluster import canonical_port_set, \
+    format_port_multiset
+from repro.isa.block import BasicBlock
+from repro.isa.instruction import Instruction
+from repro.isa.operands import ImmOperand, MemOperand, RegOperand
+from repro.isa.registers import RegisterKind, gpr, register_by_name, vec
+from repro.isa.templates import InstrTemplate, SlotKind, all_templates
+from repro.uops.database import UnsupportedInstruction, UopsDatabase
+
+#: Feature evaluation/widening order (fixed: serialization, widening and
+#: reports all walk features in this order).
+FEATURE_ORDER: Tuple[str, ...] = (
+    "mnemonic", "archetype", "ports", "width", "mem", "aliasing")
+
+#: Features carried by a power-set domain (the rest are singletons).
+POWERSET_FEATURES = frozenset(("ports", "width"))
+
+#: Data GPR encodings the sampler draws from (rax, rcx, rdx, rbx,
+#: r8-r11) — rsp/rbp and the pointer registers are reserved for stacks
+#: and memory bases, mirroring the block generator's register budget.
+_DATA_ENCS = (0, 1, 2, 3, 8, 9, 10, 11)
+
+#: Pointer registers used as memory bases (the generator's pool).
+_PTR_REGS = ("rsi", "rdi", "r12", "r13", "r14", "r15", "rbp")
+
+#: Displacements the sampler draws for memory operands.
+_DISPS = (0, 8, 16, 24, 32, 64, 128, 256)
+
+
+class SingletonFeature:
+    """A three-level lattice: ``BOTTOM`` < one concrete value < ``TOP``."""
+
+    __slots__ = ("is_top", "is_bottom", "value")
+
+    def __init__(self, value=None, *, top: bool = False,
+                 bottom: bool = False):
+        self.is_top = top
+        self.is_bottom = bottom and not top
+        self.value = None if (top or self.is_bottom) else value
+
+    @classmethod
+    def bottom(cls) -> "SingletonFeature":
+        return cls(bottom=True)
+
+    def admits(self, value) -> bool:
+        """Does this abstract feature match the concrete *value*?"""
+        if self.is_top:
+            return True
+        if self.is_bottom:
+            return False
+        return self.value == value
+
+    def subsumes(self, other: "SingletonFeature") -> bool:
+        if self.is_top or other.is_bottom:
+            return True
+        if other.is_top or self.is_bottom:
+            return False
+        return self.value == other.value
+
+    def join(self, value) -> None:
+        """Raise this feature to cover the concrete *value* too."""
+        if self.is_top:
+            return
+        if self.is_bottom:
+            self.is_bottom = False
+            self.value = value
+        elif self.value != value:
+            self.widen()
+
+    def widen(self) -> None:
+        self.is_top, self.is_bottom, self.value = True, False, None
+
+    def clone(self) -> "SingletonFeature":
+        return SingletonFeature(self.value, top=self.is_top,
+                                bottom=self.is_bottom)
+
+    def to_json(self):
+        if self.is_top:
+            return {"top": True}
+        if self.is_bottom:
+            return {"bottom": True}
+        return {"value": self.value}
+
+    @classmethod
+    def from_json(cls, spec) -> "SingletonFeature":
+        if spec.get("top"):
+            return cls(top=True)
+        if spec.get("bottom"):
+            return cls.bottom()
+        return cls(spec["value"])
+
+    def __str__(self) -> str:
+        if self.is_top:
+            return "*"
+        if self.is_bottom:
+            return "⊥"
+        return str(self.value)
+
+
+class PowerSetFeature:
+    """A power-set lattice: a set of admitted values, or ``TOP``.
+
+    ``BOTTOM`` is the empty set; :meth:`join` adds values; the order is
+    set inclusion.
+    """
+
+    __slots__ = ("is_top", "values")
+
+    def __init__(self, values: Iterable = (), *, top: bool = False):
+        self.is_top = top
+        self.values: Set = set() if top else set(values)
+
+    @classmethod
+    def bottom(cls) -> "PowerSetFeature":
+        return cls()
+
+    @property
+    def is_bottom(self) -> bool:
+        return not self.is_top and not self.values
+
+    def admits(self, value) -> bool:
+        return self.is_top or value in self.values
+
+    def subsumes(self, other: "PowerSetFeature") -> bool:
+        if self.is_top:
+            return True
+        if other.is_top:
+            return False
+        return other.values <= self.values
+
+    def join(self, value) -> None:
+        if not self.is_top:
+            self.values.add(value)
+
+    def widen(self) -> None:
+        self.is_top, self.values = True, set()
+
+    def clone(self) -> "PowerSetFeature":
+        return PowerSetFeature(self.values, top=self.is_top)
+
+    def to_json(self):
+        if self.is_top:
+            return {"top": True}
+        return {"values": sorted(self.values)}
+
+    @classmethod
+    def from_json(cls, spec) -> "PowerSetFeature":
+        if spec.get("top"):
+            return cls(top=True)
+        return cls(spec["values"])
+
+    def __str__(self) -> str:
+        if self.is_top:
+            return "*"
+        if not self.values:
+            return "⊥"
+        return "{" + ",".join(str(v) for v in sorted(self.values)) + "}"
+
+
+def _feature_bottom(name: str):
+    if name in POWERSET_FEATURES:
+        return PowerSetFeature.bottom()
+    return SingletonFeature.bottom()
+
+
+def _feature_from_json(name: str, spec):
+    if name in POWERSET_FEATURES:
+        return PowerSetFeature.from_json(spec)
+    return SingletonFeature.from_json(spec)
+
+
+def instruction_port_signature(info) -> str:
+    """One instruction's canonical port-usage multiset string.
+
+    The per-instruction analogue of
+    :func:`repro.discovery.cluster.port_multiset_signature`:
+    ``"1x(0,1,5,6)"`` for a one-µop ALU instruction, ``"-"`` for
+    eliminated µops and NOPs (nothing dispatched).
+    """
+    counts: Counter = Counter()
+    for ports in info.port_sets:
+        counts[canonical_port_set(ports)] += 1
+    return format_port_multiset(counts)
+
+
+def _template_width(template: InstrTemplate) -> int:
+    """Maximal operand width of a template in bits (0: no operands)."""
+    return max((slot.width for slot in template.slots), default=0)
+
+
+def _template_mem(template: InstrTemplate) -> str:
+    if template.loads and template.stores:
+        return "rmw"
+    if template.loads:
+        return "load"
+    if template.stores:
+        return "store"
+    return "none"
+
+
+def instruction_features(instr: Instruction, db: UopsDatabase,
+                         written_roots: Set[str]) -> Dict[str, object]:
+    """The concrete feature vector of one instruction in block context.
+
+    *written_roots* holds the root names of GPR/VEC registers written
+    by earlier instructions of the block (flags and implicit chains are
+    deliberately excluded from the aliasing feature: nearly every
+    instruction writes flags, so a flags-based aliasing bit would carry
+    no information).
+    """
+    template = instr.template
+    aliases = any(
+        reg.kind in (RegisterKind.GPR, RegisterKind.VEC)
+        and reg.name in written_roots
+        for reg in instr.regs_read())
+    return {
+        "mnemonic": instr.mnemonic,
+        "archetype": template.uop_archetype,
+        "ports": instruction_port_signature(db.info(instr)),
+        "width": _template_width(template),
+        "mem": _template_mem(template),
+        "aliasing": aliases,
+    }
+
+
+def block_features(instructions: Sequence[Instruction],
+                   db: UopsDatabase) -> List[Dict[str, object]]:
+    """Per-instruction concrete feature vectors of a block body.
+
+    Raises:
+        UnsupportedInstruction: when the block uses an ISA extension
+            the database's µarch lacks (callers matching foreign
+            corpora catch this and count the block as unmatched).
+    """
+    features = []
+    written: Set[str] = set()
+    for instr in instructions:
+        features.append(instruction_features(instr, db, written))
+        for reg in instr.regs_written():
+            if reg.kind in (RegisterKind.GPR, RegisterKind.VEC):
+                written.add(reg.name)
+    return features
+
+
+class AbstractInsn:
+    """One abstract instruction: a product of feature lattices."""
+
+    __slots__ = ("features",)
+
+    def __init__(self, features: Optional[Dict[str, object]] = None):
+        self.features = features if features is not None else {
+            name: _feature_bottom(name) for name in FEATURE_ORDER}
+
+    @classmethod
+    def from_concrete(cls, concrete: Dict[str, object]) -> "AbstractInsn":
+        insn = cls()
+        insn.join(concrete)
+        return insn
+
+    def admits(self, concrete: Dict[str, object]) -> bool:
+        return all(self.features[name].admits(concrete[name])
+                   for name in FEATURE_ORDER)
+
+    def subsumes(self, other: "AbstractInsn") -> bool:
+        return all(self.features[name].subsumes(other.features[name])
+                   for name in FEATURE_ORDER)
+
+    def join(self, concrete: Dict[str, object]) -> None:
+        for name in FEATURE_ORDER:
+            self.features[name].join(concrete[name])
+
+    def widen(self, name: str) -> None:
+        self.features[name].widen()
+
+    def is_top(self, name: str) -> bool:
+        return self.features[name].is_top
+
+    def clone(self) -> "AbstractInsn":
+        return AbstractInsn({name: feature.clone()
+                             for name, feature in self.features.items()})
+
+    def to_json(self) -> Dict[str, object]:
+        return {name: self.features[name].to_json()
+                for name in FEATURE_ORDER}
+
+    @classmethod
+    def from_json(cls, spec: Dict[str, object]) -> "AbstractInsn":
+        return cls({name: _feature_from_json(name, spec[name])
+                    for name in FEATURE_ORDER})
+
+    def __str__(self) -> str:
+        return " ".join(f"{name}={self.features[name]}"
+                        for name in FEATURE_ORDER)
+
+
+class AbstractBlock:
+    """An abstract basic block: a sequence of abstract instructions.
+
+    The concretization is every instruction stream that *contains* the
+    abstract instructions as an order-preserving subsequence — longer
+    blocks exhibiting the family's pattern still belong to it, which is
+    what both the coverage metric and cross-campaign subsumption want.
+    """
+
+    __slots__ = ("insns",)
+
+    def __init__(self, insns: Sequence[AbstractInsn]):
+        self.insns = list(insns)
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_instructions(cls, instructions: Sequence[Instruction],
+                          db: UopsDatabase) -> "AbstractBlock":
+        """The most precise abstraction of one concrete block body."""
+        return cls([AbstractInsn.from_concrete(concrete)
+                    for concrete in block_features(instructions, db)])
+
+    def clone(self) -> "AbstractBlock":
+        return AbstractBlock([insn.clone() for insn in self.insns])
+
+    # -- lattice / matching --------------------------------------------
+
+    def matches_features(
+            self, features: Sequence[Dict[str, object]]) -> bool:
+        """Greedy subsequence embedding against concrete features."""
+        position = 0
+        for insn in self.insns:
+            while position < len(features) \
+                    and not insn.admits(features[position]):
+                position += 1
+            if position >= len(features):
+                return False
+            position += 1
+        return True
+
+    def matches(self, instructions: Sequence[Instruction],
+                db: UopsDatabase) -> bool:
+        """Does the family match this concrete instruction stream?"""
+        if len(instructions) < len(self.insns):
+            return False
+        try:
+            features = block_features(instructions, db)
+        except UnsupportedInstruction:
+            return False
+        return self.matches_features(features)
+
+    def subsumes(self, other: "AbstractBlock") -> bool:
+        """Is *other* a special case of this family?
+
+        True when this block's abstract instructions embed as an
+        order-preserving subsequence of *other*'s with per-feature
+        subsumption — then every concrete block *other* matches, this
+        block matches too.
+        """
+        position = 0
+        for insn in self.insns:
+            while position < len(other.insns) \
+                    and not insn.subsumes(other.insns[position]):
+                position += 1
+            if position >= len(other.insns):
+                return False
+            position += 1
+        return True
+
+    # -- serialization -------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        return {"insns": [insn.to_json() for insn in self.insns]}
+
+    @classmethod
+    def from_json(cls, spec: Dict[str, object]) -> "AbstractBlock":
+        return cls([AbstractInsn.from_json(entry)
+                    for entry in spec["insns"]])
+
+    def canonical_json(self) -> str:
+        """Byte-stable serialization (dedup ids hash this)."""
+        return json.dumps(self.to_json(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def summary(self) -> List[str]:
+        return [str(insn) for insn in self.insns]
+
+    # -- sampling ------------------------------------------------------
+
+    def sample(self, rng: random.Random, db: UopsDatabase,
+               max_tries: int = 20) -> Optional[List[Instruction]]:
+        """Draw a fresh concrete block body the family matches.
+
+        Per abstract instruction, a template is drawn from the feasible
+        subset of the finite template universe and instantiated with
+        registers honoring the ``aliasing`` feature; the assembled body
+        is then re-checked with :meth:`matches`, so a returned sample
+        is *guaranteed* to belong to the family.  Returns ``None`` when
+        *max_tries* rejection rounds all fail (an over-constrained
+        abstraction — e.g. aliasing required on an instruction with no
+        register sources).
+        """
+        table = template_feature_table(db)
+        candidates: List[List[str]] = []
+        for insn in self.insns:
+            feasible = [name for name, features in table
+                        if _template_admissible(insn, features)]
+            if not feasible:
+                return None
+            candidates.append(feasible)
+        by_name = {t.name: t for t in all_templates()}
+        for _ in range(max_tries):
+            instructions: List[Instruction] = []
+            written: Set[str] = set()
+            ok = True
+            for insn, feasible in zip(self.insns, candidates):
+                template = by_name[rng.choice(feasible)]
+                built = _instantiate(template, insn, rng, written)
+                if built is None:
+                    ok = False
+                    break
+                instructions.append(built)
+                for reg in built.regs_written():
+                    if reg.kind in (RegisterKind.GPR, RegisterKind.VEC):
+                        written.add(reg.name)
+            if ok and self.matches(instructions, db):
+                return instructions
+        return None
+
+
+def _template_admissible(insn: AbstractInsn,
+                         features: Dict[str, object]) -> bool:
+    """Can a template's canonical instantiation satisfy *insn*?
+
+    The ``aliasing`` feature is left to instantiation (it depends on
+    block context, not the template).
+    """
+    return all(insn.features[name].admits(features[name])
+               for name in FEATURE_ORDER if name != "aliasing")
+
+
+def template_feature_table(db: UopsDatabase) \
+        -> List[Tuple[str, Dict[str, object]]]:
+    """Feasible-template index: (name, canonical features) per template.
+
+    Built once per database (i.e. per µarch) and memoized on it.
+    Branches are excluded — campaign bodies never contain them (loop
+    back edges are appended separately) — as are templates using ISA
+    extensions the µarch lacks.
+    """
+    cached = getattr(db, "_abstraction_template_table", None)
+    if cached is not None:
+        return cached
+    table: List[Tuple[str, Dict[str, object]]] = []
+    for template in all_templates():
+        if template.is_branch:
+            continue
+        if not db.cfg.supports(template.feature):
+            continue
+        instr = _canonical_instance(template)
+        if instr is None:
+            continue
+        features = {
+            "mnemonic": template.mnemonic,
+            "archetype": template.uop_archetype,
+            "ports": instruction_port_signature(db.info(instr)),
+            "width": _template_width(template),
+            "mem": _template_mem(template),
+        }
+        table.append((template.name, features))
+    db._abstraction_template_table = table
+    return table
+
+
+def _canonical_instance(template: InstrTemplate) -> Optional[Instruction]:
+    """A fixed representative instantiation of *template*.
+
+    Distinct registers per slot (so no zero-idiom elimination skews the
+    canonical port signature), a plain base+disp memory shape, and
+    small immediates.
+    """
+    operands = []
+    for position, slot in enumerate(template.slots):
+        if slot.kind is SlotKind.REG:
+            enc = _DATA_ENCS[position % len(_DATA_ENCS)]
+            reg = vec(enc, slot.width) if slot.regclass == "vec" \
+                else gpr(enc, slot.width)
+            operands.append(RegOperand(reg))
+        elif slot.kind is SlotKind.MEM:
+            operands.append(MemOperand(
+                base=register_by_name("rsi"), disp=0, width=slot.width))
+        else:
+            operands.append(ImmOperand(1, slot.width))
+    try:
+        return Instruction.create(template, tuple(operands))
+    except (ValueError, KeyError):
+        return None
+
+
+def _instantiate(template: InstrTemplate, insn: AbstractInsn,
+                 rng: random.Random,
+                 written: Set[str]) -> Optional[Instruction]:
+    """Randomly instantiate *template* honoring the aliasing feature."""
+    aliasing = insn.features["aliasing"]
+    must_alias = (not aliasing.is_top and aliasing.admits(True)
+                  and not aliasing.admits(False))
+    must_not_alias = (not aliasing.is_top and aliasing.admits(False)
+                      and not aliasing.admits(True))
+
+    def pick_reg(slot, avoid_written: bool):
+        if slot.regclass == "vec":
+            pool = list(range(16))
+            make = lambda enc: vec(enc, slot.width)  # noqa: E731
+        else:
+            pool = list(_DATA_ENCS)
+            make = lambda enc: gpr(enc, slot.width)  # noqa: E731
+        rng.shuffle(pool)
+        for enc in pool:
+            reg = make(enc)
+            if avoid_written and reg.root().name in written:
+                continue
+            return reg
+        return None
+
+    alias_done = not must_alias
+    operands = []
+    for slot in template.slots:
+        if slot.kind is SlotKind.REG:
+            if not alias_done and slot.access.reads:
+                reg = _written_reg_at(slot, written, rng)
+                if reg is None:
+                    return None
+                operands.append(RegOperand(reg))
+                alias_done = True
+                continue
+            reg = pick_reg(slot, avoid_written=must_not_alias)
+            if reg is None:
+                return None
+            operands.append(RegOperand(reg))
+        elif slot.kind is SlotKind.MEM:
+            base = register_by_name(rng.choice(_PTR_REGS))
+            if must_not_alias and base.root().name in written:
+                bases = [n for n in _PTR_REGS
+                         if register_by_name(n).root().name not in written]
+                if not bases:
+                    return None
+                base = register_by_name(rng.choice(bases))
+            operands.append(MemOperand(base=base, disp=rng.choice(_DISPS),
+                                       width=slot.width))
+        else:
+            operands.append(ImmOperand(_draw_imm(rng, slot.width),
+                                       slot.width))
+    if not alias_done:
+        return None  # aliasing required but no readable register slot
+    try:
+        return Instruction.create(template, tuple(operands))
+    except (ValueError, KeyError):
+        return None
+
+
+def _written_reg_at(slot, written: Set[str],
+                    rng: random.Random):
+    """A previously-written register viewed at the slot's width/class."""
+    wanted = RegisterKind.VEC if slot.regclass == "vec" else RegisterKind.GPR
+    roots = sorted(written)
+    rng.shuffle(roots)
+    for name in roots:
+        root = register_by_name(name)
+        if root.kind is not wanted:
+            continue
+        try:
+            if wanted is RegisterKind.VEC:
+                return vec(root.enc, slot.width)
+            return gpr(root.enc, slot.width)
+        except KeyError:
+            continue
+    return None
+
+
+def _draw_imm(rng: random.Random, width: int) -> int:
+    """A small positive immediate that fits every encoded width."""
+    if width == 8:
+        return rng.randrange(1, 100)
+    if width == 16:
+        return rng.randrange(256, 30000)
+    return rng.randrange(1, 1 << 20)
+
+
+def sample_block(abstraction: AbstractBlock, rng: random.Random,
+                 db: UopsDatabase,
+                 max_tries: int = 20) -> Optional[BasicBlock]:
+    """Convenience wrapper: a sampled body as a :class:`BasicBlock`."""
+    instructions = abstraction.sample(rng, db, max_tries=max_tries)
+    if instructions is None:
+        return None
+    return BasicBlock(instructions)

@@ -47,6 +47,15 @@ from repro.discovery.cluster import (
     cluster_witnesses,
     port_multiset_signature,
 )
+from repro.discovery.generalize import (
+    DEFAULT_FRESH_WITNESSES,
+    DEFAULT_GEN_SAMPLES,
+    DEFAULT_MAX_FAMILIES,
+    Family,
+    attach_coverage,
+    generalize_uarch,
+    rank_families,
+)
 from repro.discovery.interestingness import (
     DEFAULT_THRESHOLD,
     ORACLE,
@@ -54,6 +63,7 @@ from repro.discovery.interestingness import (
     score_values,
 )
 from repro.discovery.minimize import minimize_lines
+from repro.discovery.subsumption import KnownFamily
 from repro.engine.engine import Engine, measure_many
 from repro.isa.assembler import assemble
 from repro.isa.block import BasicBlock
@@ -93,6 +103,10 @@ class CampaignConfig:
     threshold: float = DEFAULT_THRESHOLD
     mutation_rate: float = DEFAULT_MUTATION_RATE
     max_witnesses: int = DEFAULT_MAX_WITNESSES
+    generalize: bool = False
+    gen_samples: int = DEFAULT_GEN_SAMPLES
+    fresh_witnesses: int = DEFAULT_FRESH_WITNESSES
+    max_families: int = DEFAULT_MAX_FAMILIES
     n_workers: Optional[int] = None
 
     def validate(self) -> None:
@@ -132,6 +146,13 @@ class CampaignConfig:
             raise ValueError("mutation_rate must be within [0, 1]")
         if self.max_witnesses < 1:
             raise ValueError("max_witnesses must be >= 1")
+        if self.gen_samples < 2:
+            raise ValueError("gen_samples must be >= 2 (a widening step "
+                             "cannot be validated on fewer samples)")
+        if self.fresh_witnesses < 1:
+            raise ValueError("fresh_witnesses must be >= 1")
+        if self.max_families < 1:
+            raise ValueError("max_families must be >= 1")
         if self.n_workers is not None and self.n_workers < 0:
             raise ValueError(
                 "n_workers must be >= 0 (0 = one per CPU, None = serial)")
@@ -184,6 +205,7 @@ class Witness:
     asm: str
     minimize_trials: int
     signature: Signature
+    loop_cond: str = "ne"
 
 
 @dataclass
@@ -204,6 +226,13 @@ class CampaignResult:
     clusters: List[Cluster] = field(default_factory=list)
     incidents: List[Dict[str, object]] = field(default_factory=list)
     partial: bool = False
+    #: Ranked abstract deviation families (``--generalize`` runs only).
+    families: List[Family] = field(default_factory=list)
+    #: Witnesses matched by already-known families (cross-campaign
+    #: subsumption dedup) instead of spawning duplicates.
+    subsumed: List[Dict[str, object]] = field(default_factory=list)
+    #: Coverage-corpus provenance of a generalized run, else None.
+    generalization: Optional[Dict[str, object]] = None
 
 
 class CampaignInterrupted(Exception):
@@ -412,9 +441,19 @@ def _signature(evaluator: _Evaluator, abbrev: str, mode: ThroughputMode,
 def _hunt_uarch(abbrev: str, config: CampaignConfig,
                 modes: Sequence[ThroughputMode],
                 checkpoint: Optional[CheckpointStore] = None,
+                known: Sequence[KnownFamily] = (),
+                corpus_blocks: Optional[List] = None,
                 ) -> Tuple[List[Witness], Dict[str, int],
+                           List[Dict[str, object]], List[Family],
                            List[Dict[str, object]]]:
-    """Run one µarch's generate → evaluate → minimize pipeline."""
+    """Run one µarch's generate → evaluate → minimize pipeline.
+
+    With ``config.generalize`` set, a generalization phase follows:
+    the strongest witnesses are widened into abstract families
+    (validated by fresh samples through the same evaluator), deduped
+    against *known* families by subsumption, and scored for coverage
+    over *corpus_blocks*.
+    """
     evaluator = _Evaluator(abbrev, config.predictors, config.n_workers,
                            checkpoint=checkpoint)
     try:
@@ -507,22 +546,44 @@ def _hunt_uarch(abbrev: str, config: CampaignConfig,
                 raw_hex=block.raw.hex(), asm=block.text(),
                 minimize_trials=trials,
                 signature=_signature(evaluator, abbrev, mode,
-                                     final_candidate, block, final)))
+                                     final_candidate, block, final),
+                loop_cond=candidate.loop_cond))
         stats = {
             "candidates": n_fresh,
             "mutants": n_mutants,
             "deviating": len(deviations),
             "witnesses": len(witnesses),
             "minimize_trials": minimize_trials,
-            "blocks_evaluated": evaluator.blocks_evaluated,
         }
-        return witnesses, stats, evaluator.incidents()
+        families: List[Family] = []
+        subsumed: List[Dict[str, object]] = []
+        if config.generalize:
+            outcome = generalize_uarch(
+                evaluator, witnesses, samples=config.gen_samples,
+                fresh_needed=config.fresh_witnesses,
+                max_families=config.max_families,
+                threshold=config.threshold, seed=config.seed,
+                known=known)
+            families = outcome.families
+            subsumed = outcome.subsumed
+            attach_coverage(families, corpus_blocks or [], evaluator.db)
+            stats.update({
+                "families": outcome.stats["families"],
+                "families_folded": outcome.stats["folded"],
+                "families_subsumed": outcome.stats["subsumed"],
+                "families_unconfirmed": outcome.stats["unconfirmed"],
+                "generalize_samples": outcome.stats["gen_samples"],
+            })
+        stats["blocks_evaluated"] = evaluator.blocks_evaluated
+        return witnesses, stats, evaluator.incidents(), families, subsumed
     finally:
         evaluator.close()
 
 
 def run_campaign(config: CampaignConfig,
-                 checkpoint: Optional[CheckpointStore] = None
+                 checkpoint: Optional[CheckpointStore] = None,
+                 known: Sequence[KnownFamily] = (),
+                 coverage_corpus: Optional[str] = None,
                  ) -> CampaignResult:
     """Run a full deviation-discovery campaign.
 
@@ -531,6 +592,12 @@ def run_campaign(config: CampaignConfig,
     and (canonical) reports.  A resumed campaign (same config, a
     *checkpoint* holding earlier evaluations) replays the identical
     control flow against the cache and is byte-identical too.
+
+    With ``config.generalize`` set, witnesses are widened into ranked
+    abstract families; *known* families (from a prior report, see
+    ``facile hunt --known``) dedup re-discoveries by subsumption, and
+    *coverage_corpus* (a hex/BHive-CSV path, default: the deterministic
+    benchmark suite) scores each family's suite coverage.
 
     Raises:
         CampaignInterrupted: on ``KeyboardInterrupt`` — the checkpoint
@@ -542,22 +609,39 @@ def run_campaign(config: CampaignConfig,
     witnesses: List[Witness] = []
     stats: Dict[str, Dict[str, int]] = {}
     incidents: List[Dict[str, object]] = []
+    families: List[Family] = []
+    subsumed: List[Dict[str, object]] = []
+    generalization: Optional[Dict[str, object]] = None
+    corpus_blocks: Optional[List] = None
+    if config.generalize:
+        from repro.discovery.coverage import load_coverage_corpus
+        corpus_label, corpus_blocks = \
+            load_coverage_corpus(coverage_corpus)
+        generalization = {"corpus": corpus_label,
+                          "corpus_blocks": len(corpus_blocks),
+                          "known_families": len(known)}
+
+    def _result(partial: bool) -> CampaignResult:
+        return CampaignResult(
+            config=config, stats=stats, witnesses=witnesses,
+            clusters=cluster_witnesses(witnesses), incidents=incidents,
+            partial=partial, families=rank_families(families),
+            subsumed=subsumed, generalization=generalization)
+
     try:
         for abbrev in config.uarchs:
-            uarch_witnesses, uarch_stats, uarch_incidents = \
+            uarch_witnesses, uarch_stats, uarch_incidents, \
+                uarch_families, uarch_subsumed = \
                 _hunt_uarch(abbrev, config, modes,
-                            checkpoint=checkpoint)
+                            checkpoint=checkpoint, known=known,
+                            corpus_blocks=corpus_blocks)
             witnesses.extend(uarch_witnesses)
             stats[abbrev] = uarch_stats
             incidents.extend(uarch_incidents)
+            families.extend(uarch_families)
+            subsumed.extend(uarch_subsumed)
     except KeyboardInterrupt:
         # The evaluator's close() (the finally in _hunt_uarch) already
         # flushed the checkpoint; hand back what completed.
-        raise CampaignInterrupted(CampaignResult(
-            config=config, stats=stats, witnesses=witnesses,
-            clusters=cluster_witnesses(witnesses),
-            incidents=incidents, partial=True)) from None
-    return CampaignResult(config=config, stats=stats,
-                          witnesses=witnesses,
-                          clusters=cluster_witnesses(witnesses),
-                          incidents=incidents)
+        raise CampaignInterrupted(_result(partial=True)) from None
+    return _result(partial=False)

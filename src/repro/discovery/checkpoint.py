@@ -67,6 +67,10 @@ def config_fingerprint(config) -> Dict:
         "threshold": config.threshold,
         "mutation_rate": config.mutation_rate,
         "max_witnesses": config.max_witnesses,
+        "generalize": config.generalize,
+        "gen_samples": config.gen_samples,
+        "fresh_witnesses": config.fresh_witnesses,
+        "max_families": config.max_families,
     }
 
 

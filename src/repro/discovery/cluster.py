@@ -43,6 +43,28 @@ class Signature:
                 self.ports, self.pair)
 
 
+def canonical_port_set(ports) -> Tuple[int, ...]:
+    """One µop's port set in canonical (numeric) order.
+
+    Ports are compared *as numbers*: a port labelled ``"10"`` sorts
+    after ``"2"``, not before it, so signatures are stable no matter
+    whether a caller carries ports as ints or strings and no matter the
+    set's iteration order.
+    """
+    return tuple(sorted(int(p) for p in ports))
+
+
+def format_port_multiset(counts: Dict[Tuple[int, ...], int]) -> str:
+    """Render a ``{canonical port set: µop count}`` multiset canonically.
+
+    E.g. ``"2x(0,1,5) 1x(2,3)"``; an empty multiset renders as ``"-"``.
+    """
+    if not counts:
+        return "-"
+    return " ".join(f"{count}x({','.join(str(p) for p in ports)})"
+                    for ports, count in sorted(counts.items()))
+
+
 def port_multiset_signature(ops) -> str:
     """Canonical string form of a macro-op stream's port-usage multiset.
 
@@ -54,11 +76,8 @@ def port_multiset_signature(ops) -> str:
     counts: Counter = Counter()
     for op in ops:
         for ports in op.info.port_sets:
-            counts[tuple(sorted(ports))] += 1
-    if not counts:
-        return "-"
-    return " ".join(f"{count}x({','.join(str(p) for p in ports)})"
-                    for ports, count in sorted(counts.items()))
+            counts[canonical_port_set(ports)] += 1
+    return format_port_multiset(counts)
 
 
 @dataclass

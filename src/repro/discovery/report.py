@@ -16,10 +16,14 @@ from typing import Any, Dict, List, Optional
 
 from repro.discovery.campaign import CampaignResult, Witness
 from repro.discovery.cluster import Cluster
+from repro.discovery.generalize import Family
 from repro.discovery.interestingness import ORACLE
 
 #: Report format identifier (bump on breaking layout changes).
-SCHEMA = "facile-hunt-report/v1"
+#: v2 added generalization: ``families``/``subsumed``/``generalization``
+#: sections, per-witness ``loop_cond``, and the generalization knobs in
+#: ``config``.
+SCHEMA = "facile-hunt-report/v2"
 
 #: Decimal places for scores/errors (cycle values are already rounded
 #: to 2 by every tool, so 4 places lose nothing).
@@ -52,6 +56,39 @@ def _witness_entry(witness: Witness) -> Dict[str, Any]:
         "lines": list(witness.minimized_lines),
         "asm": witness.asm.splitlines(),
         "hex": witness.raw_hex,
+        "loop_cond": witness.loop_cond,
+    }
+
+
+def _family_entry(family: Family) -> Dict[str, Any]:
+    return {
+        "id": family.id,
+        "uarch": family.uarch,
+        "mode": family.mode,
+        "category": family.category,
+        "pair": list(family.pair),
+        "loop_cond": family.loop_cond,
+        "abstraction": family.abstraction.to_json(),
+        "summary": family.abstraction.summary(),
+        "witnesses": list(family.witness_hexes),
+        "fresh_witnesses": [
+            {
+                "lines": list(fresh.lines),
+                "hex": fresh.raw_hex,
+                "score": _score(fresh.score),
+                "values": {name: _score(value)
+                           for name, value in sorted(fresh.values.items())},
+            }
+            for fresh in family.fresh
+        ],
+        "coverage": _score(family.coverage),
+        "coverage_matched": family.coverage_matched,
+        "coverage_total": family.coverage_total,
+        "widenings": {
+            "tried": family.widenings_tried,
+            "accepted": family.widenings_accepted,
+            "samples_evaluated": family.samples_evaluated,
+        },
     }
 
 
@@ -90,6 +127,10 @@ def campaign_report(result: CampaignResult) -> Dict[str, Any]:
             "threshold": config.threshold,
             "mutation_rate": config.mutation_rate,
             "max_witnesses": config.max_witnesses,
+            "generalize": config.generalize,
+            "gen_samples": config.gen_samples,
+            "fresh_witnesses": config.fresh_witnesses,
+            "max_families": config.max_families,
         },
         "stats": {abbrev: dict(sorted(entries.items()))
                   for abbrev, entries in sorted(result.stats.items())},
@@ -106,8 +147,23 @@ def campaign_report(result: CampaignResult) -> Dict[str, Any]:
             "clusters": len(result.clusters),
             "top_score": _score(max(
                 (w.score for w in result.witnesses), default=None)),
+            "families": len(result.families),
+            "subsumed": len(result.subsumed),
         },
         "clusters": [_cluster_entry(c) for c in result.clusters],
+        # Generalization (``--generalize`` runs; empty/null otherwise):
+        # ranked abstract deviation families, witnesses deduped away by
+        # subsumption against --known families, and the coverage-corpus
+        # provenance.
+        "families": [_family_entry(f) for f in result.families],
+        "subsumed": [
+            {**{key: value for key, value in sorted(entry.items())},
+             "score": _score(entry.get("score"))}
+            for entry in result.subsumed
+        ],
+        "generalization": (
+            dict(sorted(result.generalization.items()))
+            if result.generalization is not None else None),
     }
 
 
@@ -138,12 +194,19 @@ def render_markdown(report: Dict[str, Any], max_clusters: int = 10,
             f"{stats['mutants']} mutants -> {stats['deviating']} "
             f"deviating, {stats['witnesses']} minimized witnesses "
             f"({stats['blocks_evaluated']} block evaluations)")
-    for incident in report.get("incidents", []):
-        lines.append(
-            f"- ⚠ {incident['uarch']}: {incident['predictor']} skipped "
-            f"({incident['reason']}, {incident['batches']} batch(es)): "
-            f"{incident['detail']}")
     lines.append("")
+    incidents = report.get("incidents", [])
+    if incidents:
+        lines.append(f"## Incidents ({len(incidents)} unrecovered "
+                     "tool failure(s))")
+        lines.append("")
+        for incident in incidents:
+            lines.append(
+                f"- ⚠ {incident['uarch']}: {incident['predictor']} "
+                f"skipped ({incident['reason']}, "
+                f"{incident['batches']} batch(es)): "
+                f"{incident['detail']}")
+        lines.append("")
     if not report["clusters"]:
         lines.append("No deviations at this threshold — lower "
                      "`--threshold` or raise `--budget`.")
@@ -185,4 +248,59 @@ def render_markdown(report: Dict[str, Any], max_clusters: int = 10,
     lines.append(f"deviating pair: {' vs '.join(witness['pair'])} "
                  f"(score {witness['score']}); ports "
                  f"{top['signature']['ports']}")
+
+    families = report.get("families", [])
+    subsumed = report.get("subsumed", [])
+    if families or subsumed:
+        meta = report.get("generalization") or {}
+        lines.append("")
+        lines.append(f"## Abstract deviation families ({len(families)} "
+                     f"confirmed, coverage over "
+                     f"{meta.get('corpus_blocks', 0)} blocks of "
+                     f"{meta.get('corpus', '?')})")
+        lines.append("")
+        if families:
+            lines.append("| # | id | µarch | mode | deviating pair | "
+                         "insns | coverage | fresh witnesses | "
+                         "widened |")
+            lines.append("|---|----|-------|------|----------------|"
+                         "-------|----------|-----------------|"
+                         "---------|")
+            for rank, family in enumerate(families, 1):
+                scores = [fresh["score"]
+                          for fresh in family["fresh_witnesses"]]
+                widened = (f"{family['widenings']['accepted']}/"
+                           f"{family['widenings']['tried']}")
+                lines.append(
+                    f"| {rank} | {family['id']} | {family['uarch']} "
+                    f"| {family['mode']} "
+                    f"| {' vs '.join(family['pair'])} "
+                    f"| {len(family['abstraction']['insns'])} "
+                    f"| {family['coverage']} "
+                    f"({family['coverage_matched']}/"
+                    f"{family['coverage_total']}) "
+                    f"| {len(scores)} (top {max(scores, default=0)}) "
+                    f"| {widened} |")
+            top_family = families[0]
+            lines.append("")
+            lines.append(f"Family 1 ({top_family['id']}) abstract "
+                         "instructions:")
+            lines.append("")
+            for entry in top_family["summary"]:
+                lines.append(f"- `{entry}`")
+            if top_family["fresh_witnesses"]:
+                lines.append("")
+                lines.append("Fresh sampled witness (not a campaign "
+                             "input, still deviating):")
+                lines.append("")
+                lines.append("```asm")
+                lines.extend(top_family["fresh_witnesses"][0]["lines"])
+                lines.append("```")
+        if subsumed:
+            lines.append("")
+            lines.append(f"{len(subsumed)} witness(es) subsumed by "
+                         "already-known families (no duplicates "
+                         "created): " + ", ".join(sorted(
+                             {entry["subsumed_by"]
+                              for entry in subsumed})))
     return "\n".join(lines) + "\n"

@@ -1,0 +1,96 @@
+"""Cross-campaign dedup of abstract deviations by subsumption.
+
+Signature clustering (:mod:`repro.discovery.cluster`) groups witnesses
+that *look* alike; subsumption orders abstract deviations by what they
+*mean*: family ``A`` subsumes family ``B`` when every concrete block
+``B`` matches, ``A`` matches too (:meth:`AbstractBlock.subsumes`).
+Under generalization this replaces signatures as the primary grouping —
+a new witness already matched by a known family is reported as
+**subsumed** instead of spawning a duplicate family, both within one
+campaign and across campaigns (``facile hunt --known PRIOR.json``).
+
+A family's identity is a short hash of its canonical serialization plus
+the context the deviation was observed in (µarch, throughput mode, and
+the deviating tool pair) — two campaigns that generalize to the same
+abstraction get the same id, which is what makes ``subsumed_by``
+references stable across reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.discovery.abstraction import AbstractBlock
+
+#: Hex digits of a family id (truncated SHA-256; collision-safe at
+#: campaign scale and short enough to read in a report).
+_ID_DIGITS = 12
+
+
+def family_id(abstraction: AbstractBlock, uarch: str, mode: str,
+              pair: Sequence[str]) -> str:
+    """Deterministic identity of one abstract deviation."""
+    payload = json.dumps({
+        "abstraction": abstraction.to_json(),
+        "uarch": uarch,
+        "mode": mode,
+        "pair": list(pair),
+    }, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:_ID_DIGITS]
+
+
+@dataclass
+class KnownFamily:
+    """One previously-reported family, as loaded from ``--known``."""
+
+    id: str
+    uarch: str
+    mode: str
+    pair: Tuple[str, str]
+    abstraction: AbstractBlock
+
+    def same_context(self, uarch: str, mode: str,
+                     pair: Sequence[str]) -> bool:
+        """Subsumption only relates families observed alike: same
+        µarch, same throughput notion, same deviating tools."""
+        return (self.uarch == uarch and self.mode == mode
+                and tuple(self.pair) == tuple(pair))
+
+
+def load_known_families(report: Dict) -> List[KnownFamily]:
+    """The families of a prior ``facile hunt``/``generalize`` report.
+
+    Reports that predate generalization (schema v1, or v2 runs without
+    ``--generalize``) simply contribute no families.
+
+    Raises:
+        ValueError: on a malformed ``families`` section.
+    """
+    known: List[KnownFamily] = []
+    for entry in report.get("families", []):
+        try:
+            known.append(KnownFamily(
+                id=entry["id"],
+                uarch=entry["uarch"],
+                mode=entry["mode"],
+                pair=(entry["pair"][0], entry["pair"][1]),
+                abstraction=AbstractBlock.from_json(entry["abstraction"]),
+            ))
+        except (KeyError, IndexError, TypeError) as exc:
+            raise ValueError(
+                f"malformed family entry in known report: {exc}") from None
+    return known
+
+
+def subsuming_family(known: Sequence[KnownFamily], uarch: str, mode: str,
+                     pair: Sequence[str],
+                     abstraction: AbstractBlock) -> KnownFamily | None:
+    """The first known family that subsumes *abstraction*, if any."""
+    for candidate in known:
+        if candidate.same_context(uarch, mode, pair) \
+                and candidate.abstraction.subsumes(abstraction):
+            return candidate
+    return None

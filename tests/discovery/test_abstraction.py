@@ -1,0 +1,204 @@
+"""Feature-lattice and abstract-block tests (no simulator runs)."""
+
+import json
+import random
+
+import pytest
+
+from repro.discovery.abstraction import (
+    AbstractBlock,
+    FEATURE_ORDER,
+    PowerSetFeature,
+    SingletonFeature,
+    block_features,
+    sample_block,
+    template_feature_table,
+)
+from repro.isa.block import BasicBlock
+from repro.uarch import uarch_by_name
+from repro.uops.database import UopsDatabase
+
+
+@pytest.fixture(scope="module")
+def db():
+    return UopsDatabase(uarch_by_name("SKL"))
+
+
+def _body(asm):
+    return BasicBlock.from_asm(asm).instructions
+
+
+def _abstract(asm, db):
+    return AbstractBlock.from_instructions(_body(asm), db)
+
+
+class TestSingletonFeature:
+    def test_three_levels(self):
+        bottom = SingletonFeature.bottom()
+        exact = SingletonFeature("add")
+        top = SingletonFeature(top=True)
+        assert not bottom.admits("add")
+        assert exact.admits("add") and not exact.admits("imul")
+        assert top.admits("anything")
+
+    def test_partial_order(self):
+        bottom = SingletonFeature.bottom()
+        exact = SingletonFeature("add")
+        other = SingletonFeature("imul")
+        top = SingletonFeature(top=True)
+        assert top.subsumes(exact) and not exact.subsumes(top)
+        assert exact.subsumes(bottom) and not bottom.subsumes(exact)
+        assert exact.subsumes(exact)
+        assert not exact.subsumes(other)
+
+    def test_join_is_least_upper_bound(self):
+        feature = SingletonFeature.bottom()
+        feature.join("add")
+        assert feature.admits("add") and not feature.is_top
+        feature.join("add")
+        assert not feature.is_top  # same value: no widening
+        feature.join("imul")
+        assert feature.is_top  # two distinct values exceed the domain
+
+
+class TestPowerSetFeature:
+    def test_membership(self):
+        feature = PowerSetFeature((16, 32))
+        assert feature.admits(16) and not feature.admits(64)
+        assert PowerSetFeature(top=True).admits(64)
+        assert PowerSetFeature.bottom().is_bottom
+
+    def test_order_is_inclusion(self):
+        small = PowerSetFeature((16,))
+        large = PowerSetFeature((16, 32))
+        top = PowerSetFeature(top=True)
+        assert large.subsumes(small) and not small.subsumes(large)
+        assert top.subsumes(large) and not large.subsumes(top)
+
+    def test_join_accumulates(self):
+        feature = PowerSetFeature.bottom()
+        feature.join(16)
+        feature.join(64)
+        assert feature.admits(16) and feature.admits(64)
+        assert not feature.is_top
+
+
+class TestBlockFeatures:
+    def test_feature_vector_shape(self, db):
+        features = block_features(_body("add rax, rbx"), db)
+        assert len(features) == 1
+        assert set(features[0]) == set(FEATURE_ORDER)
+        assert features[0]["mnemonic"] == "add"
+        assert features[0]["width"] == 64
+        assert features[0]["mem"] == "none"
+        assert features[0]["aliasing"] is False
+
+    def test_aliasing_tracks_written_roots(self, db):
+        features = block_features(
+            _body("add rax, rbx\nimul rcx, rax"), db)
+        assert features[0]["aliasing"] is False
+        assert features[1]["aliasing"] is True  # reads rax, written above
+
+    def test_flags_do_not_count_as_aliasing(self, db):
+        # add writes flags, cmovne reads them — but the aliasing bit
+        # only tracks GPR/VEC roots, so an unrelated register pair
+        # stays non-aliasing.
+        features = block_features(
+            _body("add rax, rbx\nmov rcx, rdx"), db)
+        assert features[1]["aliasing"] is False
+
+
+class TestAbstractBlock:
+    def test_most_precise_abstraction_matches_itself(self, db):
+        body = _body("add rax, rbx\nimul rcx, rax")
+        abstract = AbstractBlock.from_instructions(body, db)
+        assert abstract.matches(body, db)
+
+    def test_matching_is_subsequence_embedding(self, db):
+        abstract = _abstract("imul rcx, rdx", db)
+        longer = _body("add rax, rbx\nimul rcx, rdx\nmov r8, r9")
+        assert abstract.matches(longer, db)
+        assert not abstract.matches(_body("add rax, rbx"), db)
+
+    def test_order_matters(self, db):
+        abstract = _abstract("add rax, rbx\nimul rcx, rdx", db)
+        assert not abstract.matches(
+            _body("imul rcx, rdx\nadd rax, rbx"), db)
+
+    def test_shorter_blocks_never_match(self, db):
+        abstract = _abstract("add rax, rbx\nimul rcx, rdx", db)
+        assert not abstract.matches(_body("add rax, rbx"), db)
+
+    def test_widening_grows_the_concretization(self, db):
+        abstract = _abstract("add rax, rbx", db)
+        assert not abstract.matches(_body("imul rax, rbx"), db)
+        for name in FEATURE_ORDER:
+            abstract.insns[0].widen(name)
+        assert abstract.matches(_body("imul rax, rbx"), db)
+
+    def test_subsumption_follows_widening(self, db):
+        base = _abstract("add rax, rbx", db)
+        widened = base.clone()
+        widened.insns[0].widen("mnemonic")
+        assert widened.subsumes(base)
+        assert not base.subsumes(widened)
+        assert base.subsumes(base)
+
+    def test_shorter_family_subsumes_longer_specialization(self, db):
+        one = _abstract("imul rcx, rdx", db)
+        two = _abstract("add rax, rbx\nimul rcx, rdx", db)
+        assert one.subsumes(two)  # every match of `two` contains `one`
+        assert not two.subsumes(one)
+
+    def test_json_round_trip_is_canonical(self, db):
+        abstract = _abstract("add rax, rbx\nimul rcx, rax", db)
+        abstract.insns[0].widen("ports")
+        text = abstract.canonical_json()
+        rebuilt = AbstractBlock.from_json(json.loads(text))
+        assert rebuilt.canonical_json() == text
+        assert rebuilt.subsumes(abstract) and abstract.subsumes(rebuilt)
+
+    def test_summary_is_readable(self, db):
+        abstract = _abstract("add rax, rbx", db)
+        abstract.insns[0].widen("mnemonic")
+        (line,) = abstract.summary()
+        assert line.startswith("mnemonic=*")
+        assert "mem=none" in line
+
+
+class TestSampling:
+    def test_samples_belong_to_the_family(self, db):
+        abstract = _abstract("add rax, rbx", db)
+        abstract.insns[0].widen("mnemonic")
+        abstract.insns[0].widen("ports")
+        rng = random.Random(7)
+        for _ in range(5):
+            block = sample_block(abstract, rng, db)
+            assert block is not None
+            assert abstract.matches(block.instructions, db)
+
+    def test_sampling_is_deterministic(self, db):
+        abstract = _abstract("add rax, rbx\nimul rcx, rax", db)
+        abstract.insns[0].widen("mnemonic")
+        first = sample_block(abstract, random.Random(3), db)
+        second = sample_block(abstract, random.Random(3), db)
+        assert first.raw == second.raw
+
+    def test_aliasing_constraint_is_honored(self, db):
+        abstract = _abstract("add rax, rbx\nimul rcx, rax", db)
+        rng = random.Random(11)
+        block = sample_block(abstract, rng, db)
+        features = block_features(block.instructions, db)
+        assert features[1]["aliasing"] is True
+
+    def test_overconstrained_family_returns_none(self, db):
+        # Aliasing required on the *first* instruction: nothing was
+        # written yet, so no sample can exist.
+        impossible = _abstract("add rax, rbx", db)
+        impossible.insns[0].features["aliasing"] = SingletonFeature(True)
+        assert sample_block(impossible, random.Random(1), db) is None
+
+    def test_template_table_is_memoized(self, db):
+        assert template_feature_table(db) is template_feature_table(db)
+        names = {name for name, _ in template_feature_table(db)}
+        assert "jne" not in names  # branches excluded

@@ -88,10 +88,39 @@ class TestReport:
         assert "Strongest witness" in text
         assert "```asm" in text
 
+    def test_markdown_surfaces_incidents(self, report):
+        # Unrecovered tool failures must be visible in the human
+        # summary, not only in the JSON.
+        assert "## Incidents" not in render_markdown(report)
+        with_incident = dict(report)
+        with_incident["incidents"] = [{
+            "uarch": "SKL", "predictor": "llvm-mca-15",
+            "reason": "breaker_open", "batches": 3,
+            "detail": "llvm-mca-15: injected fault"}]
+        text = render_markdown(with_incident)
+        assert "## Incidents (1 unrecovered tool failure(s))" in text
+        assert "llvm-mca-15 skipped (breaker_open, 3 batch(es))" in text
+
+    def test_markdown_incidents_render_without_clusters(self, report):
+        empty = dict(report)
+        empty["clusters"] = []
+        empty["incidents"] = [{
+            "uarch": "SKL", "predictor": "uiCA",
+            "reason": "breaker_open", "batches": 1, "detail": "boom"}]
+        text = render_markdown(empty)
+        assert "## Incidents" in text
+        assert "No deviations at this threshold" in text
+
     def test_stats_and_summary_consistent(self, report):
-        assert report["schema"] == "facile-hunt-report/v1"
+        assert report["schema"] == "facile-hunt-report/v2"
         total = sum(len(c["witnesses"]) for c in report["clusters"])
         assert total == report["summary"]["witnesses"]
+
+    def test_generalization_sections_empty_without_flag(self, report):
+        assert report["families"] == []
+        assert report["subsumed"] == []
+        assert report["generalization"] is None
+        assert report["config"]["generalize"] is False
 
 
 class TestConfigValidation:
@@ -108,6 +137,9 @@ class TestConfigValidation:
         dict(threshold=0.0),
         dict(mutation_rate=1.5),
         dict(max_witnesses=0),
+        dict(gen_samples=1),
+        dict(fresh_witnesses=0),
+        dict(max_families=0),
         dict(n_workers=-1),
     ])
     def test_rejects_bad_configs(self, overrides):

@@ -5,7 +5,9 @@ from typing import Tuple
 
 from repro.discovery.cluster import (
     Signature,
+    canonical_port_set,
     cluster_witnesses,
+    format_port_multiset,
     port_multiset_signature,
 )
 
@@ -70,3 +72,26 @@ class TestPortMultiset:
 
     def test_no_dispatched_uops(self):
         assert port_multiset_signature([_FakeOp(())]) == "-"
+
+    def test_port_order_is_numeric_not_lexicographic(self):
+        # Ports can arrive as strings (e.g. parsed tool output); "10"
+        # must sort after "2", not before it.
+        assert canonical_port_set({"10", "2", "6"}) == (2, 6, 10)
+        assert canonical_port_set(frozenset({10, 2, 6})) == (2, 6, 10)
+
+    def test_stable_across_runs_and_insertion_orders(self):
+        # Regression: set iteration order varies with insertion order
+        # (and, for strings, across interpreter runs under hash
+        # randomization); the signature must not.
+        orders = [(0, 1, 5, 6), (6, 5, 1, 0), (5, 0, 6, 1)]
+        signatures = {
+            port_multiset_signature(
+                [_FakeOp((frozenset(order), frozenset(reversed(order))))])
+            for order in orders
+        }
+        assert signatures == {"2x(0,1,5,6)"}
+
+    def test_format_port_multiset(self):
+        assert format_port_multiset({}) == "-"
+        assert format_port_multiset(
+            {(2, 3): 1, (0, 1, 5, 6): 3}) == "3x(0,1,5,6) 1x(2,3)"

@@ -1,0 +1,280 @@
+"""Witness-generalization tests.
+
+The unit tests drive :func:`generalize_witness` / :func:`generalize_uarch`
+with a synthetic evaluator (a rule over the sampled blocks), so the
+widening/validation/confirmation logic is exercised without a single
+simulator run.  The end-to-end tests at the bottom run real tiny
+campaigns and are marked ``slow`` (CI runs them in a dedicated step;
+tier-1 skips them).
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.discovery import (
+    CampaignConfig,
+    campaign_report,
+    load_known_families,
+    render_json,
+    render_markdown,
+    run_campaign,
+)
+from repro.discovery.abstraction import AbstractBlock
+from repro.discovery.generalize import (
+    Family,
+    FreshWitness,
+    attach_coverage,
+    generalize_report,
+    generalize_uarch,
+    generalize_witness,
+    rank_families,
+)
+from repro.discovery.subsumption import KnownFamily, family_id
+from repro.isa.assembler import assemble
+from repro.isa.block import BasicBlock
+from repro.uarch import uarch_by_name
+from repro.uops.database import UopsDatabase
+
+_PAIR = ("Facile", "llvm-mca-15")
+_THRESHOLD = 0.5
+
+
+@dataclass
+class _FakeWitness:
+    minimized_lines: Tuple[str, ...]
+    raw_hex: str
+    score: float = 1.0
+    uarch: str = "SKL"
+    mode: str = "unrolled"
+    category: str = "scalar_int"
+    pair: Tuple[str, str] = _PAIR
+    loop_cond: str = "ne"
+
+
+def _witness(asm, **overrides):
+    body = assemble(asm)
+    raw_hex = b"".join(instr.raw for instr in body).hex()
+    return _FakeWitness(
+        minimized_lines=tuple(instr.text() for instr in body),
+        raw_hex=raw_hex, **overrides)
+
+
+class _FakeEvaluator:
+    """Deterministic synthetic tool values: *rule(block) -> Facile value*
+    against a constant 1.0 baseline."""
+
+    def __init__(self, db, rule):
+        self.db = db
+        self.rule = rule
+        self.blocks_evaluated = 0
+
+    def evaluate(self, blocks, mode):
+        del mode
+        self.blocks_evaluated += len(blocks)
+        return [{"Facile": self.rule(block), "llvm-mca-15": 1.0,
+                 "oracle": self.rule(block)} for block in blocks]
+
+
+def _width16_rule(block):
+    """Deviate (2.0 vs 1.0) iff the block touches a 16-bit operand."""
+    widths = (max((slot.width for slot in instr.template.slots),
+                  default=0) for instr in block.instructions)
+    return 2.0 if any(w == 16 for w in widths) else 1.0
+
+
+@pytest.fixture(scope="module")
+def db():
+    return UopsDatabase(uarch_by_name("SKL"))
+
+
+class TestGeneralizeWitness:
+    def test_widens_irrelevant_features_keeps_the_essential_one(self, db):
+        evaluator = _FakeEvaluator(db, _width16_rule)
+        family, evaluated = generalize_witness(
+            _witness("add ax, 300"), evaluator, samples=5,
+            fresh_needed=3, threshold=_THRESHOLD, seed=0,
+            excluded_hexes=set())
+        assert family is not None
+        insn = family.abstraction.insns[0]
+        # Any 16-bit instruction deviates: the mnemonic must widen ...
+        assert insn.is_top("mnemonic")
+        # ... but the 16-bit width is what the deviation hinges on, so
+        # widening it fails validation and it stays narrow.
+        assert not insn.is_top("width")
+        assert insn.features["width"].admits(16)
+        assert family.widenings_accepted < family.widenings_tried
+        assert evaluated == family.samples_evaluated > 0
+        assert evaluator.blocks_evaluated == evaluated
+
+    def test_fresh_witnesses_are_new_and_deviating(self, db):
+        evaluator = _FakeEvaluator(db, _width16_rule)
+        witness = _witness("add ax, 300")
+        family, _ = generalize_witness(
+            witness, evaluator, samples=5, fresh_needed=3,
+            threshold=_THRESHOLD, seed=0,
+            excluded_hexes={witness.raw_hex})
+        assert family is not None
+        assert len(family.fresh) == 3
+        hexes = {fresh.raw_hex for fresh in family.fresh}
+        assert len(hexes) == 3  # pairwise distinct
+        assert witness.raw_hex not in hexes  # none are campaign inputs
+        for fresh in family.fresh:
+            assert fresh.score >= _THRESHOLD
+            block = BasicBlock.from_bytes(bytes.fromhex(fresh.raw_hex))
+            assert family.abstraction.matches(block.instructions, db)
+
+    def test_deterministic(self, db):
+        results = []
+        for _ in range(2):
+            family, _ = generalize_witness(
+                _witness("add ax, 300"), _FakeEvaluator(db, _width16_rule),
+                samples=5, fresh_needed=3, threshold=_THRESHOLD, seed=0,
+                excluded_hexes=set())
+            results.append((family.abstraction.canonical_json(),
+                            [f.raw_hex for f in family.fresh]))
+        assert results[0] == results[1]
+
+    def test_unconfirmable_witness_returns_none(self, db):
+        # Only the exact witness bytes deviate: no fresh witness can
+        # ever be found, so the family is unconfirmed.
+        witness = _witness("add ax, 300")
+        rule = lambda block: (  # noqa: E731
+            2.0 if block.raw.hex() == witness.raw_hex else 1.0)
+        family, evaluated = generalize_witness(
+            witness, _FakeEvaluator(db, rule), samples=5,
+            fresh_needed=3, threshold=_THRESHOLD, seed=0,
+            excluded_hexes={witness.raw_hex})
+        assert family is None
+        assert evaluated > 0
+
+
+class TestGeneralizeUarch:
+    def test_second_witness_folds_into_the_first_family(self, db):
+        outcome = generalize_uarch(
+            _FakeEvaluator(db, _width16_rule),
+            [_witness("add ax, 300", score=1.2),
+             _witness("sub cx, 400", score=0.8)],
+            samples=5, fresh_needed=3, max_families=4,
+            threshold=_THRESHOLD, seed=0)
+        assert len(outcome.families) == 1
+        assert outcome.stats["folded"] == 1
+        assert len(outcome.families[0].witness_hexes) == 2
+
+    def test_known_families_subsume_rediscoveries(self, db):
+        witnesses = [_witness("add ax, 300", score=1.2)]
+        first = generalize_uarch(
+            _FakeEvaluator(db, _width16_rule), witnesses, samples=5,
+            fresh_needed=3, max_families=4, threshold=_THRESHOLD, seed=0)
+        (family,) = first.families
+        known = KnownFamily(
+            id=family.id, uarch=family.uarch, mode=family.mode,
+            pair=family.pair, abstraction=family.abstraction)
+        second = generalize_uarch(
+            _FakeEvaluator(db, _width16_rule), witnesses, samples=5,
+            fresh_needed=3, max_families=4, threshold=_THRESHOLD, seed=0,
+            known=[known])
+        assert second.families == []
+        assert second.stats["subsumed"] == 1
+        (record,) = second.subsumed
+        assert record["subsumed_by"] == family.id
+        assert record["hex"] == witnesses[0].raw_hex
+
+    def test_max_families_caps_generalization_attempts(self, db):
+        # Two witnesses that can never fold (different deviation rules
+        # would be needed) with a budget of one attempt: the second is
+        # neither folded nor generalized.
+        rule = lambda block: 2.0  # noqa: E731  everything deviates
+        outcome = generalize_uarch(
+            _FakeEvaluator(db, rule),
+            [_witness("add ax, 300", score=1.2),
+             _witness("imul rcx, rdx", score=0.8)],
+            samples=5, fresh_needed=3, max_families=1,
+            threshold=_THRESHOLD, seed=0)
+        assert outcome.stats["attempted"] == 1
+
+
+class TestRankingAndCoverage:
+    def _family(self, db, asm, matched=0, total=0, score=1.0):
+        abstraction = AbstractBlock.from_instructions(assemble(asm), db)
+        return Family(
+            uarch="SKL", mode="unrolled", category="scalar_int",
+            pair=_PAIR, loop_cond="ne", abstraction=abstraction,
+            witness_hexes=[], fresh=[FreshWitness((), "", score, {})],
+            widenings_tried=0, widenings_accepted=0,
+            samples_evaluated=0, coverage_matched=matched,
+            coverage_total=total)
+
+    def test_rank_by_coverage_then_fresh_score(self, db):
+        low = self._family(db, "add rax, rbx", matched=1, total=10)
+        high = self._family(db, "imul rcx, rdx", matched=5, total=10)
+        strong = self._family(db, "mov rax, rbx", matched=1, total=10,
+                              score=9.0)
+        ranked = rank_families([low, strong, high])
+        assert ranked[0] is high
+        assert ranked[1] is strong  # ties on coverage: fresh score
+        assert ranked[2] is low
+
+    def test_attach_coverage_fills_counters(self, db):
+        family = self._family(db, "add rax, rbx")
+        corpus = [BasicBlock.from_asm("add rax, rbx"),
+                  BasicBlock.from_asm("imul rcx, rdx"), None]
+        attach_coverage([family], corpus, db)
+        assert (family.coverage_matched, family.coverage_total) == (1, 3)
+        assert family.coverage == pytest.approx(1 / 3)
+
+
+_FAST_GEN = dict(seed=0, budget=12, uarchs=("SKL",),
+                 predictors=("Facile", "llvm-mca-15"),
+                 modes=("unrolled",), max_witnesses=4,
+                 generalize=True, max_families=3)
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_campaign(CampaignConfig(**_FAST_GEN))
+
+    @pytest.fixture(scope="class")
+    def report(self, result):
+        return campaign_report(result)
+
+    def test_confirmed_family_with_fresh_witnesses(self, result):
+        assert result.families, "campaign confirmed no family"
+        family = result.families[0]
+        campaign_hexes = {w.raw_hex for w in result.witnesses}
+        assert len(family.fresh) >= 3
+        for fresh in family.fresh:
+            assert fresh.raw_hex not in campaign_hexes
+            assert fresh.score >= CampaignConfig(**_FAST_GEN).threshold
+        assert family.coverage_total > 0
+
+    def test_byte_reproducible(self, report):
+        again = campaign_report(run_campaign(CampaignConfig(**_FAST_GEN)))
+        assert render_json(again) == render_json(report)
+
+    def test_second_campaign_reports_subsumption(self, report):
+        known = load_known_families(report)
+        assert known
+        again = run_campaign(CampaignConfig(**_FAST_GEN), known=known)
+        assert not again.families  # nothing new at the same seed
+        assert again.subsumed
+        known_ids = {k.id for k in known}
+        assert {s["subsumed_by"] for s in again.subsumed} <= known_ids
+
+    def test_standalone_generalize_matches_hunt(self, report):
+        plain = campaign_report(run_campaign(CampaignConfig(
+            **{**_FAST_GEN, "generalize": False})))
+        generalized = generalize_report(plain, max_families=3)
+        assert generalized["schema"] == "facile-hunt-report/v2"
+        assert [f["id"] for f in generalized["families"]] == \
+            [f["id"] for f in report["families"]]
+
+    def test_markdown_renders_families(self, report):
+        text = render_markdown(report)
+        assert "## Abstract deviation families" in text
+        assert report["families"][0]["id"] in text
+        assert "Fresh sampled witness" in text

@@ -53,3 +53,38 @@ class TestMinimizeLines:
     def test_rejects_incomplete_score_batches(self):
         with pytest.raises(ValueError):
             minimize_lines(("a", "b"), lambda bodies: [1.0], 0.5)
+
+    def test_cascades_from_many_lines_to_one(self):
+        # Each round drops one filler line; minimization must keep
+        # iterating until the single responsible instruction remains.
+        lines = tuple(f"mov r{8 + i}, r{9 + i}" for i in range(4)) \
+            + ("imul rcx, rdx",)
+        minimized, trials = minimize_lines(
+            lines, _scorer(lambda body: any("imul" in l for l in body)),
+            threshold=0.5)
+        assert minimized == ("imul rcx, rdx",)
+        # 4 rounds of shrinking candidates (5+4+3+2), none at size 1.
+        assert trials == 14
+
+    def test_score_exactly_at_threshold_keeps_the_drop(self):
+        # The deviation boundary is inclusive: score == threshold still
+        # counts as deviating, matching the campaign's acceptance rule.
+        lines = ("add rax, rbx", "imul rcx, rdx")
+        minimized, _ = minimize_lines(
+            lines,
+            lambda bodies: [0.5 if any("imul" in l for l in body)
+                            else 0.49 for body in bodies],
+            threshold=0.5)
+        assert minimized == ("imul rcx, rdx",)
+
+    def test_keeps_the_pair_when_only_the_pair_deviates(self):
+        # A two-instruction interaction inside a larger block: fillers
+        # are dropped, the interacting pair survives intact.
+        lines = ("mov r8, r9", "add rax, rbx", "mov r10, r11",
+                 "imul rcx, rax")
+        minimized, _ = minimize_lines(
+            lines,
+            _scorer(lambda body: ("add rax, rbx" in body
+                                  and "imul rcx, rax" in body)),
+            threshold=0.5)
+        assert minimized == ("add rax, rbx", "imul rcx, rax")

@@ -1,0 +1,117 @@
+"""Family identity and cross-campaign subsumption tests."""
+
+import pytest
+
+from repro.discovery.abstraction import AbstractBlock
+from repro.discovery.subsumption import (
+    KnownFamily,
+    family_id,
+    load_known_families,
+    subsuming_family,
+)
+from repro.isa.assembler import assemble
+from repro.uarch import uarch_by_name
+from repro.uops.database import UopsDatabase
+
+_PAIR = ("Facile", "llvm-mca-15")
+
+
+@pytest.fixture(scope="module")
+def db():
+    return UopsDatabase(uarch_by_name("SKL"))
+
+
+def _abstract(asm, db):
+    return AbstractBlock.from_instructions(assemble(asm), db)
+
+
+class TestFamilyId:
+    def test_stable_and_short(self, db):
+        abstract = _abstract("add rax, rbx", db)
+        first = family_id(abstract, "SKL", "unrolled", _PAIR)
+        second = family_id(_abstract("add rax, rbx", db), "SKL",
+                           "unrolled", _PAIR)
+        assert first == second
+        assert len(first) == 12
+
+    def test_context_is_part_of_the_identity(self, db):
+        abstract = _abstract("add rax, rbx", db)
+        base = family_id(abstract, "SKL", "unrolled", _PAIR)
+        assert family_id(abstract, "RKL", "unrolled", _PAIR) != base
+        assert family_id(abstract, "SKL", "loop", _PAIR) != base
+        assert family_id(abstract, "SKL", "unrolled",
+                         ("Facile", "uiCA")) != base
+
+    def test_widening_changes_the_identity(self, db):
+        abstract = _abstract("add rax, rbx", db)
+        base = family_id(abstract, "SKL", "unrolled", _PAIR)
+        widened = abstract.clone()
+        widened.insns[0].widen("mnemonic")
+        assert family_id(widened, "SKL", "unrolled", _PAIR) != base
+
+
+class TestLoadKnownFamilies:
+    def _entry(self, db, **overrides):
+        abstract = _abstract("add rax, rbx", db)
+        entry = {
+            "id": family_id(abstract, "SKL", "unrolled", _PAIR),
+            "uarch": "SKL",
+            "mode": "unrolled",
+            "pair": list(_PAIR),
+            "abstraction": abstract.to_json(),
+        }
+        entry.update(overrides)
+        return entry
+
+    def test_round_trips_a_report_family(self, db):
+        (known,) = load_known_families(
+            {"families": [self._entry(db)]})
+        assert known.uarch == "SKL" and known.pair == _PAIR
+        assert known.abstraction.subsumes(_abstract("add rax, rbx", db))
+
+    def test_reports_without_families_contribute_none(self):
+        assert load_known_families({}) == []
+        assert load_known_families({"families": []}) == []
+
+    def test_malformed_entries_raise(self, db):
+        entry = self._entry(db)
+        del entry["abstraction"]
+        with pytest.raises(ValueError):
+            load_known_families({"families": [entry]})
+        with pytest.raises(ValueError):
+            load_known_families({"families": [{"id": "x", "pair": []}]})
+
+
+class TestSubsumingFamily:
+    def _known(self, abstract, uarch="SKL", mode="unrolled", pair=_PAIR):
+        return KnownFamily(
+            id=family_id(abstract, uarch, mode, pair), uarch=uarch,
+            mode=mode, pair=tuple(pair), abstraction=abstract)
+
+    def test_widened_family_subsumes_its_witness(self, db):
+        widened = _abstract("add rax, rbx", db)
+        widened.insns[0].widen("mnemonic")
+        known = self._known(widened)
+        # `sub` shares add's archetype/ports/width — only the mnemonic
+        # differs, which the widened family admits.
+        hit = subsuming_family([known], "SKL", "unrolled", _PAIR,
+                               _abstract("sub rax, rbx", db))
+        assert hit is known
+
+    def test_context_mismatch_never_subsumes(self, db):
+        widened = _abstract("add rax, rbx", db)
+        widened.insns[0].widen("mnemonic")
+        known = self._known(widened)
+        base = _abstract("add rax, rbx", db)
+        assert subsuming_family([known], "RKL", "unrolled", _PAIR,
+                                base) is None
+        assert subsuming_family([known], "SKL", "loop", _PAIR,
+                                base) is None
+        assert subsuming_family([known], "SKL", "unrolled",
+                                ("Facile", "uiCA"), base) is None
+
+    def test_unrelated_abstraction_is_not_subsumed(self, db):
+        known = self._known(_abstract("add rax, rbx", db))
+        assert subsuming_family([known], "SKL", "unrolled", _PAIR,
+                                _abstract("vaddps ymm0, ymm1, ymm2",
+                                          db)) is None

@@ -60,7 +60,7 @@ class TestHunt:
         assert f"wrote {out}" in text
         import json
         report = json.loads(out.read_text())
-        assert report["schema"] == "facile-hunt-report/v1"
+        assert report["schema"] == "facile-hunt-report/v2"
         assert report["config"]["budget"] == 8
 
     def test_hunt_rejects_unknown_uarch(self, capsys):
@@ -73,3 +73,47 @@ class TestHunt:
                      "--predictors", "Facile", "wat"])
         assert code == 2
         assert "unknown predictor" in capsys.readouterr().err
+
+    def test_hunt_known_requires_generalize(self, capsys):
+        code = main(["hunt", "--budget", "4", "--known", "x.json"])
+        assert code == 2
+        assert "--generalize" in capsys.readouterr().err
+
+    def test_hunt_rejects_unreadable_known(self, tmp_path, capsys):
+        code = main(["hunt", "--budget", "4", "--generalize",
+                     "--known", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "--known" in capsys.readouterr().err
+
+
+class TestGeneralize:
+    def test_rejects_missing_report(self, tmp_path, capsys):
+        code = main(["generalize", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "nope.json" in capsys.readouterr().err
+
+    def test_rejects_non_report_json(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text('{"schema": "something-else/v1"}')
+        code = main(["generalize", str(path)])
+        assert code == 2
+        assert "not a facile hunt report" in capsys.readouterr().err
+
+    def test_generalizes_a_hunt_report(self, tmp_path, capsys):
+        report = tmp_path / "hunt.json"
+        assert main(["hunt", "--seed", "0", "--budget", "8",
+                     "--mode", "unrolled", "--max-witnesses", "2",
+                     "--predictors", "Facile", "llvm-mca-15",
+                     "--out", str(report)]) == 0
+        capsys.readouterr()
+        out = tmp_path / "families.json"
+        code = main(["generalize", str(report), "--max-families", "1",
+                     "--out", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Abstract deviation families" in text
+        import json
+        generalized = json.loads(out.read_text())
+        assert generalized["schema"] == "facile-hunt-report/v2"
+        assert generalized["config"]["generalize"] is True
+        assert "families" in generalized
