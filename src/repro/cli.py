@@ -56,6 +56,7 @@ from repro.core.counterfactual import idealized_speedup
 from repro.core.model import Facile
 from repro.engine import engine as engine_mod
 from repro.engine import bench as bench_mod
+from repro.engine.columnar import ColumnarCore, resolve_core
 from repro.eval import figures, tables
 from repro.isa.block import BasicBlock
 from repro.uarch import ALL_UARCHS, uarch_by_name
@@ -75,7 +76,9 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         return 2
     mode = (ThroughputMode.LOOP if args.mode == "loop"
             else ThroughputMode.UNROLLED)
-    prediction = Facile(cfg).predict(block, mode)
+    core = resolve_core(getattr(args, "core", None))
+    predictor = ColumnarCore(cfg) if core == "columnar" else Facile(cfg)
+    prediction = predictor.predict(block, mode)
 
     print(f"block ({len(block)} instructions, {block.num_bytes} bytes):")
     for line in block.text().splitlines():
@@ -197,9 +200,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"no baseline at {args.baseline}; skipping regression check")
         return 0
     if not bench_mod.comparable(payload, baseline):
-        print(f"baseline {args.baseline} was measured with a different "
-              f"suite ({baseline.get('suite')} vs {payload['suite']}); "
-              "skipping regression check", file=sys.stderr)
+        print(f"baseline {args.baseline} was measured under a different "
+              f"configuration (suite {baseline.get('suite')} vs "
+              f"{payload['suite']}, schema {baseline.get('schema')} vs "
+              f"{payload['schema']}); skipping regression check",
+              file=sys.stderr)
         return 0
     if bench_mod.gated_overlap(payload, baseline) == 0:
         print(f"baseline {args.baseline} shares no gated (µarch, mode, "
@@ -459,6 +464,11 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--asm", help="assembly text (\\n separated)")
     predict.add_argument("--hex", help="raw block bytes in hex")
     predict.add_argument("--file", help="file with assembly text")
+    predict.add_argument("--core", choices=("object", "columnar"),
+                         default=None,
+                         help="prediction core (default: "
+                              "REPRO_ENGINE_CORE or columnar; both "
+                              "produce identical output)")
     predict.set_defaults(func=_cmd_predict)
 
     for name, func, extra_uarch in (

@@ -81,7 +81,16 @@ def ports_bound(ops: Sequence[MacroOp]) -> PortsResult:
     always report the same critical combination regardless of hash
     randomization.
     """
-    counts = _uop_port_multiset(ops)
+    return ports_bound_counts(_uop_port_multiset(ops))
+
+
+def ports_bound_counts(counts: Counter) -> PortsResult:
+    """:func:`ports_bound` on a precomputed µop port multiset.
+
+    The columnar core (:mod:`repro.engine.columnar`) keeps the multiset
+    as a per-entry column and calls this directly; both entry points
+    share :data:`_PORTS_MEMO`, so warm results transfer between cores.
+    """
     if not counts:
         return PortsResult(Fraction(0), None, 0)
 

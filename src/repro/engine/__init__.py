@@ -8,6 +8,9 @@ The engine has three layers (see the module docstrings for details):
 * :mod:`repro.engine.engine` — :class:`Engine`, the batch front end with
   a serial fast path and an opt-in ``multiprocessing`` pool shipping
   compact picklable payloads to workers;
+* :mod:`repro.engine.columnar` — :class:`ColumnarCore`, the
+  template-compiled prediction core (the engine's default), bit-for-bit
+  equal to the :class:`~repro.core.model.Facile` object model;
 * :mod:`repro.engine.batching` — :class:`MicroBatcher`, the time/size-
   windowed queue that merges concurrent single-block requests (the
   prediction service's traffic) into ``Engine.predict_many`` calls;
@@ -25,10 +28,12 @@ __all__ = [
     "ALL_MODES",
     "AnalysisCache",
     "BlockAnalysis",
+    "ColumnarCore",
     "Engine",
     "MicroBatcher",
     "ModelSpec",
     "default_workers",
+    "resolve_core",
     "set_default_workers",
 ]
 
@@ -39,6 +44,8 @@ _LAZY = {
     "default_workers": "repro.engine.engine",
     "set_default_workers": "repro.engine.engine",
     "MicroBatcher": "repro.engine.batching",
+    "ColumnarCore": "repro.engine.columnar",
+    "resolve_core": "repro.engine.columnar",
 }
 
 

@@ -1,12 +1,16 @@
 """The performance-regression harness (``BENCH_predict.json``).
 
 The harness measures the throughput of Facile prediction, in blocks per
-second, for the engine's three paths on a fixed-seed generated suite:
+second, for the engine's paths on a fixed-seed generated suite:
 
-* ``single``   — seed-equivalent cold predictions (analysis re-derived
-  on every call);
-* ``cached``   — the engine's serial batch path in its steady state
-  (shared :class:`~repro.engine.cache.AnalysisCache`);
+* ``single``   — the engine's default cold-call path: the columnar core
+  (:mod:`repro.engine.columnar`), warmed once over the suite, timed
+  per-call on a stream of never-seen payload variants (same instruction
+  forms, fresh immediate bytes);
+* ``single_object`` — the seed-equivalent reference on the same variant
+  stream: analysis re-derived on every call, no memoization;
+* ``cached``   — the object model's serial batch path in its steady
+  state (shared :class:`~repro.engine.cache.AnalysisCache`);
 * ``parallel`` — the engine's ``multiprocessing`` pool path, cold;
 * ``service``  — the HTTP prediction service in its steady state:
   concurrent bulk-predict clients against an in-process
@@ -20,11 +24,13 @@ Reading ``BENCH_predict.json``
 ------------------------------
 
 The file is written by ``scripts/bench.py`` (and by the pytest harness
-under ``benchmarks/perf/``).  Layout (schema 2 added the service
-latency percentiles)::
+under ``benchmarks/perf/``).  Layout (schema 3 renamed the old
+object-path ``single`` to ``single_object``, retargeted ``single`` at
+the columnar core over the variant stream, and rebased all speedups on
+``single_object``; schema 2 added the service latency percentiles)::
 
     {
-      "schema": 2,
+      "schema": 3,
       "suite": {"size": ..., "seed": ...},
       "workers": ...,            # pool size of the parallel path
       "service_clients": ...,    # concurrent clients of the service path
@@ -38,24 +44,28 @@ latency percentiles)::
         }
       },
       "speedups": {
-        "<uarch>": {"<mode>": {"cached_vs_single": ...,
-                                "parallel_vs_single": ...}}
+        "<uarch>": {"<mode>": {"single_vs_single_object": ...,
+                                "cached_vs_single_object": ...,
+                                "parallel_vs_single_object": ...,
+                                "service_vs_single_object": ...}}
       }
     }
 
-``cached_vs_single`` is the headline number: how much faster repeated
-suite evaluation (the ablation/counterfactual/variant-sweep regime) is
-than the pre-engine per-call path.  ``parallel_vs_single`` depends on
-the machine's core count; on single-core CI it is expected to be < 1
-(pool overhead with no parallel hardware) and is reported for the
-trajectory, not gated.
+``single_vs_single_object`` is the headline number: how much faster the
+columnar core predicts *never-seen* blocks than the pre-engine per-call
+path (the ≥5× acceptance gate of the columnar rewrite).
+``cached_vs_single_object`` tracks the steady-state batch regime
+(ablation/counterfactual/variant sweeps); ``parallel_vs_single_object``
+depends on the machine's core count — on single-core CI it is expected
+to be < 1 (pool overhead with no parallel hardware) and is reported for
+the trajectory, not gated.
 
 Regression gating compares ``blocks_per_sec`` per (µarch, mode) for the
-``single`` and ``cached`` paths against a committed baseline and fails
-on a drop beyond the tolerance (default 20%); the ``parallel`` number
-is recorded but not gated (see :data:`GATED_PATHS`).  Only same-machine
-comparisons are meaningful; the committed baseline tracks the
-repository's CI machine.
+``single``, ``single_object``, and ``cached`` paths against a committed
+baseline and fails on a drop beyond the tolerance (default 20%); the
+``parallel`` number is recorded but not gated (see :data:`GATED_PATHS`).
+Only same-machine, same-schema comparisons are meaningful; the
+committed baseline tracks the repository's CI machine.
 """
 
 from __future__ import annotations
@@ -81,7 +91,7 @@ DEFAULT_TOLERANCE = 0.20
 DEFAULT_SERVICE_CLIENTS = 8
 
 #: Paths measured by the harness.
-PATHS = ("single", "cached", "parallel", "service")
+PATHS = ("single", "single_object", "cached", "parallel", "service")
 
 
 def run_perf_harness(size: int = DEFAULT_SIZE, seed: int = DEFAULT_SEED,
@@ -122,16 +132,20 @@ def run_perf_harness(size: int = DEFAULT_SIZE, seed: int = DEFAULT_SEED,
             if service_latency is not None:
                 results[abbrev][mode.value]["service"].update(
                     service_latency)
-            single = timings["single"]
+            # All speedups are rebased on the seed-equivalent reference.
+            # Paths time different block counts (the single paths run
+            # the variant stream), so the ratio must be blocks/sec, not
+            # raw seconds.
+            base_bps = timings["single_object"].blocks_per_sec
             mode_speedups = {}
-            for path in ("cached", "parallel", "service"):
-                if path in timings and timings[path].seconds > 0:
-                    mode_speedups[f"{path}_vs_single"] = round(
-                        single.seconds / timings[path].seconds, 2)
+            for path in ("single", "cached", "parallel", "service"):
+                if path in timings and base_bps > 0:
+                    mode_speedups[f"{path}_vs_single_object"] = round(
+                        timings[path].blocks_per_sec / base_bps, 2)
             speedups[abbrev][mode.value] = mode_speedups
 
     return {
-        "schema": 2,
+        "schema": 3,
         "suite": {"size": size, "seed": seed},
         "workers": workers,
         "service_clients": (service_clients if include_service else None),
@@ -241,7 +255,7 @@ def load_bench_json(path: str) -> Optional[Dict]:
 #: Paths the regression gate enforces.  ``parallel`` is recorded for
 #: the trajectory but not gated: it scales with the machine's core
 #: count and, on small CI boxes, is dominated by pool start-up noise.
-GATED_PATHS = ("single", "cached")
+GATED_PATHS = ("single", "single_object", "cached")
 
 
 def comparable(current: Dict, baseline: Dict) -> bool:
@@ -249,9 +263,13 @@ def comparable(current: Dict, baseline: Dict) -> bool:
 
     Blocks/sec only compare meaningfully when the suite (size and seed)
     matches; a size-20 run gated against a size-80 baseline would mix
-    different block-cost distributions.
+    different block-cost distributions.  Schemas must match too: path
+    names keep their meaning only within a schema (schema 3 retargeted
+    ``single`` at the columnar core, so gating a schema-3 run against a
+    schema-2 baseline would compare different code paths).
     """
-    return current.get("suite") == baseline.get("suite")
+    return (current.get("suite") == baseline.get("suite")
+            and current.get("schema") == baseline.get("schema"))
 
 
 def find_regressions(current: Dict, baseline: Dict,
@@ -321,7 +339,7 @@ def render_bench(payload: Dict) -> str:
                 if path not in by_path:
                     continue
                 speedup = payload["speedups"][abbrev][mode_value].get(
-                    f"{path}_vs_single")
+                    f"{path}_vs_single_object")
                 lines.append(
                     f"{abbrev:<6} {mode_value:<9} {path:<9} "
                     f"{by_path[path]['blocks_per_sec']:>10.1f} "

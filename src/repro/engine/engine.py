@@ -52,6 +52,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.core.components import Component, ThroughputMode
 from repro.core.model import Facile, Prediction
 from repro.engine.cache import AnalysisCache
+from repro.engine.columnar import ColumnarCore, resolve_core
 from repro.isa.block import BasicBlock
 from repro.robustness.errors import EngineTaskError, PredictorError
 from repro.robustness.faults import act_in_worker, active_plan
@@ -120,7 +121,10 @@ class ModelSpec:
     would drag the whole µarch configuration and caches along.
 
     Components are stored by value (strings) to keep the payload small
-    and stable under pickling.
+    and stable under pickling.  ``core`` names the prediction core the
+    worker should build (``"object"`` = the Facile object model,
+    ``"columnar"`` = :class:`~repro.engine.columnar.ColumnarCore`);
+    both cores produce bit-for-bit identical predictions.
     """
 
     uarch: str
@@ -128,10 +132,11 @@ class ModelSpec:
     simple_dec: bool = False
     components: Optional[Tuple[str, ...]] = None
     exclude: Tuple[str, ...] = ()
+    core: str = "object"
 
     def build(self, db: Optional[UopsDatabase] = None,
               cache: Optional[AnalysisCache] = None) -> Facile:
-        """Instantiate the described model."""
+        """Instantiate the described model (the object-model reference)."""
         cfg = uarch_by_name(self.uarch)
         components = (None if self.components is None
                       else {Component(v) for v in self.components})
@@ -141,15 +146,29 @@ class ModelSpec:
                       components=components,
                       exclude={Component(v) for v in self.exclude})
 
+    def build_predictor(self, db: Optional[UopsDatabase] = None,
+                        cache: Optional[AnalysisCache] = None):
+        """Instantiate the described prediction core (per ``core``)."""
+        if self.core != "columnar":
+            return self.build(db=db, cache=cache)
+        cfg = uarch_by_name(self.uarch)
+        components = (None if self.components is None
+                      else {Component(v) for v in self.components})
+        return ColumnarCore(cfg, db=db,
+                            simple_predec=self.simple_predec,
+                            simple_dec=self.simple_dec,
+                            components=components,
+                            exclude={Component(v) for v in self.exclude})
+
 
 # ---------------------------------------------------------------------------
 # Worker-process side
 # ---------------------------------------------------------------------------
 
-#: Per-process model memo: each worker builds one Facile (with its own
-#: database and analysis cache) per distinct spec and reuses it for the
-#: whole batch.
-_WORKER_MODELS: Dict[ModelSpec, Facile] = {}
+#: Per-process predictor memo: each worker builds one predictor (Facile
+#: or ColumnarCore per the spec, with its own database and caches) per
+#: distinct spec and reuses it for the whole batch.
+_WORKER_MODELS: Dict[ModelSpec, object] = {}
 
 #: Per-process databases for measurement tasks (one per µarch).
 _WORKER_DBS: Dict[str, UopsDatabase] = {}
@@ -176,7 +195,7 @@ def _predict_chunk(tasks: Sequence[_Task]) -> List[_ChunkEntry]:
                 act_in_worker(fault, TASK_SITE)
             model = _WORKER_MODELS.get(spec)
             if model is None:
-                model = spec.build()
+                model = spec.build_predictor()
                 _WORKER_MODELS[spec] = model
             block = BasicBlock.from_bytes(raw)
             out.append(
@@ -235,6 +254,15 @@ class Engine:
             :class:`EngineTaskError` (``on_error="raise"``).
         simple_predec / simple_dec / components / exclude: the Facile
             variant, as in :class:`~repro.core.model.Facile`.
+        core: the prediction core — ``"columnar"`` (the compiled fast
+            path, :class:`~repro.engine.columnar.ColumnarCore`) or
+            ``"object"`` (the Facile object-model reference).  Both are
+            bit-for-bit identical; ``None`` resolves via
+            ``REPRO_ENGINE_CORE``, default ``columnar``.  The object
+            core is the one that populates ``self.cache`` (the analysis
+            cache) — callers that depend on its counters or on the
+            persistent cache layer (the service tier) pin
+            ``core="object"``.
 
     The engine can be used as a context manager; ``close()`` shuts the
     worker pool down.
@@ -255,8 +283,10 @@ class Engine:
                  simple_predec: bool = False,
                  simple_dec: bool = False,
                  components: Optional[Iterable[Component]] = None,
-                 exclude: Iterable[Component] = ()):
+                 exclude: Iterable[Component] = (),
+                 core: Optional[str] = None):
         self.cfg = cfg
+        self.core = resolve_core(core)
         self.spec = ModelSpec(
             uarch=cfg.abbrev,
             simple_predec=simple_predec,
@@ -264,6 +294,7 @@ class Engine:
             components=(None if components is None
                         else tuple(sorted(c.value for c in components))),
             exclude=tuple(sorted(c.value for c in exclude)),
+            core=self.core,
         )
         self.db = db or UopsDatabase(cfg)
         self.cache = cache if cache is not None \
@@ -272,6 +303,15 @@ class Engine:
             cfg, db=self.db, cache=self.cache,
             simple_predec=simple_predec, simple_dec=simple_dec,
             components=components, exclude=exclude)
+        if self.core == "columnar":
+            self.columnar: Optional[ColumnarCore] = ColumnarCore(
+                cfg, db=self.db,
+                simple_predec=simple_predec, simple_dec=simple_dec,
+                components=components, exclude=exclude)
+            self.predictor = self.columnar
+        else:
+            self.columnar = None
+            self.predictor = self.model
         self.n_workers = (n_workers if n_workers is not None
                           else default_workers())
         if self.n_workers is not None and self.n_workers < 0:
@@ -359,7 +399,7 @@ class Engine:
 
     def predict(self, block: BasicBlock, mode: ThroughputMode) -> Prediction:
         """Predict one block (always in-process, cached)."""
-        return self.model.predict(block, mode)
+        return self.predictor.predict(block, mode)
 
     def predict_many(self, blocks: Sequence[BasicBlock],
                      mode: ThroughputMode, *,
@@ -385,11 +425,11 @@ class Engine:
             return []
         if not self.parallel or len(blocks) == 1:
             if on_error == "raise":
-                return self.model.predict_many(blocks, mode)
+                return self.predictor.predict_many(blocks, mode)
             results: List[PredictResult] = []
             for index, block in enumerate(blocks):
                 try:
-                    results.append(self.model.predict(block, mode))
+                    results.append(self.predictor.predict(block, mode))
                 except Exception as exc:
                     self.tasks_failed += 1
                     results.append(PredictorError(
@@ -499,7 +539,7 @@ class Engine:
             # *timed-out* task is excluded: re-running code that just
             # hung a worker could hang the parent.)
             try:
-                results[index] = self.model.predict(blocks[index], mode)
+                results[index] = self.predictor.predict(blocks[index], mode)
                 return
             except Exception as exc:
                 kind = "exception"

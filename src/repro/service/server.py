@@ -190,6 +190,27 @@ class _ResponseCache:
             }
 
 
+class _PersistentSyncEngine:
+    """MicroBatcher backend that syncs the persistent cache per batch.
+
+    The sharded path flushes each shard's persistent analysis cache
+    after every worker batch, so its ``/stats`` persistent counters are
+    always current.  The in-process ``--no-shard`` engine used to sync
+    only at ``close()`` and ``warm()``, leaving ``/stats`` reading
+    stale (usually all-zero) persistent counters for the whole run —
+    this wrapper gives the no-shard path the same per-batch flush.
+    """
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+
+    def predict_many(self, blocks, mode):
+        try:
+            return self.engine.predict_many(blocks, mode)
+        finally:
+            self.engine.cache.sync_persistent()
+
+
 class _UarchRuntime:
     """Everything the service holds per loaded µarch."""
 
@@ -217,9 +238,14 @@ class _UarchRuntime:
                           if cache_dir is not None else None)
             db = UopsDatabase(cfg)
             cache = AnalysisCache(db, persistent=persistent)
+            # The serving tier pins the object core: its analysis-cache
+            # counters and the persistent layer are the /stats surface,
+            # and both are populated by the object path.  Predictions
+            # are byte-identical either way (see docs/ARCHITECTURE.md).
             self.engine = Engine(cfg, db=db, cache=cache,
-                                 n_workers=n_workers)
-            backend = self.engine
+                                 n_workers=n_workers, core="object")
+            backend = (self.engine if persistent is None
+                       else _PersistentSyncEngine(self.engine))
         self.batcher = MicroBatcher(backend, max_batch=max_batch,
                                     max_wait_ms=max_wait_ms,
                                     max_queue=max_queue)

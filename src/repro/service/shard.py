@@ -76,7 +76,10 @@ def _shard_main(abbrev: str, request_queue, result_queue,
     persistent = (PersistentAnalysisCache(persist_path, abbrev)
                   if persist_path else None)
     cache = AnalysisCache(db, persistent=persistent)
-    engine = Engine(cfg, db=db, cache=cache, n_workers=n_workers)
+    # Shards pin the object core: the analysis cache + persistent layer
+    # they report through /stats are populated by the object path.
+    engine = Engine(cfg, db=db, cache=cache, n_workers=n_workers,
+                    core="object")
     while True:
         message = request_queue.get()
         if message[0] == "shutdown":
@@ -302,7 +305,7 @@ class ShardEngine:
     def _fallback_engine(self) -> Engine:
         if self._fallback is None:
             cfg = uarch_by_name(self.uarch)
-            self._fallback = Engine(cfg)
+            self._fallback = Engine(cfg, core="object")
         return self._fallback
 
     # -- reporting -----------------------------------------------------

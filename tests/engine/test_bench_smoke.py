@@ -9,6 +9,7 @@ import pytest
 
 from repro.core.components import ThroughputMode
 from repro.engine import bench as bench_mod
+from repro.eval.timing import VARIANT_PASSES
 
 
 @pytest.mark.perf
@@ -18,9 +19,14 @@ def test_perf_harness_smoke(tmp_path):
         workers=1)
     by_path = payload["results"]["SKL"]["loop"]
     assert set(by_path) == set(bench_mod.PATHS)
-    for numbers in by_path.values():
+    for path, numbers in by_path.items():
         assert numbers["blocks_per_sec"] > 0
-        assert numbers["n_blocks"] == 12
+        # The single paths time the never-seen variant stream; the
+        # batch paths time the suite itself.
+        if path in ("single", "single_object"):
+            assert numbers["n_blocks"] == 12 * VARIANT_PASSES
+        else:
+            assert numbers["n_blocks"] == 12
 
     out = tmp_path / "BENCH_predict.json"
     bench_mod.write_bench_json(payload, str(out))
@@ -29,9 +35,11 @@ def test_perf_harness_smoke(tmp_path):
 
     # A synthetic 10x slowdown must trip the 20% gate on the gated
     # paths; the noisy parallel path is recorded but never gated.
-    slow = {"suite": payload["suite"], "results": {"SKL": {"loop": {
-        path: {"blocks_per_sec": numbers["blocks_per_sec"] / 10.0}
-        for path, numbers in by_path.items()}}}}
+    # ``schema`` must match: comparable() refuses cross-schema gating.
+    slow = {"suite": payload["suite"], "schema": payload["schema"],
+            "results": {"SKL": {"loop": {
+                path: {"blocks_per_sec": numbers["blocks_per_sec"] / 10.0}
+                for path, numbers in by_path.items()}}}}
     regressions = bench_mod.find_regressions(slow, payload)
     assert {r[2] for r in regressions} == set(bench_mod.GATED_PATHS)
 
@@ -40,9 +48,15 @@ def test_perf_harness_smoke(tmp_path):
     assert bench_mod.find_regressions(other_suite, payload) == []
     assert bench_mod.gated_overlap(other_suite, payload) == 0
 
+    # A run on the same suite under a different schema must never be
+    # gated either: path names change meaning across schemas.
+    other_schema = dict(slow, schema=payload["schema"] - 1)
+    assert bench_mod.find_regressions(other_schema, payload) == []
+    assert bench_mod.gated_overlap(other_schema, payload) == 0
+
     # A run covering a disjoint µarch set shares no gated entries —
     # callers must detect this instead of reporting a green gate.
-    other_uarch = {"suite": payload["suite"],
+    other_uarch = {"suite": payload["suite"], "schema": payload["schema"],
                    "results": {"ICL": slow["results"]["SKL"]}}
     assert bench_mod.gated_overlap(other_uarch, payload) == 0
     assert bench_mod.gated_overlap(slow, payload) > 0

@@ -1,0 +1,207 @@
+"""Columnar-core unit behavior: routing, memoization, bounds, errors."""
+
+import pytest
+
+from repro.bhive.suite import BenchmarkSuite
+from repro.core.components import Component, ThroughputMode
+from repro.core.model import Facile
+from repro.engine import ColumnarCore, Engine, resolve_core
+from repro.engine.columnar import DEFAULT_CORE
+from repro.isa.block import BasicBlock
+from repro.uarch import uarch_by_name
+
+SKL = uarch_by_name("SKL")
+MODES = (ThroughputMode.UNROLLED, ThroughputMode.LOOP)
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    return [b.block_l for b in BenchmarkSuite.generate(12, seed=13)]
+
+
+class TestResolveCore:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_CORE", "columnar")
+        assert resolve_core("object") == "object"
+
+    def test_env_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_CORE", "object")
+        assert resolve_core() == "object"
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE_CORE", raising=False)
+        assert resolve_core() == DEFAULT_CORE == "columnar"
+
+    def test_invalid_explicit_raises(self):
+        with pytest.raises(ValueError, match="unknown prediction core"):
+            resolve_core("vectorized")
+
+    def test_invalid_env_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_CORE", "bogus")
+        with pytest.warns(UserWarning, match="REPRO_ENGINE_CORE"):
+            assert resolve_core() == DEFAULT_CORE
+
+
+class TestEngineRouting:
+    def test_default_engine_uses_columnar(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE_CORE", raising=False)
+        engine = Engine(SKL)
+        assert engine.core == "columnar"
+        assert isinstance(engine.predictor, ColumnarCore)
+        assert engine.spec.core == "columnar"
+
+    def test_object_pin(self):
+        engine = Engine(SKL, core="object")
+        assert engine.core == "object"
+        assert engine.predictor is engine.model
+        assert engine.columnar is None
+
+    def test_env_routing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_CORE", "object")
+        assert Engine(SKL).core == "object"
+
+    def test_object_core_still_populates_analysis_cache(self, blocks):
+        engine = Engine(SKL, core="object")
+        engine.predict_many(blocks, ThroughputMode.LOOP)
+        assert engine.cache.misses >= len(blocks)
+
+    def test_columnar_engine_equals_object_engine(self, blocks):
+        columnar = Engine(SKL, core="columnar")
+        reference = Engine(SKL, core="object")
+        for mode in MODES:
+            assert columnar.predict_many(blocks, mode) \
+                == reference.predict_many(blocks, mode)
+            for block in blocks:
+                assert columnar.predict(block, mode) \
+                    == reference.predict(block, mode)
+
+    def test_parallel_columnar_identical_to_serial(self, blocks):
+        serial = Engine(SKL, core="columnar")
+        expected = serial.predict_many(blocks, ThroughputMode.LOOP)
+        with Engine(SKL, core="columnar", n_workers=2) as engine:
+            assert engine.spec.core == "columnar"
+            assert engine.predict_many(blocks, ThroughputMode.LOOP) \
+                == expected
+
+    def test_variant_engines_route_through_columnar(self, blocks):
+        kwargs = dict(simple_predec=True, simple_dec=True,
+                      exclude=(Component.PORTS,))
+        reference = Facile(SKL, **kwargs)
+        engine = Engine(SKL, core="columnar", **kwargs)
+        assert isinstance(engine.predictor, ColumnarCore)
+        for mode in MODES:
+            assert engine.predict_many(blocks, mode) \
+                == reference.predict_many(blocks, mode)
+
+    def test_components_subset(self, blocks):
+        only = (Component.ISSUE, Component.PORTS)
+        reference = Facile(SKL, components=only)
+        core = ColumnarCore(SKL, components=only)
+        for block in blocks:
+            want = reference.predict(block, ThroughputMode.UNROLLED)
+            got = core.predict(block, ThroughputMode.UNROLLED)
+            assert want == got
+            assert set(got.bounds) == set(only)
+
+
+class TestMemoization:
+    def test_signature_sharing_across_payload_values(self):
+        core = ColumnarCore(SKL)
+        a = BasicBlock.from_asm("add rax, 100\nmov rbx, [rsi + 8]")
+        b = BasicBlock.from_asm("add rax, 101\nmov rbx, [rsi + 96]")
+        core.predict(a, ThroughputMode.LOOP)
+        stats = core.stats()
+        assert stats["misses"] == 1
+        core.predict(b, ThroughputMode.LOOP)
+        stats = core.stats()
+        assert stats["misses"] == 1  # warm signature, no recompile
+        assert stats["sig_hits"] == 1
+
+    def test_disp_zero_is_a_distinct_signature(self):
+        # disp == 0 changes the µop memory-component count, so it must
+        # not share an entry with disp != 0.
+        core = ColumnarCore(SKL)
+        with_disp = BasicBlock.from_asm("mov rbx, [rsi + 8]")
+        zero_disp = BasicBlock.from_asm("mov rbx, [rsi]")
+        core.predict(with_disp, ThroughputMode.LOOP)
+        core.predict(zero_disp, ThroughputMode.LOOP)
+        assert core.stats()["misses"] == 2
+        reference = Facile(SKL)
+        for block in (with_disp, zero_disp):
+            assert core.predict(block, ThroughputMode.LOOP) \
+                == reference.predict(block, ThroughputMode.LOOP)
+
+    def test_raw_lru_hit(self, blocks):
+        core = ColumnarCore(SKL)
+        core.predict(blocks[0], ThroughputMode.LOOP)
+        core.predict_raw(blocks[0].raw, ThroughputMode.LOOP)
+        assert core.stats()["raw_hits"] == 1
+
+    def test_max_entries_bound(self, blocks):
+        core = ColumnarCore(SKL, max_entries=4)
+        core.predict_many(blocks, ThroughputMode.LOOP)
+        assert core.stats()["entries"] <= 4
+        # Evicted entries recompile correctly.
+        assert core.predict(blocks[0], ThroughputMode.LOOP) \
+            == Facile(SKL).predict(blocks[0], ThroughputMode.LOOP)
+
+    def test_clear(self, blocks):
+        core = ColumnarCore(SKL)
+        core.predict_many(blocks, ThroughputMode.LOOP)
+        core.clear()
+        assert core.stats()["entries"] == 0
+        assert core.predict(blocks[0], ThroughputMode.LOOP) \
+            == Facile(SKL).predict(blocks[0], ThroughputMode.LOOP)
+
+    def test_max_entries_validation(self):
+        with pytest.raises(ValueError):
+            ColumnarCore(SKL, max_entries=0)
+
+    def test_predictions_are_fresh_objects(self, blocks):
+        core = ColumnarCore(SKL)
+        first = core.predict(blocks[0], ThroughputMode.LOOP)
+        second = core.predict(blocks[0], ThroughputMode.LOOP)
+        assert first == second
+        assert first.bounds is not second.bounds
+        assert first.bottlenecks is not second.bottlenecks
+        first.bounds.clear()
+        assert core.predict(blocks[0], ThroughputMode.LOOP) == second
+
+
+class TestErrors:
+    def test_decode_error_propagates_like_from_bytes(self):
+        core = ColumnarCore(SKL)
+        bogus = bytes.fromhex("060606")
+        with pytest.raises(Exception) as reference:
+            BasicBlock.from_bytes(bogus)
+        with pytest.raises(type(reference.value)):
+            core.predict_raw(bogus, ThroughputMode.LOOP)
+
+    def test_empty_raw_raises_value_error(self):
+        core = ColumnarCore(SKL)
+        with pytest.raises(ValueError):
+            core.predict_raw(b"", ThroughputMode.LOOP)
+
+    def test_unsupported_template_error_replays(self):
+        # AVX on Sandy Bridge is fine, but e.g. SKL-sampled templates
+        # may not exist everywhere; use a µarch/template mismatch.
+        from repro.uops.database import UnsupportedInstruction
+        block = BasicBlock.from_asm("popcnt rax, rbx")
+        old = uarch_by_name("SNB")
+        try:
+            Facile(old).predict(block, ThroughputMode.LOOP)
+        except UnsupportedInstruction:
+            core = ColumnarCore(old)
+            for _ in range(2):  # the stored error replays per call
+                with pytest.raises(UnsupportedInstruction):
+                    core.predict(block, ThroughputMode.LOOP)
+        else:
+            pytest.skip("popcnt supported on SNB in this table")
+
+
+def test_engine_batch_path_matches_reference_on_record(blocks):
+    engine = Engine(SKL, core="columnar")
+    results = engine.predict_many(blocks, ThroughputMode.LOOP,
+                                  on_error="record")
+    assert results == Facile(SKL).predict_many(blocks,
+                                               ThroughputMode.LOOP)

@@ -1,0 +1,208 @@
+"""Differential equivalence: the columnar core IS the object model.
+
+The columnar core's acceptance property is *bit-for-bit equality* with
+the :class:`~repro.core.model.Facile` reference on every block: equal
+``Prediction`` dataclasses (throughput, bounds, bottlenecks, detail
+payloads, critical indices — ``Prediction.__eq__`` compares all of it).
+This harness sweeps
+
+* every generator category × every µarch × both modes (deterministic
+  generated blocks, via ``predict``, ``predict_many`` and the
+  byte-level ``predict_raw`` entry points),
+* seeded property-based fuzz over the *whole template table* via the
+  discovery layer's abstract-block sampler (a fully-TOP abstraction
+  admits any instruction), 50 blocks in tier-1 and ≥500 under
+  ``-m slow`` (CI's columnar job).
+
+Payload-variant equality — blocks differing from a compiled signature
+only in displacement/immediate *values* — is covered separately, since
+that is the path where the columnar core answers from a warm entry the
+object model has never seen.
+"""
+
+import random
+
+import pytest
+
+from repro.bhive.categories import CATEGORIES
+from repro.bhive.generator import BlockGenerator
+from repro.core.components import ThroughputMode
+from repro.core.model import Facile
+from repro.discovery.abstraction import (
+    AbstractBlock,
+    AbstractInsn,
+    FEATURE_ORDER,
+    sample_block,
+)
+from repro.engine.columnar import ColumnarCore
+from repro.isa.block import BasicBlock
+from repro.uarch import ALL_UARCHS, uarch_by_name
+from repro.uops.database import UopsDatabase
+
+MODES = (ThroughputMode.UNROLLED, ThroughputMode.LOOP)
+
+#: Blocks per generator category in the category sweep.
+PER_CATEGORY = 4
+#: Fuzz volume: tier-1 smoke vs the full `-m slow` sweep.
+FUZZ_SMOKE = 50
+FUZZ_FULL = 500
+
+
+def category_blocks(seed=90):
+    """Deterministic (category, block) pairs covering every category
+    in both its unrolled and loop forms."""
+    generator = BlockGenerator(seed)
+    out = []
+    for category in CATEGORIES:
+        for _ in range(PER_CATEGORY):
+            block_u, block_l = generator.block_pair(category)
+            out.append((category.name, block_u))
+            out.append((category.name, block_l))
+    return out
+
+
+def assert_identical(reference, candidate, context):
+    """Full-dataclass equality plus the pieces whose diff is readable."""
+    assert reference.throughput == candidate.throughput, context
+    assert reference.bounds == candidate.bounds, context
+    assert reference.bottlenecks == candidate.bottlenecks, context
+    assert reference.fe_component == candidate.fe_component, context
+    assert reference.jcc_affected == candidate.jcc_affected, context
+    assert reference.lsd_applicable == candidate.lsd_applicable, context
+    assert reference.critical_instruction_indices \
+        == candidate.critical_instruction_indices, context
+    assert reference.ports_critical_indices \
+        == candidate.ports_critical_indices, context
+    assert reference == candidate, context
+
+
+@pytest.fixture(scope="module")
+def swept_blocks():
+    return category_blocks()
+
+
+@pytest.mark.parametrize("cfg", ALL_UARCHS, ids=lambda c: c.abbrev)
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+def test_every_category_every_uarch_every_mode(cfg, mode, swept_blocks):
+    reference = Facile(cfg)
+    columnar = ColumnarCore(cfg)
+    blocks = [block for _, block in swept_blocks]
+    expected = reference.predict_many(blocks, mode)
+    batched = columnar.predict_many(blocks, mode)
+    for (name, block), want, got in zip(swept_blocks, expected, batched):
+        context = f"{cfg.abbrev}/{mode.value}/{name}/{block.raw.hex()}"
+        assert_identical(want, got, context)
+        assert_identical(want, columnar.predict(block, mode), context)
+        assert_identical(want, columnar.predict_raw(block.raw, mode),
+                         context)
+    raw_batch = columnar.predict_raw_many([b.raw for b in blocks], mode)
+    for want, got in zip(expected, raw_batch):
+        assert want == got
+
+
+def test_payload_variants_hit_warm_signatures():
+    """Blocks that differ only in disp/imm *values* share a compiled
+    signature — and still match the object model exactly."""
+    cfg = uarch_by_name("SKL")
+    reference = Facile(cfg)
+    columnar = ColumnarCore(cfg)
+    rng = random.Random(41)
+    originals = [block for _, block in category_blocks(seed=91)]
+    columnar.predict_many(originals, ThroughputMode.LOOP)  # compile
+
+    checked = 0
+    for block in originals:
+        out = bytearray()
+        mutated = False
+        for instr in block:
+            raw = bytearray(instr.raw)
+            enc = instr.template.encoding
+            imm_len = enc.imm_width // 8 if enc.imm_width else 0
+            if imm_len and enc.fixed_bytes is None:
+                # Randomize all but the top imm byte (sign stays valid).
+                for i in range(len(raw) - imm_len, len(raw) - 1):
+                    raw[i] = rng.randrange(256)
+                mutated = True
+            out += raw
+        if not mutated:
+            continue
+        variant = bytes(out)
+        try:
+            rebuilt = BasicBlock.from_bytes(variant)
+        except Exception:
+            continue  # e.g. a relative branch whose target went wild
+        before = columnar.misses
+        got = columnar.predict_raw(variant, ThroughputMode.LOOP)
+        assert columnar.misses == before, "variant should not recompile"
+        assert_identical(reference.predict(rebuilt, ThroughputMode.LOOP),
+                         got, variant.hex())
+        checked += 1
+    assert checked >= 10  # the sweep actually exercised the warm path
+
+
+def fully_top_abstraction(n_insns):
+    insns = []
+    for _ in range(n_insns):
+        insn = AbstractInsn()
+        for name in FEATURE_ORDER:
+            insn.widen(name)
+        insns.append(insn)
+    return AbstractBlock(insns)
+
+
+def outcome(fn, *args):
+    """A comparable (ok, value-or-error-text) of a prediction call."""
+    try:
+        return True, fn(*args)
+    except Exception as exc:  # noqa: BLE001 - compared, not hidden
+        return False, f"{type(exc).__name__}: {exc}"
+
+
+def run_fuzz(n_blocks, seed):
+    """Sample *n_blocks* whole-template-table blocks and assert
+    identical per-block outcomes — predictions *and* errors (a sampled
+    template can be unsupported on an older µarch; the columnar core
+    must replay the reference failure, not hide it) — across every
+    µarch and both modes."""
+    sampler_db = UopsDatabase(uarch_by_name("SKL"))
+    rng = random.Random(seed)
+    blocks = []
+    while len(blocks) < n_blocks:
+        block = sample_block(fully_top_abstraction(rng.randint(1, 8)),
+                             rng, sampler_db)
+        if block is not None:
+            blocks.append(block)
+    for cfg in ALL_UARCHS:
+        reference = Facile(cfg)
+        columnar = ColumnarCore(cfg)
+        for mode in MODES:
+            supported = []
+            for block in blocks:
+                context = f"{cfg.abbrev}/{mode.value}/{block.raw.hex()}"
+                want_ok, want = outcome(reference.predict, block, mode)
+                got_ok, got = outcome(columnar.predict, block, mode)
+                raw_ok, via_raw = outcome(columnar.predict_raw,
+                                          block.raw, mode)
+                assert (want_ok, got_ok, raw_ok) \
+                    == (want_ok,) * 3, (context, want, got, via_raw)
+                if want_ok:
+                    assert_identical(want, got, context)
+                    assert want == via_raw, context
+                    supported.append((block, want))
+                else:
+                    assert want == got, context
+                    assert want == via_raw, context
+            if supported:
+                batch = columnar.predict_many(
+                    [b for b, _ in supported], mode)
+                for (_, want), got in zip(supported, batch):
+                    assert want == got
+
+
+def test_fuzz_smoke():
+    run_fuzz(FUZZ_SMOKE, seed=2023)
+
+
+@pytest.mark.slow
+def test_fuzz_full():
+    run_fuzz(FUZZ_FULL, seed=20230)

@@ -1,0 +1,124 @@
+"""Golden-file regression: both cores reproduce frozen predictions.
+
+``tests/data/golden_predictions.json`` freezes the full wire-format
+output (the ``facile predict`` / service serialization, exact fraction
+strings included) of a fixed 32-block corpus across µarchs and modes.
+Both prediction cores must reproduce it byte-for-byte — this catches
+silent drift in *either* path: a model change shows up as both cores
+moving together, a core bug as them splitting.
+
+To regenerate after an intentional model change::
+
+    PYTHONPATH=src python tests/engine/test_golden.py --regen
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bhive.categories import CATEGORIES
+from repro.bhive.generator import BlockGenerator
+from repro.core.components import ThroughputMode
+from repro.core.model import Facile
+from repro.engine.columnar import ColumnarCore
+from repro.isa.block import BasicBlock
+from repro.service import serialize
+from repro.uarch import uarch_by_name
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "data", "golden_predictions.json")
+
+#: (seed, µarch rotation) pinning the corpus; 32 blocks total.
+CORPUS_SEED = 2024
+CORPUS_UARCHS = ("SKL", "RKL", "HSW", "SNB")
+
+
+def build_corpus():
+    """The fixed corpus: (hex, uarch, mode) triples.
+
+    Generator blocks cover every category in both unrolled and loop
+    form; µarchs rotate so front-end differences (LSD, JCC erratum,
+    decoder widths) are all exercised.
+    """
+    generator = BlockGenerator(CORPUS_SEED)
+    corpus = []
+    index = 0
+    while len(corpus) < 32:
+        category = CATEGORIES[index % len(CATEGORIES)]
+        block_u, block_l = generator.block_pair(category)
+        uarch = CORPUS_UARCHS[index % len(CORPUS_UARCHS)]
+        corpus.append((block_u.raw.hex(), uarch, "unrolled"))
+        corpus.append((block_l.raw.hex(), uarch, "loop"))
+        index += 1
+    return corpus[:32]
+
+
+def predictor_for(core, cfg):
+    return ColumnarCore(cfg) if core == "columnar" else Facile(cfg)
+
+
+def compute_records(core):
+    """Serialized predictions of the corpus under one core."""
+    predictors = {}
+    records = []
+    for hexstr, uarch, mode_value in build_corpus():
+        if uarch not in predictors:
+            predictors[uarch] = predictor_for(core, uarch_by_name(uarch))
+        block = BasicBlock.from_bytes(bytes.fromhex(hexstr))
+        prediction = predictors[uarch].predict(
+            block, ThroughputMode(mode_value))
+        records.append(serialize.prediction_to_dict(prediction, block,
+                                                    uarch))
+    return records
+
+
+def load_golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def test_corpus_is_32_blocks():
+    assert len(build_corpus()) == 32
+    assert len({hexstr for hexstr, _, _ in build_corpus()}) == 32
+
+
+@pytest.mark.parametrize("core", ("object", "columnar"))
+def test_cores_reproduce_golden_predictions(core):
+    golden = load_golden()
+    records = compute_records(core)
+    assert len(records) == len(golden["records"]) == 32
+    for want, got in zip(golden["records"], records):
+        assert want == got, (core, want["block"]["hex"])
+
+
+def test_golden_file_is_canonical_json():
+    # The committed file is regenerable byte-for-byte (sorted keys,
+    # 2-space indent, trailing newline) so diffs stay reviewable.
+    with open(GOLDEN_PATH, "rb") as handle:
+        raw = handle.read()
+    assert raw == _dump(load_golden())
+
+
+def _dump(payload):
+    return (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+
+
+def _regen():
+    payload = {
+        "seed": CORPUS_SEED,
+        "uarchs": list(CORPUS_UARCHS),
+        "records": compute_records("object"),
+    }
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "wb") as handle:
+        handle.write(_dump(payload))
+    print(f"wrote {len(payload['records'])} records to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

@@ -227,7 +227,10 @@ class TestThroughAnalysisCache:
         db1 = UopsDatabase(SKL)
         cache1 = AnalysisCache(
             db1, persistent=PersistentAnalysisCache(path, "SKL"))
-        with Engine(SKL, db=db1, cache=cache1) as engine:
+        # The persistent layer is fed by the object core's analysis
+        # cache, so this round-trip pins core="object" (as the
+        # serving tier does).
+        with Engine(SKL, db=db1, cache=cache1, core="object") as engine:
             cold = engine.predict_many(blocks, ThroughputMode.LOOP)
             assert cache1.sync_persistent() > 0
             assert cache1.sync_persistent() == 0  # stable set: no-op
@@ -237,7 +240,7 @@ class TestThroughAnalysisCache:
         persistent = PersistentAnalysisCache(path, "SKL")
         assert persistent.loaded == len(blocks)
         cache2 = AnalysisCache(db2, persistent=persistent)
-        with Engine(SKL, db=db2, cache=cache2) as engine:
+        with Engine(SKL, db=db2, cache=cache2, core="object") as engine:
             warm = engine.predict_many(blocks, ThroughputMode.LOOP)
         assert cache2.disk_hits == len(blocks)
         assert persistent.disk_hits == len(blocks)

@@ -1,0 +1,95 @@
+"""Forward-compat: `.facc` logs and the columnar core coexist.
+
+The persistent analysis cache stores *object-path* artifacts (exported
+``BlockAnalysis`` payloads).  The columnar core does not read or write
+it — but a deployment that switches the engine default to columnar
+still carries `.facc` files written by earlier object-core runs, and
+the serving tier (object-pinned) keeps appending to them.  These tests
+pin the compatibility contract:
+
+* an old log loads cleanly and compacts while the process-default core
+  is columnar,
+* predictions served by a columnar engine over a warm persistent
+  object cache are byte-identical to the log's producer,
+* a compacted log round-trips back into an object-pinned engine.
+"""
+
+import pytest
+
+from repro.bhive.suite import BenchmarkSuite
+from repro.core.components import ThroughputMode
+from repro.engine.cache import AnalysisCache
+from repro.engine.engine import Engine
+from repro.engine.persist import PersistentAnalysisCache
+from repro.uarch import uarch_by_name
+from repro.uops.database import UopsDatabase
+
+SKL = uarch_by_name("SKL")
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    return [b.block_l for b in BenchmarkSuite.generate(8, seed=31)]
+
+
+@pytest.fixture()
+def old_log(blocks, tmp_path):
+    """A `.facc` written by an object-core engine (the 'old' deploy)."""
+    path = str(tmp_path / "SKL.facc")
+    db = UopsDatabase(SKL)
+    cache = AnalysisCache(db, persistent=PersistentAnalysisCache(path,
+                                                                 "SKL"))
+    with Engine(SKL, db=db, cache=cache, core="object") as engine:
+        golden = engine.predict_many(blocks, ThroughputMode.LOOP)
+        assert cache.sync_persistent() == len(blocks)
+    return path, golden
+
+
+def test_old_log_loads_under_columnar_default(old_log, blocks,
+                                              monkeypatch):
+    path, golden = old_log
+    monkeypatch.setenv("REPRO_ENGINE_CORE", "columnar")
+    persistent = PersistentAnalysisCache(path, "SKL")
+    assert persistent.loaded == len(blocks)
+    assert persistent.corrupt_records == 0
+    db = UopsDatabase(SKL)
+    cache = AnalysisCache(db, persistent=persistent)
+    with Engine(SKL, db=db, cache=cache) as engine:
+        assert engine.core == "columnar"
+        assert engine.predict_many(blocks, ThroughputMode.LOOP) == golden
+    # The columnar path never touched the persistent layer.
+    assert persistent.disk_hits == 0
+    assert cache.disk_hits == 0
+
+
+def test_compaction_with_columnar_active(old_log, blocks, monkeypatch):
+    path, golden = old_log
+    monkeypatch.setenv("REPRO_ENGINE_CORE", "columnar")
+    # Append a second generation of the same working set: the log now
+    # carries duplicates worth compacting.
+    db = UopsDatabase(SKL)
+    persistent = PersistentAnalysisCache(path, "SKL")
+    cache = AnalysisCache(db, persistent=persistent)
+    with Engine(SKL, db=db, cache=cache, core="object") as engine:
+        engine.predict_many(blocks, ThroughputMode.LOOP)
+        cache.sync_persistent()
+    persistent.compact()
+    assert persistent.corrupt_records == 0
+
+    # Reload the compacted file while the columnar default is active
+    # and serve through both cores: bytes must match the producer.
+    reloaded = PersistentAnalysisCache(path, "SKL")
+    assert reloaded.loaded == len(blocks)
+    db2 = UopsDatabase(SKL)
+    cache2 = AnalysisCache(db2, persistent=reloaded)
+    with Engine(SKL, db=db2, cache=cache2) as columnar_engine:
+        assert columnar_engine.core == "columnar"
+        assert columnar_engine.predict_many(blocks,
+                                            ThroughputMode.LOOP) == golden
+    db3 = UopsDatabase(SKL)
+    cache3 = AnalysisCache(db3,
+                           persistent=PersistentAnalysisCache(path,
+                                                              "SKL"))
+    with Engine(SKL, db=db3, cache=cache3, core="object") as engine:
+        assert engine.predict_many(blocks, ThroughputMode.LOOP) == golden
+        assert cache3.disk_hits == len(blocks)  # served from the log

@@ -104,12 +104,14 @@ class TestTypedFailures:
     def test_serial_record_path_degrades_one_slot(self, blocks,
                                                   monkeypatch):
         engine = Engine(SKL)
-        real = engine.model.predict
+        # The serial path predicts through whichever core the engine
+        # resolved (columnar by default), so inject there.
+        real = engine.predictor.predict
         def flaky(block, mode):
             if block.raw == blocks[3].raw:
                 raise RuntimeError("boom")
             return real(block, mode)
-        monkeypatch.setattr(engine.model, "predict", flaky)
+        monkeypatch.setattr(engine.predictor, "predict", flaky)
         results = engine.predict_many(blocks, MODE, on_error="record")
         assert isinstance(results[3], PredictorError)
         assert results[3].kind == "exception"

@@ -1,0 +1,60 @@
+"""Regression: /stats persistent counters under --no-shard.
+
+The sharded path flushes each shard's persistent analysis cache after
+every worker batch, so its ``/stats`` ``cache.persistent`` counters are
+always live.  The in-process ``--no-shard`` engine only synced at
+``close()`` and ``warm()``, so a running no-shard service with a
+persistent cache reported stale (all-zero) ``stores`` for its whole
+lifetime — and ``disk_hits`` after restart showed the same lag.  The
+``_PersistentSyncEngine`` batcher backend gives the no-shard path the
+sharded path's per-batch flush; these tests pin the live-read behavior
+on both sides of a restart.
+"""
+
+import pytest
+
+from repro.bhive.suite import BenchmarkSuite
+from repro.service import PredictionService, ServiceClient
+
+
+@pytest.fixture(scope="module")
+def hexes():
+    suite = BenchmarkSuite.generate(6, seed=23)
+    return [b.block_l.raw.hex() for b in suite]
+
+
+def test_noshard_persistent_counters_are_live(hexes, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+
+    with PredictionService(uarch="SKL", port=0, shard=False,
+                           cache_dir=cache_dir) as service:
+        client = ServiceClient(port=service.port)
+        first = client.predict_bulk(hexes, mode="loop")
+        # Read /stats while the service is running: before the fix the
+        # persistent counters were only synced at close(), so a live
+        # read saw stores == 0 here.
+        cache = client.stats()["uarchs"]["SKL"]["cache"]
+        persistent = cache["persistent"]
+        assert persistent["loaded"] == 0  # cold start
+        assert persistent["stores"] == len(hexes)
+        assert cache["misses"] >= len(hexes)
+
+    with PredictionService(uarch="SKL", port=0, shard=False,
+                           cache_dir=cache_dir) as service:
+        client = ServiceClient(port=service.port)
+        second = client.predict_bulk(hexes, mode="loop")
+        cache = client.stats()["uarchs"]["SKL"]["cache"]
+        assert cache["persistent"]["loaded"] == len(hexes)
+        assert cache["disk_hits"] == len(hexes)
+        assert cache["persistent"]["stores"] == 0  # stable set: no-op
+    assert second.data == first.data
+
+
+def test_noshard_without_persistent_uses_plain_engine(hexes):
+    # No cache_dir: the wrapper must stay out of the path (no
+    # persistent layer to sync), and /stats has no persistent entry.
+    with PredictionService(uarch="SKL", port=0, shard=False) as service:
+        client = ServiceClient(port=service.port)
+        client.predict_bulk(hexes, mode="loop")
+        cache = client.stats()["uarchs"]["SKL"]["cache"]
+        assert "persistent" not in cache
