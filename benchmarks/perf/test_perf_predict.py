@@ -48,7 +48,7 @@ def payload():
 def test_payload_structure(payload):
     from repro.eval.timing import VARIANT_PASSES
 
-    assert payload["schema"] == 3
+    assert payload["schema"] == 4
     assert payload["suite"] == {"size": SIZE,
                                 "seed": bench_mod.DEFAULT_SEED}
     for abbrev in bench_mod.DEFAULT_UARCHS:
@@ -57,6 +57,10 @@ def test_payload_structure(payload):
             assert set(by_path) == set(bench_mod.PATHS)
             for path, numbers in by_path.items():
                 assert numbers["blocks_per_sec"] > 0
+                # Schema 4: the observability record rides along.
+                assert numbers["peak_rss_kb"] is None \
+                    or numbers["peak_rss_kb"] > 0
+                assert isinstance(numbers["metrics"], dict)
                 # The single paths time the payload-variant stream
                 # (VARIANT_PASSES never-seen copies of the suite); the
                 # batch paths time the suite itself.

@@ -17,6 +17,12 @@ Checks, over ``README.md`` and every ``docs/*.md``:
    `` `METHOD /path` `` token (and no documented route is unserved),
    and every v1 error code in ``repro.service.serialize.ERROR_CODES``
    appears as a ``| `code` | status |`` table row (and vice versa).
+4. **Metrics conformance** — the observability reference
+   ``docs/OBSERVABILITY.md`` agrees with the code's metric catalog
+   (``repro.obs.metrics.METRIC_CATALOG``) in both directions: every
+   catalogued metric name appears as a backticked ``facile_*`` token,
+   and every backticked ``facile_*`` token names a catalogued metric
+   (a doc cannot advertise a metric the registry never exports).
 
 Run directly (exits non-zero and lists problems on failure)::
 
@@ -145,6 +151,33 @@ def api_conformance_problems(root: str = REPO_ROOT) -> List[str]:
     return problems
 
 
+#: Backticked metric tokens in OBSERVABILITY.md: `facile_x_total`,
+#: `facile_span_duration_ms{span=...}` (label hints are stripped).
+METRIC_TOKEN_RE = re.compile(r"`(facile_[a-z0-9_]+)(?:\{[^`]*\})?`")
+
+
+def metrics_conformance_problems(root: str = REPO_ROOT) -> List[str]:
+    """Drift between ``docs/OBSERVABILITY.md`` and the metric catalog."""
+    obs_md = os.path.join(root, "docs", "OBSERVABILITY.md")
+    if not os.path.exists(obs_md):
+        return ["docs/OBSERVABILITY.md is missing "
+                "(the observability reference)"]
+    sys.path.insert(0, os.path.join(root, "src"))
+    from repro.obs.metrics import METRIC_CATALOG
+
+    with open(obs_md, encoding="utf-8") as handle:
+        text = handle.read()
+    problems = []
+    documented = set(METRIC_TOKEN_RE.findall(text))
+    for name in sorted(set(METRIC_CATALOG) - documented):
+        problems.append(f"docs/OBSERVABILITY.md: catalogued metric "
+                        f"`{name}` is undocumented")
+    for name in sorted(documented - set(METRIC_CATALOG)):
+        problems.append(f"docs/OBSERVABILITY.md: documents `{name}`, "
+                        "which is not in the metric catalog")
+    return problems
+
+
 def run_checks(root: str = REPO_ROOT) -> List[str]:
     """All problems found across the documentation set (empty = pass)."""
     problems = []
@@ -164,6 +197,7 @@ def run_checks(root: str = REPO_ROOT) -> List[str]:
                 f"README.md: CLI subcommand {name!r} is undocumented "
                 f"(expected the text 'facile {name}')")
     problems.extend(api_conformance_problems(root))
+    problems.extend(metrics_conformance_problems(root))
     return problems
 
 

@@ -25,7 +25,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+import time
+from typing import Callable, List, Optional
 
 from repro.bhive.suite import default_suite
 from repro.discovery import (
@@ -59,7 +60,26 @@ from repro.engine import bench as bench_mod
 from repro.engine.columnar import ColumnarCore, resolve_core
 from repro.eval import figures, tables
 from repro.isa.block import BasicBlock
+from repro.obs import log as obslog
+from repro.obs import metrics
 from repro.uarch import ALL_UARCHS, uarch_by_name
+
+#: Heartbeats (hunt/bench progress on stderr) fire at most this often.
+HEARTBEAT_INTERVAL_SEC = 2.0
+
+
+def _apply_log_level(args: argparse.Namespace) -> None:
+    """Honor ``--log-level`` (overrides ``REPRO_LOG``) when present."""
+    level = getattr(args, "log_level", None)
+    if level is not None:
+        obslog.set_level(level)
+
+
+def _add_log_level_arg(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--log-level", choices=sorted(obslog.LEVELS),
+                     default=None,
+                     help="structured-log threshold on stderr "
+                          "(overrides REPRO_LOG; default info)")
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
@@ -172,6 +192,7 @@ def _cmd_figure6(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the perf harness, persist BENCH_predict.json, gate regressions."""
+    _apply_log_level(args)
     # Read the baseline before the run: output and baseline default to
     # the same committed file, which the run overwrites.
     baseline = bench_mod.load_bench_json(args.baseline) if args.check \
@@ -228,6 +249,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the HTTP prediction service until interrupted."""
     from repro.service.server import PredictionService
 
+    _apply_log_level(args)
+    logger = obslog.get_logger("serve")
     try:
         uarch_by_name(args.uarch)
     except KeyError:
@@ -254,24 +277,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             service.close()
             return 2
-        print(f"facile serve: warmed {warmed} (block, mode) pairs "
-              f"from {args.warm}")
+        logger.info("warmed", pairs=warmed, corpus=args.warm)
     # Report the *effective* worker count: with --workers omitted the
     # engines inherit the process-wide default (REPRO_ENGINE_WORKERS /
     # set_default_workers), which the service resolves at construction.
-    workers = ("serial" if service.n_workers is None
-               else f"{service.n_workers} workers"
-               if service.n_workers else "one worker per CPU")
-    print(f"facile serve: http://{service.host}:{service.port}  "
-          f"(default µarch {args.uarch}, {workers}, "
-          f"micro-batch <= {args.max_batch} / {args.max_wait_ms} ms)")
-    print("endpoints: GET /v1/health /v1/stats; "
-          "POST /v1/predict /v1/predict/bulk /v1/compare  "
-          "(+ deprecated unversioned routes; docs/SERVICE.md)")
+    # The ``serving`` event is the machine-readable startup banner —
+    # scripts (scripts/obs_smoke.py) parse it off stderr for the bound
+    # port, so its field names are part of the observable surface.
+    logger.info("serving",
+                url=f"http://{service.host}:{service.port}",
+                host=service.host, port=service.port,
+                uarch=args.uarch,
+                workers=service.n_workers,
+                max_batch=args.max_batch,
+                max_wait_ms=args.max_wait_ms,
+                endpoints="GET /v1/health /v1/stats /v1/metrics; "
+                          "POST /v1/predict /v1/predict/bulk "
+                          "/v1/compare (+ deprecated unversioned "
+                          "routes; docs/SERVICE.md)")
     try:
         service.serve_forever()
     except KeyboardInterrupt:
-        print("\nshutting down")
+        logger.info("shutdown", reason="keyboard_interrupt")
     finally:
         service.close()
     return 0
@@ -293,8 +320,45 @@ def _load_known(path: Optional[str]):
     return load_known_families(report)
 
 
+def _hunt_heartbeat(uarchs: List[str]) -> Callable[[], None]:
+    """A rate-limited campaign progress hook (structured, stderr-only).
+
+    Reads the metrics registry the campaign increments anyway; counters
+    are deltas against campaign start because the process-wide registry
+    accumulates across runs.  stdout never sees a heartbeat — the hunt
+    report there is byte-compared by CI.
+    """
+    logger = obslog.get_logger("hunt")
+    started = time.monotonic()
+
+    def totals() -> tuple:
+        blocks = sum(metrics.counter_value(
+            "facile_hunt_blocks_evaluated_total", uarch=u)
+            for u in uarchs)
+        deviations = sum(metrics.counter_value(
+            "facile_hunt_deviations_total", uarch=u) for u in uarchs)
+        return blocks, deviations
+
+    base_blocks, base_deviations = totals()
+    last = [started]
+
+    def heartbeat() -> None:
+        now = time.monotonic()
+        if now - last[0] < HEARTBEAT_INTERVAL_SEC:
+            return
+        last[0] = now
+        blocks, deviations = totals()
+        logger.info("hunt_progress",
+                    blocks_evaluated=int(blocks - base_blocks),
+                    deviations=int(deviations - base_deviations),
+                    elapsed_sec=round(now - started, 1))
+
+    return heartbeat
+
+
 def _cmd_hunt(args: argparse.Namespace) -> int:
     """Run a deviation-discovery campaign (see docs/DISCOVERY.md)."""
+    _apply_log_level(args)
     modes = (("unrolled", "loop") if args.mode == "both"
              else (args.mode,))
     config = CampaignConfig(
@@ -340,11 +404,14 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
     except (CheckpointError, ValueError) as exc:
         print(f"facile hunt: {exc}", file=sys.stderr)
         return 2
+    progress = None if args.quiet else _hunt_heartbeat(
+        list(config.uarchs))
     interrupted = False
     try:
         result = run_campaign(config, checkpoint=checkpoint,
                               known=known,
-                              coverage_corpus=args.coverage)
+                              coverage_corpus=args.coverage,
+                              progress=progress)
     except CampaignInterrupted as exc:
         result = exc.result
         interrupted = True
@@ -516,6 +583,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "fork)")
     bench.add_argument("--no-service", action="store_true",
                        help="skip the service-path measurement")
+    _add_log_level_arg(bench)
     bench.set_defaults(func=_cmd_bench)
 
     serve = sub.add_parser(
@@ -552,6 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="keep engines in-process instead of "
                             "per-µarch worker shards (debugging / "
                             "fork-hostile environments)")
+    _add_log_level_arg(serve)
     serve.set_defaults(func=_cmd_serve)
 
     hunt = sub.add_parser(
@@ -603,6 +672,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "to an uninterrupted run")
     hunt.add_argument("--out", default=None,
                       help="write the canonical JSON report here")
+    hunt.add_argument("--quiet", action="store_true",
+                      help="suppress the periodic progress heartbeats "
+                           "on stderr (the stdout report is identical "
+                           "either way)")
+    _add_log_level_arg(hunt)
     _add_generalize_args(hunt, standalone=False)
     hunt.set_defaults(func=_cmd_hunt)
 

@@ -32,7 +32,7 @@ part of the campaign report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import GuardedPredictor, all_predictors, \
     predictor_names
@@ -67,6 +67,7 @@ from repro.discovery.subsumption import KnownFamily
 from repro.engine.engine import Engine, measure_many
 from repro.isa.assembler import assemble
 from repro.isa.block import BasicBlock
+from repro.obs import metrics
 from repro.robustness.errors import CircuitOpenError
 from repro.sim.measure import measure
 from repro.uarch import uarch_by_name
@@ -84,6 +85,24 @@ DEFAULT_MUTATION_RATE = 0.3
 DEFAULT_MAX_WITNESSES = 20
 
 _CATEGORY_BY_NAME: Dict[str, Category] = {c.name: c for c in CATEGORIES}
+
+#: Campaign progress counters — purely observational (the CLI heartbeat
+#: reads them); campaign results never depend on the registry.
+_BLOCKS_EVALUATED = metrics.counter(
+    "facile_hunt_blocks_evaluated_total",
+    metrics.METRIC_CATALOG["facile_hunt_blocks_evaluated_total"][1],
+    labels=("uarch",))
+_DEVIATIONS = metrics.counter(
+    "facile_hunt_deviations_total",
+    metrics.METRIC_CATALOG["facile_hunt_deviations_total"][1],
+    labels=("uarch",))
+
+#: A progress hook: called (with no arguments) after every evaluation
+#: batch, from the campaign thread.  Hooks read the metrics registry
+#: for the numbers; exceptions they raise propagate (a heartbeat must
+#: never silently corrupt a campaign, so hooks are expected to be
+#: trivial and total).
+ProgressHook = Callable[[], None]
 
 
 @dataclass(frozen=True)
@@ -262,8 +281,10 @@ class _Evaluator:
 
     def __init__(self, abbrev: str, predictors: Sequence[str],
                  n_workers: Optional[int],
-                 checkpoint: Optional[CheckpointStore] = None):
+                 checkpoint: Optional[CheckpointStore] = None,
+                 progress: Optional[ProgressHook] = None):
         self.abbrev = abbrev
+        self.progress = progress
         self.cfg = uarch_by_name(abbrev)
         self.db = UopsDatabase(self.cfg)
         self.n_workers = n_workers
@@ -366,6 +387,9 @@ class _Evaluator:
         if not blocks:
             return []
         self.blocks_evaluated += len(blocks)
+        _BLOCKS_EVALUATED.inc(len(blocks), uarch=self.abbrev)
+        if self.progress is not None:
+            self.progress()
         if self.checkpoint is None:
             return self._compute(blocks, mode)
         results: List[Optional[Dict[str, float]]] = [None] * len(blocks)
@@ -443,6 +467,7 @@ def _hunt_uarch(abbrev: str, config: CampaignConfig,
                 checkpoint: Optional[CheckpointStore] = None,
                 known: Sequence[KnownFamily] = (),
                 corpus_blocks: Optional[List] = None,
+                progress: Optional[ProgressHook] = None,
                 ) -> Tuple[List[Witness], Dict[str, int],
                            List[Dict[str, object]], List[Family],
                            List[Dict[str, object]]]:
@@ -455,7 +480,7 @@ def _hunt_uarch(abbrev: str, config: CampaignConfig,
     over *corpus_blocks*.
     """
     evaluator = _Evaluator(abbrev, config.predictors, config.n_workers,
-                           checkpoint=checkpoint)
+                           checkpoint=checkpoint, progress=progress)
     try:
         # Each µarch restarts the generator from the campaign seed, so
         # every µarch hunts over the same candidate corpus and µarchs
@@ -499,6 +524,10 @@ def _hunt_uarch(abbrev: str, config: CampaignConfig,
         deviations = [entry for entry in scored
                       if entry[2].score >= config.threshold]
         deviations.sort(key=lambda e: (-e[2].score, e[0].index))
+        if deviations:
+            _DEVIATIONS.inc(len(deviations), uarch=abbrev)
+        if progress is not None:
+            progress()
 
         witnesses: List[Witness] = []
         seen = set()
@@ -584,6 +613,7 @@ def run_campaign(config: CampaignConfig,
                  checkpoint: Optional[CheckpointStore] = None,
                  known: Sequence[KnownFamily] = (),
                  coverage_corpus: Optional[str] = None,
+                 progress: Optional[ProgressHook] = None,
                  ) -> CampaignResult:
     """Run a full deviation-discovery campaign.
 
@@ -634,7 +664,8 @@ def run_campaign(config: CampaignConfig,
                 uarch_families, uarch_subsumed = \
                 _hunt_uarch(abbrev, config, modes,
                             checkpoint=checkpoint, known=known,
-                            corpus_blocks=corpus_blocks)
+                            corpus_blocks=corpus_blocks,
+                            progress=progress)
             witnesses.extend(uarch_witnesses)
             stats[abbrev] = uarch_stats
             incidents.extend(uarch_incidents)

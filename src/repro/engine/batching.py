@@ -34,6 +34,7 @@ Overload behavior (see ``docs/ROBUSTNESS.md``):
 
 from __future__ import annotations
 
+import inspect
 import math
 import threading
 import time
@@ -43,14 +44,23 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.components import ThroughputMode
 from repro.core.model import Prediction
 from repro.isa.block import BasicBlock
+from repro.obs import metrics
+from repro.obs.trace import Span
 from repro.robustness.errors import DeadlineExceeded, QueueFullError
 
 #: Default batching window (requests / milliseconds).
 DEFAULT_MAX_BATCH = 64
 DEFAULT_MAX_WAIT_MS = 5.0
 
-#: One queued request: block, mode, future, optional deadline.
-_Entry = Tuple[BasicBlock, ThroughputMode, Future, Optional[float]]
+#: One queued request: block, mode, future, optional deadline, and the
+#: trace id of the originating request (``None`` outside the service).
+_Entry = Tuple[BasicBlock, ThroughputMode, Future, Optional[float],
+               Optional[str]]
+
+_WINDOW_SIZE = metrics.histogram(
+    "facile_batch_window_size",
+    metrics.METRIC_CATALOG["facile_batch_window_size"][1],
+    labels=("uarch",), buckets=metrics.SIZE_BUCKETS)
 
 
 class MicroBatcher:
@@ -68,6 +78,12 @@ class MicroBatcher:
             ``None`` keeps the queue unbounded (the pre-robustness
             behavior).  Submits beyond the bound shed load by raising
             :class:`QueueFullError`.
+        obs_label: when set (the service passes its µarch abbrev),
+            dispatched window sizes are observed into the
+            ``facile_batch_window_size`` histogram and each engine call
+            is timed as a ``batcher.dispatch`` span.  ``None`` (the
+            default) keeps the batcher entirely unobserved — library
+            and test use adds no metrics work.
 
     Use as a context manager or call :meth:`close`; submitting to a
     closed batcher raises :class:`RuntimeError`, while requests already
@@ -77,7 +93,8 @@ class MicroBatcher:
 
     def __init__(self, engine, *, max_batch: int = DEFAULT_MAX_BATCH,
                  max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
-                 max_queue: Optional[int] = None):
+                 max_queue: Optional[int] = None,
+                 obs_label: Optional[str] = None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait_ms < 0:
@@ -88,6 +105,15 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self.max_queue = max_queue
+        self.obs_label = obs_label
+        # Feature-detect once whether the backend accepts per-block
+        # trace ids (ShardEngine does, a plain Engine does not), so
+        # dispatch never pays a try/except per window.
+        try:
+            self._engine_accepts_traces = "traces" in inspect.signature(
+                engine.predict_many).parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            self._engine_accepts_traces = False
         self._lock = threading.Lock()
         self._pending_cond = threading.Condition(self._lock)
         self._pending: List[_Entry] = []
@@ -117,7 +143,8 @@ class MicroBatcher:
             windows * (self.max_wait_ms / 1000.0))))
 
     def submit(self, block: BasicBlock, mode: ThroughputMode,
-               deadline: Optional[float] = None) -> "Future[Prediction]":
+               deadline: Optional[float] = None,
+               trace: Optional[str] = None) -> "Future[Prediction]":
         """Enqueue one prediction request; resolves to a ``Prediction``.
 
         Args:
@@ -125,13 +152,16 @@ class MicroBatcher:
                 passes before the request is dispatched, the future
                 fails with :class:`DeadlineExceeded` instead of
                 occupying the engine.
+            trace: optional trace id of the originating request, carried
+                to the engine backend when it accepts one.
         """
-        futures = self._submit_all([(block, mode, deadline)])
+        futures = self._submit_all([(block, mode, deadline, trace)])
         return futures[0]
 
     def submit_many(self, blocks: Sequence[BasicBlock],
                     mode: ThroughputMode,
-                    deadline: Optional[float] = None
+                    deadline: Optional[float] = None,
+                    trace: Optional[str] = None
                     ) -> List["Future[Prediction]"]:
         """Enqueue many requests atomically; one future per block.
 
@@ -141,12 +171,13 @@ class MicroBatcher:
         :meth:`predict_many`, used by the async service front-end to
         await batched predictions without tying up a thread per bulk.
         """
-        return self._submit_all([(block, mode, deadline)
+        return self._submit_all([(block, mode, deadline, trace)
                                  for block in blocks])
 
     def _submit_all(self, requests: Sequence[Tuple[BasicBlock,
                                                    ThroughputMode,
-                                                   Optional[float]]]
+                                                   Optional[float],
+                                                   Optional[str]]]
                     ) -> List["Future[Prediction]"]:
         """Admit *requests* atomically: either the queue takes them
         all, or none and :class:`QueueFullError` — a bulk request is
@@ -166,9 +197,10 @@ class MicroBatcher:
                         math.ceil(max(1, backlog) / self.max_batch)
                         * (self.max_wait_ms / 1000.0))))
             futures: List["Future[Prediction]"] = []
-            for block, mode, deadline in requests:
+            for block, mode, deadline, trace in requests:
                 future: "Future[Prediction]" = Future()
-                self._pending.append((block, mode, future, deadline))
+                self._pending.append((block, mode, future, deadline,
+                                      trace))
                 futures.append(future)
             self.requests += len(requests)
             self._pending_cond.notify()
@@ -194,7 +226,7 @@ class MicroBatcher:
         preserve input order.
         """
         futures = self._submit_all(
-            [(block, mode, deadline) for block in blocks])
+            [(block, mode, deadline, None) for block in blocks])
         return [future.result(timeout=timeout) for future in futures]
 
     # -- lifecycle -----------------------------------------------------
@@ -273,19 +305,36 @@ class MicroBatcher:
         self.batches += 1
         self.batched_requests += len(live)
         self.max_batch_seen = max(self.max_batch_seen, len(live))
-        groups: Dict[ThroughputMode, List[Tuple[BasicBlock, Future]]] = {}
-        for block, mode, future, _ in live:
-            groups.setdefault(mode, []).append((block, future))
+        if self.obs_label is not None:
+            _WINDOW_SIZE.observe(len(live), uarch=self.obs_label)
+        groups: Dict[ThroughputMode,
+                     List[Tuple[BasicBlock, Future, Optional[str]]]] = {}
+        for block, mode, future, _, trace in live:
+            groups.setdefault(mode, []).append((block, future, trace))
         for mode, entries in groups.items():
+            blocks = [block for block, _, _ in entries]
             try:
-                predictions = self.engine.predict_many(
-                    [block for block, _ in entries], mode)
+                if self._engine_accepts_traces:
+                    traces = [trace for _, _, trace in entries]
+                    if self.obs_label is not None:
+                        with Span("batcher.dispatch"):
+                            predictions = self.engine.predict_many(
+                                blocks, mode, traces=traces)
+                    else:
+                        predictions = self.engine.predict_many(
+                            blocks, mode, traces=traces)
+                elif self.obs_label is not None:
+                    with Span("batcher.dispatch"):
+                        predictions = self.engine.predict_many(blocks,
+                                                               mode)
+                else:
+                    predictions = self.engine.predict_many(blocks, mode)
             except Exception as exc:  # pragma: no cover - engine failure
-                for _, future in entries:
+                for _, future, _ in entries:
                     if not future.done():
                         future.set_exception(exc)
                 continue
-            for (_, future), prediction in zip(entries, predictions):
+            for (_, future, _), prediction in zip(entries, predictions):
                 if not future.done():
                     future.set_result(prediction)
 

@@ -24,13 +24,15 @@ Reading ``BENCH_predict.json``
 ------------------------------
 
 The file is written by ``scripts/bench.py`` (and by the pytest harness
-under ``benchmarks/perf/``).  Layout (schema 3 renamed the old
-object-path ``single`` to ``single_object``, retargeted ``single`` at
-the columnar core over the variant stream, and rebased all speedups on
-``single_object``; schema 2 added the service latency percentiles)::
+under ``benchmarks/perf/``).  Layout (schema 4 added the per-path
+``peak_rss_kb`` high-water mark and ``metrics`` counter-delta record;
+schema 3 renamed the old object-path ``single`` to ``single_object``,
+retargeted ``single`` at the columnar core over the variant stream, and
+rebased all speedups on ``single_object``; schema 2 added the service
+latency percentiles)::
 
     {
-      "schema": 3,
+      "schema": 4,
       "suite": {"size": ..., "seed": ...},
       "workers": ...,            # pool size of the parallel path
       "service_clients": ...,    # concurrent clients of the service path
@@ -38,7 +40,10 @@ the columnar core over the variant stream, and rebased all speedups on
       "results": {
         "<uarch>": {
           "<mode>": {
-            "<path>": {"blocks_per_sec": ..., "seconds": ..., "n_blocks": ...},
+            "<path>": {"blocks_per_sec": ..., "seconds": ...,
+                       "n_blocks": ...,
+                       "peak_rss_kb": ...,   # peak RSS when the path ended
+                       "metrics": {...}},    # registry counters it moved
             "service": {..., "p50_ms": ..., "p99_ms": ...}
           }
         }
@@ -50,6 +55,12 @@ the columnar core over the variant stream, and rebased all speedups on
                                 "service_vs_single_object": ...}}
       }
     }
+
+``peak_rss_kb`` is the *process* high-water mark at the moment a path
+finished (``ru_maxrss``), so later paths report equal-or-larger values;
+``metrics`` is the flat counter delta (``name{labels}`` -> movement)
+the path produced in the observability registry.  Both are bench-record
+extras: the regression gate reads ``blocks_per_sec`` only.
 
 ``single_vs_single_object`` is the headline number: how much faster the
 columnar core predicts *never-seen* blocks than the pre-engine per-call
@@ -76,7 +87,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bhive.suite import BenchmarkSuite
 from repro.core.components import ThroughputMode
-from repro.eval.timing import time_prediction_paths
+from repro.eval.timing import peak_rss_kb, time_prediction_paths
+from repro.obs import log as obslog
+from repro.obs import metrics
 from repro.uarch import uarch_by_name
 
 #: Default harness parameters (fixed seed: the suite must be identical
@@ -93,6 +106,11 @@ DEFAULT_SERVICE_CLIENTS = 8
 #: Paths measured by the harness.
 PATHS = ("single", "single_object", "cached", "parallel", "service")
 
+_PATHS_MEASURED = metrics.counter(
+    "facile_bench_paths_total",
+    metrics.METRIC_CATALOG["facile_bench_paths_total"][1],
+    labels=("path",))
+
 
 def run_perf_harness(size: int = DEFAULT_SIZE, seed: int = DEFAULT_SEED,
                      uarchs: Sequence[str] = DEFAULT_UARCHS,
@@ -106,6 +124,7 @@ def run_perf_harness(size: int = DEFAULT_SIZE, seed: int = DEFAULT_SEED,
     modes = (list(modes) if modes is not None
              else [ThroughputMode.UNROLLED, ThroughputMode.LOOP])
     suite = BenchmarkSuite.generate(size, seed)
+    logger = obslog.get_logger("bench")
 
     results: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = {}
     speedups: Dict[str, Dict[str, Dict[str, float]]] = {}
@@ -114,18 +133,38 @@ def run_perf_harness(size: int = DEFAULT_SIZE, seed: int = DEFAULT_SEED,
         results[abbrev] = {}
         speedups[abbrev] = {}
         for mode in modes:
+            def path_done(path: str, _abbrev=abbrev,
+                          _mode=mode.value) -> None:
+                _PATHS_MEASURED.inc(path=path)
+                logger.info("bench_progress", uarch=_abbrev, mode=_mode,
+                            path=path, paths_measured=int(
+                                metrics.counter_value(
+                                    "facile_bench_paths_total",
+                                    path=path)))
+
             timings = time_prediction_paths(
                 cfg, suite, mode, workers=workers,
-                include_parallel=include_parallel)
+                include_parallel=include_parallel,
+                progress=path_done)
             service_latency = None
             if include_service:
+                counters = metrics.REGISTRY.counters_flat()
                 timings["service"], service_latency = time_service_path(
                     cfg, suite, mode, clients=service_clients)
+                timings["service"].metrics = {
+                    key: round(value - counters.get(key, 0.0), 6)
+                    for key, value in sorted(
+                        metrics.REGISTRY.counters_flat().items())
+                    if value != counters.get(key, 0.0)}
+                timings["service"].peak_rss_kb = peak_rss_kb()
+                path_done("service")
             results[abbrev][mode.value] = {
                 path: {
                     "blocks_per_sec": round(t.blocks_per_sec, 2),
                     "seconds": round(t.seconds, 6),
                     "n_blocks": t.n_blocks,
+                    "peak_rss_kb": t.peak_rss_kb,
+                    "metrics": t.metrics,
                 }
                 for path, t in timings.items()
             }
@@ -145,7 +184,7 @@ def run_perf_harness(size: int = DEFAULT_SIZE, seed: int = DEFAULT_SEED,
             speedups[abbrev][mode.value] = mode_speedups
 
     return {
-        "schema": 3,
+        "schema": 4,
         "suite": {"size": size, "seed": seed},
         "workers": workers,
         "service_clients": (service_clients if include_service else None),

@@ -54,6 +54,8 @@ from repro.core.model import Facile, Prediction
 from repro.engine.cache import AnalysisCache
 from repro.engine.columnar import ColumnarCore, resolve_core
 from repro.isa.block import BasicBlock
+from repro.obs import log as obslog
+from repro.obs import metrics
 from repro.robustness.errors import EngineTaskError, PredictorError
 from repro.robustness.faults import act_in_worker, active_plan
 from repro.uarch import uarch_by_name
@@ -62,6 +64,16 @@ from repro.uops.database import UopsDatabase
 
 #: Both throughput notions, in evaluation order.
 ALL_MODES = (ThroughputMode.UNROLLED, ThroughputMode.LOOP)
+
+# Recovery events as process-wide counters (docs/OBSERVABILITY.md).
+# Only the cold recovery paths touch these — never per-block work, so
+# the columnar hot path stays uninstrumented.
+_POOL_RESPAWNS = metrics.counter(
+    "facile_engine_pool_respawns_total",
+    metrics.METRIC_CATALOG["facile_engine_pool_respawns_total"][1])
+_TASKS_RETRIED = metrics.counter(
+    "facile_engine_tasks_retried_total",
+    metrics.METRIC_CATALOG["facile_engine_tasks_retried_total"][1])
 
 #: Fault-injection site of the parallel dispatch (one draw per task).
 TASK_SITE = "engine.task"
@@ -387,6 +399,7 @@ class Engine:
     def _respawn_pool(self) -> None:
         """Kill the pool (hung workers included) for a fresh one."""
         self.pool_respawns += 1
+        _POOL_RESPAWNS.inc()
         self._shutdown_pool()
 
     def _effective_timeout(self) -> Optional[float]:
@@ -403,7 +416,9 @@ class Engine:
 
     def predict_many(self, blocks: Sequence[BasicBlock],
                      mode: ThroughputMode, *,
-                     on_error: str = "raise") -> List[PredictResult]:
+                     on_error: str = "raise",
+                     traces: Optional[Sequence[Optional[str]]] = None
+                     ) -> List[PredictResult]:
         """Predict a whole batch, preserving input order.
 
         Serial unless the engine was configured with workers; both paths
@@ -417,12 +432,19 @@ class Engine:
                 original exception); ``"record"`` degrades the failing
                 task's result slot to a :class:`PredictorError` and
                 keeps every other slot intact.
+            traces: optional per-block trace ids from the service front
+                end — logged at debug level for request joining, never
+                touched otherwise (predictions cannot depend on them).
         """
         if on_error not in ("raise", "record"):
             raise ValueError("on_error must be 'raise' or 'record'")
         blocks = list(blocks)
         if not blocks:
             return []
+        if traces is not None and obslog.level_enabled("debug"):
+            obslog.get_logger("engine").debug(
+                "predict_many", n_blocks=len(blocks), mode=mode.value,
+                traces=sorted({t for t in traces if t}))
         if not self.parallel or len(blocks) == 1:
             if on_error == "raise":
                 return self.predictor.predict_many(blocks, mode)
@@ -529,6 +551,7 @@ class Engine:
         if attempts[index] <= self.max_task_retries:
             payloads[index][4] = None  # injected faults fire once
             self.tasks_retried += 1
+            _TASKS_RETRIED.inc()
             requeue.append(index)
             return
         if kind != "timeout":

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bhive.suite import BenchmarkSuite
@@ -25,6 +25,7 @@ from repro.core.model import Facile
 from repro.engine.cache import AnalysisCache
 from repro.engine.engine import Engine
 from repro.isa.block import BasicBlock
+from repro.obs import metrics as obs_metrics
 from repro.uarch.config import MicroArchConfig
 from repro.uops.database import UopsDatabase
 
@@ -139,17 +140,42 @@ class PathTiming:
             ``"parallel"``, or ``"service"``.
         n_blocks: number of blocks predicted in the timed pass.
         seconds: wall-clock of the timed pass.
+        peak_rss_kb: the process's peak resident set (kilobytes) when
+            the path finished — a high-water mark, so paths measured
+            later can only report equal-or-larger values.
+        metrics: the registry counters this path moved
+            (``name{labels}`` -> delta), for the bench record only —
+            the regression gate never reads it.
     """
 
     path: str
     n_blocks: int
     seconds: float
+    peak_rss_kb: Optional[int] = None
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def blocks_per_sec(self) -> float:
         if self.seconds <= 0.0:
             return float("inf")
         return self.n_blocks / self.seconds
+
+
+def peak_rss_kb() -> Optional[int]:
+    """The process's peak RSS in kilobytes (None where unsupported)."""
+    try:
+        import resource
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:
+        return None
+
+
+def _counters_delta(before: Dict[str, float],
+                    after: Dict[str, float]) -> Dict[str, float]:
+    """The non-zero counter movement between two flat snapshots."""
+    return {key: round(value - before.get(key, 0.0), 6)
+            for key, value in sorted(after.items())
+            if value != before.get(key, 0.0)}
 
 
 #: Never-seen passes of the payload-variant stream timed by the
@@ -209,6 +235,7 @@ def time_prediction_paths(cfg: MicroArchConfig, suite: BenchmarkSuite,
                           mode: ThroughputMode, *,
                           workers: int = 2,
                           include_parallel: bool = True,
+                          progress: Optional[Callable[[str], None]] = None,
                           ) -> Dict[str, PathTiming]:
     """Blocks/sec of the engine paths on one (µarch, mode).
 
@@ -241,6 +268,20 @@ def time_prediction_paths(cfg: MicroArchConfig, suite: BenchmarkSuite,
     raws = [bench.block(loop).raw for bench in suite]
     results: Dict[str, PathTiming] = {}
 
+    def record(timing: PathTiming,
+               counters_before: Dict[str, float]) -> None:
+        """Attach the observability record and report progress.
+
+        Runs strictly *after* the timed region — the RSS probe and the
+        registry snapshot never sit inside a measurement.
+        """
+        timing.peak_rss_kb = peak_rss_kb()
+        timing.metrics = _counters_delta(
+            counters_before, obs_metrics.REGISTRY.counters_flat())
+        results[timing.path] = timing
+        if progress is not None:
+            progress(timing.path)
+
     # The cold-call workload: never-seen payload variants (built and
     # decode-validated outside every timed region).
     variants = payload_variant_stream(raws)
@@ -249,16 +290,18 @@ def time_prediction_paths(cfg: MicroArchConfig, suite: BenchmarkSuite,
     clear_ports_memo()  # shared with the object paths: start cold
     core = ColumnarCore(cfg)
     core.predict_raw_many(raws, mode)  # warm-up: compile the suite once
+    counters = obs_metrics.REGISTRY.counters_flat()
     start = time.perf_counter()
     for raw in variants:
         core.predict_raw(raw, mode)
-    results["single"] = PathTiming("single", len(variants),
-                                   time.perf_counter() - start)
+    record(PathTiming("single", len(variants),
+                      time.perf_counter() - start), counters)
 
     # -- single_object (seed-style cold predictions, same stream) -------
     db = UopsDatabase(cfg)
     cache = AnalysisCache(db)
     model = Facile(cfg, db=db, cache=cache)
+    counters = obs_metrics.REGISTRY.counters_flat()
     start = time.perf_counter()
     for raw in variants:
         # The seed path had no memoization at all: drop both the block
@@ -266,8 +309,8 @@ def time_prediction_paths(cfg: MicroArchConfig, suite: BenchmarkSuite,
         cache.clear()
         clear_ports_memo()
         model.predict(BasicBlock.from_bytes(raw), mode)
-    results["single_object"] = PathTiming("single_object", len(variants),
-                                          time.perf_counter() - start)
+    record(PathTiming("single_object", len(variants),
+                      time.perf_counter() - start), counters)
 
     # -- cached batch path (warm shared cache, serial by construction:
     # going through Engine here would inherit the process-wide worker
@@ -276,10 +319,11 @@ def time_prediction_paths(cfg: MicroArchConfig, suite: BenchmarkSuite,
     warm_db = UopsDatabase(cfg)
     warm_model = Facile(cfg, db=warm_db, cache=AnalysisCache(warm_db))
     warm_model.predict_many(blocks, mode)  # warm-up pass fills the cache
+    counters = obs_metrics.REGISTRY.counters_flat()
     start = time.perf_counter()
     warm_model.predict_many(blocks, mode)
-    results["cached"] = PathTiming("cached", len(blocks),
-                                   time.perf_counter() - start)
+    record(PathTiming("cached", len(blocks),
+                      time.perf_counter() - start), counters)
 
     # -- parallel batch path (cold pool) -------------------------------
     if include_parallel:
@@ -288,8 +332,9 @@ def time_prediction_paths(cfg: MicroArchConfig, suite: BenchmarkSuite,
         clear_ports_memo()
         with Engine(cfg, db=UopsDatabase(cfg),
                     n_workers=workers) as parallel_engine:
+            counters = obs_metrics.REGISTRY.counters_flat()
             start = time.perf_counter()
             parallel_engine.predict_many(blocks, mode)
-            results["parallel"] = PathTiming(
-                "parallel", len(blocks), time.perf_counter() - start)
+            record(PathTiming("parallel", len(blocks),
+                              time.perf_counter() - start), counters)
     return results

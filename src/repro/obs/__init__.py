@@ -1,0 +1,20 @@
+"""Unified observability: metrics registry, tracing, structured logging.
+
+See ``docs/OBSERVABILITY.md`` for the metric-name catalog, the
+``/v1/metrics`` exposition format, logging environment variables, and
+tracing semantics.
+"""
+from . import log, metrics, trace
+from .log import get_logger, set_level, slow_threshold_ms
+from .metrics import (METRIC_CATALOG, REGISTRY, Registry, counter,
+                      counter_value, exposition, gauge, histogram,
+                      parse_exposition)
+from .trace import TRACE_HEADER, Span, current_trace, new_trace_id, tracing
+
+__all__ = [
+    "log", "metrics", "trace",
+    "get_logger", "set_level", "slow_threshold_ms",
+    "METRIC_CATALOG", "REGISTRY", "Registry", "counter", "counter_value",
+    "exposition", "gauge", "histogram", "parse_exposition",
+    "TRACE_HEADER", "Span", "current_trace", "new_trace_id", "tracing",
+]

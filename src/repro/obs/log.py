@@ -1,0 +1,136 @@
+"""Structured JSON logging for the service, shard, and campaign layers.
+
+One JSON object per line on **stderr** — stdout stays reserved for
+command output (reports, tables), which several CI jobs compare
+byte-for-byte.  Every record carries ``ts``, ``level``, ``component``,
+and ``event``; callers attach arbitrary extra fields:
+
+    from repro.obs import log
+    logger = log.get_logger("serve")
+    logger.info("serving", host="127.0.0.1", port=8000)
+
+Levels (``debug`` < ``info`` < ``warning`` < ``error`` < ``off``) come
+from the ``REPRO_LOG`` environment variable, overridable at runtime by
+``set_level`` (the ``--log-level`` CLI flag).  Shard worker processes
+call ``refresh_level`` on startup so a level set in the parent's
+environment survives the fork even when the module was imported before
+the variable changed.
+
+The slow-request log in the service front end is gated by
+``REPRO_SLOW_MS`` (milliseconds, default 500; ``slow_threshold_ms``).
+"""
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Dict, Optional
+
+__all__ = ["LEVELS", "DEFAULT_LEVEL", "Logger", "get_logger",
+           "set_level", "refresh_level", "current_level",
+           "level_enabled", "slow_threshold_ms",
+           "DEFAULT_SLOW_MS"]
+
+LEVELS: Dict[str, int] = {
+    "debug": 10, "info": 20, "warning": 30, "error": 40, "off": 100,
+}
+DEFAULT_LEVEL = "info"
+DEFAULT_SLOW_MS = 500.0
+
+ENV_LEVEL = "REPRO_LOG"
+ENV_SLOW_MS = "REPRO_SLOW_MS"
+
+
+def _level_from_env() -> int:
+    name = os.environ.get(ENV_LEVEL, DEFAULT_LEVEL).strip().lower()
+    return LEVELS.get(name, LEVELS[DEFAULT_LEVEL])
+
+
+# Mutable so set_level/refresh_level affect every cached Logger.
+_state = {"level": _level_from_env()}
+_emit_lock = threading.Lock()
+
+
+def set_level(name: str) -> None:
+    """Set the process log level by name (the ``--log-level`` flag)."""
+    key = name.strip().lower()
+    if key not in LEVELS:
+        raise ValueError(f"unknown log level {name!r} "
+                         f"(choose from {', '.join(sorted(LEVELS))})")
+    _state["level"] = LEVELS[key]
+
+
+def refresh_level() -> None:
+    """Re-read ``REPRO_LOG`` — called by forked shard workers, whose
+    inherited module state predates any env change in the parent."""
+    _state["level"] = _level_from_env()
+
+
+def current_level() -> str:
+    for name, value in LEVELS.items():
+        if value == _state["level"]:
+            return name
+    return DEFAULT_LEVEL
+
+
+def level_enabled(name: str) -> bool:
+    return LEVELS[name] >= _state["level"]
+
+
+def slow_threshold_ms() -> float:
+    """The slow-request threshold (``REPRO_SLOW_MS``, ms)."""
+    raw = os.environ.get(ENV_SLOW_MS)
+    if raw is None:
+        return DEFAULT_SLOW_MS
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_SLOW_MS
+    return value if value > 0 else DEFAULT_SLOW_MS
+
+
+class Logger:
+    """A named component logger emitting one JSON object per line."""
+
+    __slots__ = ("component",)
+
+    def __init__(self, component: str) -> None:
+        self.component = component
+
+    def _emit(self, level: str, event: str, fields: dict) -> None:
+        if LEVELS[level] < _state["level"]:
+            return
+        record = {"ts": round(time.time(), 3), "level": level,
+                  "component": self.component, "event": event}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":"), default=str)
+        with _emit_lock:
+            sys.stderr.write(line + "\n")
+            sys.stderr.flush()
+
+    def debug(self, event: str, **fields: object) -> None:
+        self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self._emit("error", event, fields)
+
+
+_loggers: Dict[str, Logger] = {}
+_loggers_lock = threading.Lock()
+
+
+def get_logger(component: str) -> Logger:
+    with _loggers_lock:
+        logger = _loggers.get(component)
+        if logger is None:
+            logger = _loggers[component] = Logger(component)
+        return logger

@@ -23,10 +23,18 @@ import threading
 import time
 from typing import Callable, Dict, Optional
 
+from repro.obs import metrics
 from repro.robustness.errors import CircuitOpenError
 
 #: State names (also the wire/report vocabulary).
 CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+#: Closed→open and half-open→open transitions both land in
+#: _trip_locked, so this counter sees every trip exactly once.
+_BREAKER_OPENS = metrics.counter(
+    "facile_breaker_open_total",
+    metrics.METRIC_CATALOG["facile_breaker_open_total"][1],
+    labels=("breaker",))
 
 #: Defaults: open after 3 consecutive failures, probe again after 30 s.
 DEFAULT_FAILURE_THRESHOLD = 3
@@ -140,6 +148,7 @@ class CircuitBreaker:
         self._state = OPEN
         self._opened_at = self._clock()
         self.times_opened += 1
+        _BREAKER_OPENS.inc(breaker=self.name)
 
     # -- introspection -------------------------------------------------
 

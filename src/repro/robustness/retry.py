@@ -17,10 +17,18 @@ import random
 import time
 from typing import Callable, Optional
 
+from repro.obs import metrics
+
 #: Defaults: 3 attempts total, 100 ms base, 2 s cap.
 DEFAULT_MAX_ATTEMPTS = 3
 DEFAULT_BASE = 0.1
 DEFAULT_CAP = 2.0
+
+#: Every backoff across the repo funnels through RetryPolicy.backoff,
+#: which makes it the one choke point for the global retry counter.
+_RETRIES = metrics.counter(
+    "facile_retries_total",
+    metrics.METRIC_CATALOG["facile_retries_total"][1])
 
 
 class RetryPolicy:
@@ -67,6 +75,7 @@ class RetryPolicy:
         duration = self.delay(attempt)
         if floor is not None:
             duration = max(duration, min(floor, max(self.cap, floor)))
+        _RETRIES.inc()
         if duration > 0:
             self._sleep(duration)
         return duration

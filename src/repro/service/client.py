@@ -73,6 +73,15 @@ class _PayloadView:
         #: server, which has no envelope).
         self.meta = meta
 
+    @property
+    def trace(self) -> Optional[str]:
+        """The request's trace id from the v1 ``meta`` (``None`` on
+        legacy servers) — quote it when reporting a service problem so
+        the operator can find the matching structured log lines."""
+        if self.meta is None:
+            return None
+        return self.meta.get("trace")
+
     def __getitem__(self, key: str):
         return self.data[key]
 

@@ -230,7 +230,8 @@ ERROR_CODES = {
 
 def meta_dict(*, uarch: Optional[str] = None, mode: Optional[str] = None,
               cache: object = None,
-              timing_ms: Optional[float] = None) -> Dict:
+              timing_ms: Optional[float] = None,
+              trace: Optional[str] = None) -> Dict:
     """The v1 ``meta`` object; every key always present (null if N/A)."""
     return {
         "api_version": API_VERSION,
@@ -238,6 +239,7 @@ def meta_dict(*, uarch: Optional[str] = None, mode: Optional[str] = None,
         "mode": mode,
         "cache": cache,
         "timing_ms": timing_ms,
+        "trace": trace,
     }
 
 
@@ -256,7 +258,8 @@ def envelope_bytes(result_bytes: bytes, meta: Dict) -> bytes:
 
 
 def error_envelope_bytes(status: int, message: str, *,
-                         retry_after_ms: Optional[float] = None) -> bytes:
+                         retry_after_ms: Optional[float] = None,
+                         trace: Optional[str] = None) -> bytes:
     """The v1 structured error body for *status*.
 
     Unknown statuses fall back to the ``internal`` code rather than
@@ -268,5 +271,5 @@ def error_envelope_bytes(status: int, message: str, *,
     }
     if retry_after_ms is not None:
         error["retry_after_ms"] = round(retry_after_ms, 3)
-    return json_bytes({"error": error, "meta": meta_dict(),
+    return json_bytes({"error": error, "meta": meta_dict(trace=trace),
                        "result": None})

@@ -57,6 +57,9 @@ from repro.engine.cache import AnalysisCache
 from repro.engine.engine import Engine, default_workers
 from repro.engine.persist import PersistentAnalysisCache
 from repro.isa.block import BasicBlock
+from repro.obs import log as obslog
+from repro.obs import metrics
+from repro.obs.trace import TRACE_HEADER, new_trace_id
 from repro.robustness.breaker import CircuitBreaker, OPEN
 from repro.robustness.errors import CircuitOpenError, DeadlineExceeded, \
     QueueFullError
@@ -102,13 +105,43 @@ DEFAULT_RESPONSE_CACHE = 65536
 #: Upper bounds on request framing (cheap DoS hygiene).
 MAX_HEADER_COUNT = 100
 
+#: The prediction core every serving runtime pins (advertised in
+#: ``/v1/health``): shards and in-process engines both run the object
+#: core, whose analysis-cache counters are the ``/stats`` surface.
+SERVING_CORE = "object"
+
 #: The served route tables, both namespaces.  ``scripts/check_docs.py``
 #: checks every entry against ``docs/SERVICE.md`` in both directions.
+#: ``/v1/metrics`` is v1-only by design — a new machine-scraped
+#: surface gets no deprecated legacy twin.
 ROUTES: Dict[str, Tuple[str, ...]] = {
-    "GET": ("/health", "/stats", "/v1/health", "/v1/stats"),
+    "GET": ("/health", "/stats", "/v1/health", "/v1/metrics",
+            "/v1/stats"),
     "POST": ("/compare", "/predict", "/predict/bulk", "/v1/compare",
              "/v1/predict", "/v1/predict/bulk"),
 }
+
+#: Content type of the ``/v1/metrics`` exposition body.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+# Request-level metrics (docs/OBSERVABILITY.md).  Module-level so the
+# hot path is a dict lookup + locked add, no registry traversal.
+_REQUESTS = metrics.counter(
+    "facile_requests_total",
+    metrics.METRIC_CATALOG["facile_requests_total"][1],
+    labels=("endpoint",))
+_REQUEST_ERRORS = metrics.counter(
+    "facile_request_errors_total",
+    metrics.METRIC_CATALOG["facile_request_errors_total"][1],
+    labels=("endpoint",))
+_REQUEST_DURATION = metrics.histogram(
+    "facile_request_duration_ms",
+    metrics.METRIC_CATALOG["facile_request_duration_ms"][1],
+    labels=("route",))
+_SLOW_REQUESTS = metrics.counter(
+    "facile_slow_requests_total",
+    metrics.METRIC_CATALOG["facile_slow_requests_total"][1],
+    labels=("route",))
 
 #: Unversioned path → core handler method name.
 _CORE_HANDLERS = {
@@ -204,9 +237,9 @@ class _PersistentSyncEngine:
     def __init__(self, engine: Engine):
         self.engine = engine
 
-    def predict_many(self, blocks, mode):
+    def predict_many(self, blocks, mode, traces=None):
         try:
-            return self.engine.predict_many(blocks, mode)
+            return self.engine.predict_many(blocks, mode, traces=traces)
         finally:
             self.engine.cache.sync_persistent()
 
@@ -248,7 +281,8 @@ class _UarchRuntime:
                        else _PersistentSyncEngine(self.engine))
         self.batcher = MicroBatcher(backend, max_batch=max_batch,
                                     max_wait_ms=max_wait_ms,
-                                    max_queue=max_queue)
+                                    max_queue=max_queue,
+                                    obs_label=abbrev)
         self.response_cache = _ResponseCache(response_cache_entries)
         # The comparison predictors run on the front-end side (they are
         # in-process analogs, not engine work); they get a private
@@ -431,6 +465,11 @@ class PredictionService:
         self._ready = threading.Event()
         self._loop_done = threading.Event()
         self._startup_error: Optional[BaseException] = None
+        self._log = obslog.get_logger("serve")
+        # Pull-stats collector: component counters the hot paths keep
+        # for themselves (response cache, batcher, shard proxies) enter
+        # the registry only when a scrape asks (docs/OBSERVABILITY.md).
+        metrics.REGISTRY.register_collector(self._collect_metrics)
         # Bind eagerly: `.port` is known before start() and bad
         # addresses raise OSError here, not inside a server thread.
         self._sock = socket.create_server((host, port), backlog=128)
@@ -499,6 +538,7 @@ class PredictionService:
 
     def close(self) -> None:
         """Stop serving and shut down batchers, shards, and the socket."""
+        metrics.REGISTRY.unregister_collector(self._collect_metrics)
         loop = self._loop
         if loop is not None:
             try:
@@ -591,6 +631,84 @@ class PredictionService:
                 self._requests_by_endpoint.get(endpoint, 0) + 1
             if error:
                 self._errors += 1
+        _REQUESTS.inc(endpoint=endpoint)
+        if error:
+            _REQUEST_ERRORS.inc(endpoint=endpoint)
+
+    def _observe_request(self, route: str, started: float,
+                         trace: str) -> None:
+        """Record one routed request's wall time (and the slow log)."""
+        duration_ms = (time.perf_counter() - started) * 1000.0
+        _REQUEST_DURATION.observe(duration_ms, route=route)
+        if duration_ms >= obslog.slow_threshold_ms():
+            _SLOW_REQUESTS.inc(route=route)
+            self._log.warning("slow_request", route=route,
+                              ms=round(duration_ms, 3), trace=trace)
+
+    def _collect_metrics(self) -> List[metrics.Family]:
+        """Scrape-time families for per-runtime component counters."""
+        catalog = metrics.METRIC_CATALOG
+        families = [metrics.Family(
+            "facile_service_uptime_seconds", metrics.GAUGE,
+            catalog["facile_service_uptime_seconds"][1],
+            [({}, round(time.monotonic() - self._started_at, 3))])]
+        with self._runtimes_lock:
+            runtimes = dict(self._runtimes)
+        per_uarch: Dict[str, List[Tuple[Dict[str, str], float]]] = {
+            "facile_response_cache_hits_total": [],
+            "facile_response_cache_misses_total": [],
+            "facile_analysis_cache_hits_total": [],
+            "facile_analysis_cache_misses_total": [],
+            "facile_batcher_requests_total": [],
+            "facile_batcher_batches_total": [],
+            "facile_batcher_shed_total": [],
+            "facile_batcher_deadline_drops_total": [],
+            "facile_shard_respawns_total": [],
+            "facile_shard_fallback_total": [],
+        }
+        for abbrev, runtime in sorted(runtimes.items()):
+            labels = {"uarch": abbrev}
+            response = runtime.response_cache
+            per_uarch["facile_response_cache_hits_total"].append(
+                (labels, response.hits))
+            per_uarch["facile_response_cache_misses_total"].append(
+                (labels, response.misses))
+            batcher = runtime.batcher
+            per_uarch["facile_batcher_requests_total"].append(
+                (labels, batcher.requests))
+            per_uarch["facile_batcher_batches_total"].append(
+                (labels, batcher.batches))
+            per_uarch["facile_batcher_shed_total"].append(
+                (labels, batcher.shed))
+            per_uarch["facile_batcher_deadline_drops_total"].append(
+                (labels, batcher.deadline_drops))
+            if runtime.shard is not None:
+                per_uarch["facile_shard_respawns_total"].append(
+                    (labels, runtime.shard.respawns))
+                per_uarch["facile_shard_fallback_total"].append(
+                    (labels, runtime.shard.fallback_used))
+                cache = runtime.shard.stats().get("cache", {})
+            else:
+                assert runtime.engine is not None
+                cache = runtime.engine.cache.stats()
+            if cache:
+                per_uarch["facile_analysis_cache_hits_total"].append(
+                    (labels, cache.get("hits", 0)))
+                per_uarch["facile_analysis_cache_misses_total"].append(
+                    (labels, cache.get("misses", 0)))
+        for name, samples in per_uarch.items():
+            if samples:
+                families.append(metrics.Family(
+                    name, metrics.COUNTER, catalog[name][1], samples))
+        return families
+
+    def metrics_exposition(self) -> str:
+        """The ``/v1/metrics`` body: registry + catalog exposition.
+
+        May block briefly on a shard stats round trip, so the endpoint
+        runs it in the executor, never on the event loop.
+        """
+        return metrics.exposition()
 
     # -- endpoint payloads ---------------------------------------------
 
@@ -616,6 +734,7 @@ class PredictionService:
             "status": "degraded" if reasons else "ok",
             "service": "facile",
             "api_versions": [API_VERSION],
+            "core": SERVING_CORE,
             "default_uarch": self.default_uarch,
             "uarchs_available": self.known_uarchs,
             "uarchs_loaded": sorted(runtimes),
@@ -631,6 +750,22 @@ class PredictionService:
         with self._stats_lock:
             by_endpoint = dict(self._requests_by_endpoint)
             errors = self._errors
+        uarchs = {abbrev: runtime.telemetry()
+                  for abbrev, runtime in runtimes.items()}
+        # Aggregated incident counters, surfaced at the top level so a
+        # monitor never has to dig through nested shard payloads.
+        counters = {"shard_respawns": 0, "shard_fallback": 0,
+                    "breaker_opens": 0, "engine_tasks_retried": 0}
+        for entry in uarchs.values():
+            shard_info = entry.get("shard")
+            if shard_info is not None:
+                counters["shard_respawns"] += shard_info["respawns"]
+                counters["shard_fallback"] += shard_info["fallback_used"]
+            counters["engine_tasks_retried"] += \
+                entry["engine"].get("tasks_retried", 0)
+            for breaker_stats in entry["breakers"].values():
+                counters["breaker_opens"] += \
+                    breaker_stats.get("times_opened", 0)
         return {
             "uptime_sec": round(time.monotonic() - self._started_at, 3),
             "workers": self.n_workers,
@@ -639,8 +774,8 @@ class PredictionService:
                 "by_endpoint": by_endpoint,
                 "errors": errors,
             },
-            "uarchs": {abbrev: runtime.telemetry()
-                       for abbrev, runtime in runtimes.items()},
+            "counters": counters,
+            "uarchs": uarchs,
         }
 
     @staticmethod
@@ -674,7 +809,7 @@ class PredictionService:
             "(raise 'timeout_ms' or retry when the server is "
             "less loaded)", status=504)
 
-    async def _core_predict(self, body: Dict):
+    async def _core_predict(self, body: Dict, trace: Optional[str] = None):
         uarch = serialize.parse_uarch(body, self.default_uarch,
                                       self.known_uarchs)
         mode = serialize.parse_mode(body)
@@ -693,7 +828,8 @@ class PredictionService:
                 return blob, meta
         try:
             future = runtime.batcher.submit(block, mode,
-                                            deadline=deadline)
+                                            deadline=deadline,
+                                            trace=trace)
             prediction = await asyncio.wait_for(
                 asyncio.wrap_future(future), timeout=wait)
         except (QueueFullError, DeadlineExceeded,
@@ -705,7 +841,7 @@ class PredictionService:
         meta["cache"] = "miss"
         return blob, meta
 
-    async def _core_bulk(self, body: Dict):
+    async def _core_bulk(self, body: Dict, trace: Optional[str] = None):
         uarch = serialize.parse_uarch(body, self.default_uarch,
                                       self.known_uarchs)
         mode = serialize.parse_mode(body)
@@ -724,7 +860,7 @@ class PredictionService:
             try:
                 futures = runtime.batcher.submit_many(
                     [blocks[index] for index in missing], mode,
-                    deadline=deadline)
+                    deadline=deadline, trace=trace)
                 wrapped = [asyncio.wrap_future(future)
                            for future in futures]
                 for task in wrapped:
@@ -747,17 +883,19 @@ class PredictionService:
                         "cache": {"hits": len(blocks) - len(missing),
                                   "misses": len(missing)}}
 
-    async def _core_compare(self, body: Dict):
+    async def _core_compare(self, body: Dict, trace: Optional[str] = None):
         loop = asyncio.get_running_loop()
         payload = await loop.run_in_executor(None, self.compare_payload,
                                              body)
         return json_bytes(payload), {"uarch": payload["uarch"],
                                      "mode": payload["mode"]}
 
-    async def _core_health(self, body: Optional[Dict]):
+    async def _core_health(self, body: Optional[Dict],
+                           trace: Optional[str] = None):
         return json_bytes(self.health_payload()), {}
 
-    async def _core_stats(self, body: Optional[Dict]):
+    async def _core_stats(self, body: Optional[Dict],
+                          trace: Optional[str] = None):
         loop = asyncio.get_running_loop()
         payload = await loop.run_in_executor(None, self.stats_payload)
         return json_bytes(payload), {}
@@ -813,20 +951,23 @@ class PredictionService:
     # -- the HTTP front-end --------------------------------------------
 
     def _error_bytes(self, versioned: bool, status: int, message: str,
-                     retry_after_ms: Optional[float] = None) -> bytes:
+                     retry_after_ms: Optional[float] = None,
+                     trace: Optional[str] = None) -> bytes:
         if versioned:
             return serialize.error_envelope_bytes(
-                status, message, retry_after_ms=retry_after_ms)
+                status, message, retry_after_ms=retry_after_ms,
+                trace=trace)
         return json_bytes({"error": message})
 
     async def _write_response(self, writer: asyncio.StreamWriter,
                               status: int, body: bytes, *,
                               headers: Optional[Dict[str, str]] = None,
+                              content_type: str = "application/json",
                               close: bool = False) -> None:
         lines = [
             f"HTTP/1.1 {status} {_REASONS.get(status, '')}",
             "Server: facile-serve/2",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
         ]
         for name, value in (headers or {}).items():
@@ -883,15 +1024,22 @@ class PredictionService:
             return False
         path = target.split("?", 1)[0].rstrip("/") or "/"
         versioned = path == "/v1" or path.startswith("/v1/")
+        # One trace id per request: echoed in the v1 meta, every error
+        # envelope, and the X-Trace-Id header on all routes.
+        trace_id = new_trace_id()
 
         async def bail(status: int, message: str,
                        headers: Optional[Dict[str, str]] = None,
                        retry_after_ms: Optional[float] = None) -> bool:
+            merged = {TRACE_HEADER: trace_id}
+            if headers:
+                merged.update(headers)
             await self._write_response(
                 writer, status,
                 self._error_bytes(versioned, status, message,
-                                  retry_after_ms=retry_after_ms),
-                headers=headers, close=True)
+                                  retry_after_ms=retry_after_ms,
+                                  trace=trace_id),
+                headers=merged, close=True)
             return False
 
         headers: Dict[str, str] = {}
@@ -946,6 +1094,22 @@ class PredictionService:
                 f"request body too large (> {MAX_BODY_BYTES} bytes)")
         raw_body = (await reader.readexactly(length) if length else b"")
 
+        keep = headers.get("connection", "").lower() != "close"
+        if path == "/v1/metrics":
+            # Text exposition, not a JSON envelope: the one route that
+            # bypasses the core-handler machinery.  The scrape may
+            # query shard processes, so it runs in the executor.
+            started = time.perf_counter()
+            text = await asyncio.get_running_loop().run_in_executor(
+                None, self.metrics_exposition)
+            self._count(path)
+            self._observe_request(path, started, trace_id)
+            await self._write_response(
+                writer, 200, text.encode("utf-8"),
+                headers={TRACE_HEADER: trace_id},
+                content_type=METRICS_CONTENT_TYPE, close=not keep)
+            return keep
+
         base_path = path[3:] if versioned else path
         started = time.perf_counter()
         try:
@@ -959,22 +1123,28 @@ class PredictionService:
             body = (serialize.parse_json_body(raw_body)
                     if method == "POST" else None)
             core = getattr(self, _CORE_HANDLERS[base_path])
-            result_bytes, meta_info = await core(body)
+            result_bytes, meta_info = await core(body, trace_id)
         except RequestError as exc:
             self._count(path, error=True)
+            self._observe_request(path, started, trace_id)
             return await bail(
                 exc.status, str(exc), headers=exc.headers or None,
                 retry_after_ms=getattr(exc, "retry_after_ms", None))
         except asyncio.CancelledError:
             raise
-        except Exception:
+        except Exception as exc:
             # Detail stays server-side: exception text can carry paths
             # and internals that an untrusted client has no business
             # seeing.
             traceback.print_exc(file=sys.stderr)
+            self._log.error("internal_error", route=path, trace=trace_id,
+                            error=f"{type(exc).__name__}: {exc}")
             self._count(path, error=True)
+            self._observe_request(path, started, trace_id)
             return await bail(500, "internal error")
         self._count(path)
+        self._observe_request(path, started, trace_id)
+        extra = {TRACE_HEADER: trace_id}
         if versioned:
             timing_ms = round((time.perf_counter() - started) * 1000.0,
                               3)
@@ -982,13 +1152,12 @@ class PredictionService:
                 uarch=meta_info.get("uarch"),
                 mode=meta_info.get("mode"),
                 cache=meta_info.get("cache"),
-                timing_ms=timing_ms)
+                timing_ms=timing_ms,
+                trace=trace_id)
             response = serialize.envelope_bytes(result_bytes, meta)
-            extra: Optional[Dict[str, str]] = None
         else:
             response = result_bytes
-            extra = {"Deprecation": "true"}
-        keep = headers.get("connection", "").lower() != "close"
+            extra["Deprecation"] = "true"
         await self._write_response(writer, 200, response, headers=extra,
                                    close=not keep)
         return keep

@@ -44,6 +44,8 @@ from repro.engine.engine import DEFAULT_FAULTED_TIMEOUT, Engine, \
     _pool_context
 from repro.engine.persist import PersistentAnalysisCache
 from repro.isa.block import BasicBlock
+from repro.obs import log
+from repro.obs.trace import Span
 from repro.robustness.faults import act_in_worker, active_plan
 from repro.uarch import uarch_by_name
 from repro.uops.database import UopsDatabase
@@ -65,12 +67,20 @@ def _shard_main(abbrev: str, request_queue, result_queue,
                 n_workers: Optional[int]) -> None:
     """Worker-process entry point: serve requests until shutdown.
 
-    Messages in: ``("predict", id, mode, raws, faults)``,
+    Messages in: ``("predict", id, mode, raws, faults, traces)``,
     ``("stats", id)``, ``("shutdown",)``.  Messages out:
     ``(id, ok, payload)`` where a failed request carries
     ``"ExcType: message"`` text instead of its payload (full tracebacks
     stay in the worker; the front-end answers an opaque 500).
+
+    At debug level the worker logs one structured line per predict
+    batch carrying the originating trace ids, so a client-visible
+    ``meta.trace`` can be joined with the worker that computed it.
     """
+    # Re-read REPRO_LOG: on fork the child inherits module state parsed
+    # before the parent's environment may have changed.
+    log.refresh_level()
+    logger = log.get_logger("shard")
     cfg = uarch_by_name(abbrev)
     db = UopsDatabase(cfg)
     persistent = (PersistentAnalysisCache(persist_path, abbrev)
@@ -92,8 +102,13 @@ def _shard_main(abbrev: str, request_queue, result_queue,
                            "pool_respawns": engine.pool_respawns},
             }))
             continue
-        _, request_id, mode_value, raws, faults = message
+        _, request_id, mode_value, raws, faults, traces = message
         try:
+            if log.level_enabled("debug"):
+                logger.debug(
+                    "predict_batch", uarch=abbrev, mode=mode_value,
+                    n_blocks=len(raws),
+                    traces=sorted({t for t in traces if t}))
             for fault in faults:
                 if fault is not None:
                     act_in_worker(fault, SHARD_SITE)
@@ -228,13 +243,19 @@ class ShardEngine:
     # -- prediction ----------------------------------------------------
 
     def predict_many(self, blocks: Sequence[BasicBlock],
-                     mode: ThroughputMode) -> List[Prediction]:
+                     mode: ThroughputMode,
+                     traces: Optional[Sequence[Optional[str]]] = None
+                     ) -> List[Prediction]:
         """Predict *blocks* in the worker; byte-identical to in-process.
 
         A crashed/hung worker triggers one respawn-and-retry (faults
         cleared, mirroring the engine pool's recovery contract); if the
         fresh worker fails too, the request is served by an in-process
         fallback engine.
+
+        *traces* (optional, one per block) are per-request trace ids
+        shipped in the IPC payload so the worker can log them; they
+        never affect prediction bytes.
         """
         if self._closed:
             raise RuntimeError("ShardEngine is closed")
@@ -244,19 +265,20 @@ class ShardEngine:
             fault = plan.check(SHARD_SITE) if plan is not None else None
             faults.append(fault.encode() if fault is not None else None)
         try:
-            return self._roundtrip(blocks, mode, faults)
+            return self._roundtrip(blocks, mode, faults, traces)
         except ShardCrash:
             self._respawn()
             try:
                 return self._roundtrip(blocks, mode,
-                                       [None] * len(blocks))
+                                       [None] * len(blocks), traces)
             except ShardCrash:
                 self.fallback_used += len(blocks)
                 return self._fallback_engine().predict_many(blocks, mode)
 
     def _roundtrip(self, blocks: Sequence[BasicBlock],
                    mode: ThroughputMode,
-                   faults: List[Optional[Tuple[str, float]]]
+                   faults: List[Optional[Tuple[str, float]]],
+                   traces: Optional[Sequence[Optional[str]]] = None
                    ) -> List[Prediction]:
         worker = self._worker
         request_id = next(self._request_ids)
@@ -264,12 +286,16 @@ class ShardEngine:
         try:
             worker.request_queue.put(
                 ("predict", request_id, mode.value,
-                 [block.raw for block in blocks], faults))
+                 [block.raw for block in blocks], faults,
+                 list(traces) if traces is not None
+                 else [None] * len(blocks)))
         except (ValueError, OSError) as exc:
             worker.forget(request_id)
             raise ShardCrash(f"shard request queue unusable: {exc}")
         try:
-            return future.result(timeout=self._timeout_for(len(blocks)))
+            with Span("shard.roundtrip"):
+                return future.result(
+                    timeout=self._timeout_for(len(blocks)))
         except FutureTimeout:
             worker.forget(request_id)
             raise ShardCrash("shard worker did not answer in time")

@@ -1,0 +1,113 @@
+"""Structured logging and tracing: levels, JSON shape, spans."""
+
+import json
+
+import pytest
+
+from repro.obs import log, metrics
+from repro.obs.trace import (
+    Span,
+    current_trace,
+    new_trace_id,
+    tracing,
+)
+
+
+@pytest.fixture(autouse=True)
+def restore_level(monkeypatch):
+    """Every test leaves the process level as the env would set it."""
+    yield
+    monkeypatch.delenv(log.ENV_LEVEL, raising=False)
+    log.refresh_level()
+
+
+class TestLevels:
+    def test_default_is_info(self):
+        log.refresh_level()
+        assert log.current_level() == "info"
+        assert log.level_enabled("info")
+        assert not log.level_enabled("debug")
+
+    def test_set_level(self):
+        log.set_level("debug")
+        assert log.level_enabled("debug")
+        log.set_level("off")
+        assert not log.level_enabled("error")
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            log.set_level("verbose")
+
+    def test_refresh_reads_the_env(self, monkeypatch):
+        monkeypatch.setenv(log.ENV_LEVEL, "warning")
+        log.refresh_level()
+        assert log.current_level() == "warning"
+        # Unknown env values fall back to the default instead of dying.
+        monkeypatch.setenv(log.ENV_LEVEL, "nonsense")
+        log.refresh_level()
+        assert log.current_level() == log.DEFAULT_LEVEL
+
+    def test_slow_threshold(self, monkeypatch):
+        assert log.slow_threshold_ms() == log.DEFAULT_SLOW_MS
+        monkeypatch.setenv(log.ENV_SLOW_MS, "12.5")
+        assert log.slow_threshold_ms() == 12.5
+        monkeypatch.setenv(log.ENV_SLOW_MS, "-3")
+        assert log.slow_threshold_ms() == log.DEFAULT_SLOW_MS
+
+
+class TestLogger:
+    def test_one_json_object_per_line_on_stderr(self, capsys):
+        logger = log.get_logger("test")
+        logger.info("hello", answer=42, path="/x")
+        err = capsys.readouterr().err
+        (line,) = err.strip().splitlines()
+        record = json.loads(line)
+        assert record["level"] == "info"
+        assert record["component"] == "test"
+        assert record["event"] == "hello"
+        assert record["answer"] == 42
+        assert record["path"] == "/x"
+        assert record["ts"] > 0
+        # stdout stays clean — CI byte-compares command output there.
+        assert capsys.readouterr().out == ""
+
+    def test_below_threshold_emits_nothing(self, capsys):
+        log.set_level("warning")
+        log.get_logger("test").info("quiet")
+        assert capsys.readouterr().err == ""
+
+    def test_non_serializable_fields_are_stringified(self, capsys):
+        log.get_logger("test").info("obj", thing=object())
+        record = json.loads(capsys.readouterr().err)
+        assert "object object at" in record["thing"]
+
+    def test_loggers_are_memoized(self):
+        assert log.get_logger("same") is log.get_logger("same")
+
+
+class TestTrace:
+    def test_trace_ids_are_16_hex_chars_and_distinct(self):
+        a, b = new_trace_id(), new_trace_id()
+        assert a != b
+        for t in (a, b):
+            assert len(t) == 16
+            int(t, 16)
+
+    def test_span_observes_the_histogram(self):
+        hist = metrics.REGISTRY.histogram(
+            "facile_span_duration_ms", labels=("span",))
+        before = sum(st[2] for _, st in hist.samples())
+        with Span("test.span") as span:
+            pass
+        assert span.duration_ms is not None and span.duration_ms >= 0
+        samples = dict(hist.samples())
+        assert ("test.span",) in samples
+        assert sum(st[2] for st in samples.values()) == before + 1
+
+    def test_tracing_context(self):
+        assert current_trace() is None
+        with tracing("abc123"):
+            assert current_trace() == "abc123"
+            with tracing(None):
+                assert current_trace() is None
+        assert current_trace() is None

@@ -99,13 +99,17 @@ class TestByteAssembly:
 
     def test_meta_dict_always_carries_every_key(self):
         assert set(meta_dict()) == {"api_version", "uarch", "mode",
-                                    "cache", "timing_ms"}
+                                    "cache", "timing_ms", "trace"}
 
     def test_every_legacy_route_has_a_v1_twin(self):
+        # v1-only routes (new surfaces that never had a legacy payload
+        # to stay byte-compatible with) are exempt from the twin rule.
+        v1_only = {"/v1/metrics"}
         for method, paths in ROUTES.items():
             legacy = {p for p in paths if not p.startswith("/v1/")}
             versioned = {p for p in paths if p.startswith("/v1/")}
-            assert {"/v1" + p for p in legacy} == versioned, method
+            assert {"/v1" + p for p in legacy} == versioned - v1_only, \
+                method
 
 
 class TestV1Envelope:

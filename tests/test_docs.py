@@ -108,6 +108,33 @@ class TestApiConformance:
         assert any("/phantom" in p and "does not serve" in p
                    for p in problems)
 
+    def test_metric_catalog_drift_detected(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "OBSERVABILITY.md").write_text(
+            "only `facile_requests_total` and the phantom "
+            "`facile_made_up_total` here; label hints like "
+            "`facile_span_duration_ms{span=...}` parse too\n")
+        problems = check_docs.metrics_conformance_problems(
+            str(tmp_path))
+        assert any("`facile_retries_total` is undocumented" in p
+                   for p in problems)
+        assert any("`facile_made_up_total`" in p and
+                   "not in the metric catalog" in p for p in problems)
+        assert not any("facile_span_duration_ms" in p
+                       for p in problems)
+
+    def test_repo_observability_doc_conforms(self):
+        assert check_docs.metrics_conformance_problems(REPO_ROOT) == []
+
+    def test_missing_observability_doc_reported(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        problems = check_docs.metrics_conformance_problems(
+            str(tmp_path))
+        assert problems == ["docs/OBSERVABILITY.md is missing "
+                            "(the observability reference)"]
+
     def test_error_code_drift_detected(self, tmp_path):
         from repro.service.server import ROUTES
         docs = tmp_path / "docs"
